@@ -1,0 +1,18 @@
+//! Exact arbitrary-precision arithmetic for `cqbounds`.
+//!
+//! The paper's bounds are exact rational exponents (the triangle query of
+//! Example 3.3 has color number exactly `3/2`; Theorem 6.1 gives `m/(m−1)`).
+//! Solving the associated linear programs in floating point would turn those
+//! identities into approximations, so the LP solver in `cq-lp` runs entirely
+//! over [`Rational`]s, which in turn are built on a sign-magnitude [`BigInt`]
+//! with `u64` limbs.
+//!
+//! The implementation favours clarity and exactness over asymptotic speed:
+//! schoolbook multiplication and Knuth's Algorithm D for division are ample
+//! for the tableau sizes that arise from the paper's LPs.
+
+pub mod bigint;
+pub mod rational;
+
+pub use bigint::BigInt;
+pub use rational::Rational;

@@ -1,0 +1,521 @@
+//! Exact rational numbers `p/q` over [`BigInt`].
+//!
+//! Invariants: the denominator is strictly positive, the fraction is in
+//! lowest terms, and zero is represented as `0/1`.
+
+use crate::bigint::BigInt;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+/// An exact rational number.
+///
+/// ```
+/// use cq_arith::Rational;
+/// let c: Rational = "3/2".parse().unwrap();
+/// assert_eq!(&c + &Rational::ratio(1, 2), Rational::int(2));
+/// assert_eq!(c.pow(2).to_string(), "9/4");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: BigInt,
+    den: BigInt,
+}
+
+impl Rational {
+    /// Constructs `num/den`, normalizing sign and reducing to lowest terms.
+    ///
+    /// # Panics
+    /// Panics if `den` is zero.
+    pub fn new(num: BigInt, den: BigInt) -> Self {
+        assert!(!den.is_zero(), "rational with zero denominator");
+        if num.is_zero() {
+            return Rational {
+                num: BigInt::zero(),
+                den: BigInt::one(),
+            };
+        }
+        let (num, den) = if den.is_negative() {
+            (-num, -den)
+        } else {
+            (num, den)
+        };
+        let g = num.gcd(&den);
+        Rational {
+            num: &num / &g,
+            den: &den / &g,
+        }
+    }
+
+    /// The rational 0.
+    pub fn zero() -> Self {
+        Rational {
+            num: BigInt::zero(),
+            den: BigInt::one(),
+        }
+    }
+
+    /// The rational 1.
+    pub fn one() -> Self {
+        Rational {
+            num: BigInt::one(),
+            den: BigInt::one(),
+        }
+    }
+
+    /// `p/q` from machine integers.
+    pub fn ratio(p: i64, q: i64) -> Self {
+        Rational::new(BigInt::from(p), BigInt::from(q))
+    }
+
+    /// Integer `n` as a rational.
+    pub fn int(n: i64) -> Self {
+        Rational {
+            num: BigInt::from(n),
+            den: BigInt::one(),
+        }
+    }
+
+    /// Numerator (sign-carrying).
+    pub fn numer(&self) -> &BigInt {
+        &self.num
+    }
+
+    /// Denominator (always positive).
+    pub fn denom(&self) -> &BigInt {
+        &self.den
+    }
+
+    /// `true` iff the value is 0.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// `true` iff the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// `true` iff the value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num.is_positive()
+    }
+
+    /// `true` iff the denominator is 1.
+    pub fn is_integer(&self) -> bool {
+        self.den.is_one()
+    }
+
+    /// Sign as -1, 0 or 1.
+    pub fn signum(&self) -> i32 {
+        self.num.signum()
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Rational {
+        Rational {
+            num: self.num.abs(),
+            den: self.den.clone(),
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics if the value is zero.
+    pub fn recip(&self) -> Rational {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        Rational::new(self.den.clone(), self.num.clone())
+    }
+
+    /// Largest integer `<= self`.
+    pub fn floor(&self) -> BigInt {
+        let (q, r) = self.num.div_rem(&self.den);
+        if r.is_negative() {
+            &q - &BigInt::one()
+        } else {
+            q
+        }
+    }
+
+    /// Smallest integer `>= self`.
+    pub fn ceil(&self) -> BigInt {
+        let (q, r) = self.num.div_rem(&self.den);
+        if r.is_positive() {
+            &q + &BigInt::one()
+        } else {
+            q
+        }
+    }
+
+    /// Integer power (negative exponents via reciprocal).
+    pub fn pow(&self, exp: i32) -> Rational {
+        if exp >= 0 {
+            Rational {
+                num: self.num.pow(exp as u32),
+                den: self.den.pow(exp as u32),
+            }
+        } else {
+            self.recip().pow(-exp)
+        }
+    }
+
+    /// Approximate `f64` value.
+    pub fn to_f64(&self) -> f64 {
+        // Scale so both parts fit comfortably in f64 before dividing.
+        let nb = self.num.bits();
+        let db = self.den.bits();
+        let shift = nb.max(db).saturating_sub(500);
+        if shift == 0 {
+            self.num.to_f64() / self.den.to_f64()
+        } else {
+            let two = BigInt::from(2u64);
+            let scale = two.pow(shift as u32);
+            let n = (&self.num / &scale).to_f64();
+            let d = (&self.den / &scale).to_f64();
+            n / d
+        }
+    }
+
+    /// The minimum of two rationals (by value).
+    pub fn min(self, other: Rational) -> Rational {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The maximum of two rationals (by value).
+    pub fn max(self, other: Rational) -> Rational {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::zero()
+    }
+}
+
+impl From<BigInt> for Rational {
+    fn from(n: BigInt) -> Self {
+        Rational {
+            num: n,
+            den: BigInt::one(),
+        }
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(n: i64) -> Self {
+        Rational::int(n)
+    }
+}
+
+impl From<usize> for Rational {
+    fn from(n: usize) -> Self {
+        Rational::from(BigInt::from(n))
+    }
+}
+
+/// Error parsing a [`Rational`] from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRationalError;
+
+impl fmt::Display for ParseRationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid rational literal (expected `p` or `p/q`)")
+    }
+}
+
+impl std::error::Error for ParseRationalError {}
+
+impl FromStr for Rational {
+    type Err = ParseRationalError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.split_once('/') {
+            None => {
+                let n: BigInt = s.parse().map_err(|_| ParseRationalError)?;
+                Ok(Rational::from(n))
+            }
+            Some((p, q)) => {
+                let p: BigInt = p.parse().map_err(|_| ParseRationalError)?;
+                let q: BigInt = q.parse().map_err(|_| ParseRationalError)?;
+                if q.is_zero() {
+                    return Err(ParseRationalError);
+                }
+                Ok(Rational::new(p, q))
+            }
+        }
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_integer() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Denominators are positive, so cross-multiplication preserves order.
+        (&self.num * &other.den).cmp(&(&other.num * &self.den))
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Neg for &Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational {
+            num: -&self.num,
+            den: self.den.clone(),
+        }
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl Add for &Rational {
+    type Output = Rational;
+    fn add(self, rhs: &Rational) -> Rational {
+        Rational::new(
+            &(&self.num * &rhs.den) + &(&rhs.num * &self.den),
+            &self.den * &rhs.den,
+        )
+    }
+}
+
+impl Sub for &Rational {
+    type Output = Rational;
+    fn sub(self, rhs: &Rational) -> Rational {
+        Rational::new(
+            &(&self.num * &rhs.den) - &(&rhs.num * &self.den),
+            &self.den * &rhs.den,
+        )
+    }
+}
+
+impl Mul for &Rational {
+    type Output = Rational;
+    fn mul(self, rhs: &Rational) -> Rational {
+        Rational::new(&self.num * &rhs.num, &self.den * &rhs.den)
+    }
+}
+
+impl Div for &Rational {
+    type Output = Rational;
+    fn div(self, rhs: &Rational) -> Rational {
+        assert!(!rhs.is_zero(), "rational division by zero");
+        Rational::new(&self.num * &rhs.den, &self.den * &rhs.num)
+    }
+}
+
+macro_rules! forward_owned_binop {
+    ($trait:ident, $method:ident) => {
+        impl $trait for Rational {
+            type Output = Rational;
+            fn $method(self, rhs: Rational) -> Rational {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&Rational> for Rational {
+            type Output = Rational;
+            fn $method(self, rhs: &Rational) -> Rational {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<Rational> for &Rational {
+            type Output = Rational;
+            fn $method(self, rhs: Rational) -> Rational {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+
+forward_owned_binop!(Add, add);
+forward_owned_binop!(Sub, sub);
+forward_owned_binop!(Mul, mul);
+forward_owned_binop!(Div, div);
+
+impl AddAssign<&Rational> for Rational {
+    fn add_assign(&mut self, rhs: &Rational) {
+        *self = &*self + rhs;
+    }
+}
+
+impl SubAssign<&Rational> for Rational {
+    fn sub_assign(&mut self, rhs: &Rational) {
+        *self = &*self - rhs;
+    }
+}
+
+impl MulAssign<&Rational> for Rational {
+    fn mul_assign(&mut self, rhs: &Rational) {
+        *self = &*self * rhs;
+    }
+}
+
+impl DivAssign<&Rational> for Rational {
+    fn div_assign(&mut self, rhs: &Rational) {
+        *self = &*self / rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rat(s: &str) -> Rational {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(rat("2/4"), rat("1/2"));
+        assert_eq!(rat("-2/4"), rat("-1/2"));
+        assert_eq!(Rational::new(BigInt::from(3), BigInt::from(-6)), rat("-1/2"));
+        assert_eq!(rat("0/5"), Rational::zero());
+        assert_eq!(rat("0/5").denom(), &BigInt::one());
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(rat("1/2") + rat("1/3"), rat("5/6"));
+        assert_eq!(rat("1/2") - rat("1/3"), rat("1/6"));
+        assert_eq!(rat("2/3") * rat("3/4"), rat("1/2"));
+        assert_eq!(rat("1/2") / rat("1/4"), rat("2"));
+        assert_eq!(-rat("1/2"), rat("-1/2"));
+    }
+
+    #[test]
+    fn comparisons() {
+        assert!(rat("1/3") < rat("1/2"));
+        assert!(rat("-1/2") < rat("-1/3"));
+        assert!(rat("3/2") > rat("1"));
+        assert_eq!(rat("6/4").cmp(&rat("3/2")), Ordering::Equal);
+        assert_eq!(rat("1/2").max(rat("2/3")), rat("2/3"));
+        assert_eq!(rat("1/2").min(rat("2/3")), rat("1/2"));
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(rat("7/2").floor(), BigInt::from(3));
+        assert_eq!(rat("7/2").ceil(), BigInt::from(4));
+        assert_eq!(rat("-7/2").floor(), BigInt::from(-4));
+        assert_eq!(rat("-7/2").ceil(), BigInt::from(-3));
+        assert_eq!(rat("4").floor(), BigInt::from(4));
+        assert_eq!(rat("4").ceil(), BigInt::from(4));
+    }
+
+    #[test]
+    fn pow_and_recip() {
+        assert_eq!(rat("2/3").pow(2), rat("4/9"));
+        assert_eq!(rat("2/3").pow(-2), rat("9/4"));
+        assert_eq!(rat("2/3").pow(0), Rational::one());
+        assert_eq!(rat("-3/5").recip(), rat("-5/3"));
+    }
+
+    #[test]
+    fn display_and_parse() {
+        assert_eq!(rat("3/2").to_string(), "3/2");
+        assert_eq!(rat("4/2").to_string(), "2");
+        assert_eq!(rat("-1/3").to_string(), "-1/3");
+        assert!("1/0".parse::<Rational>().is_err());
+        assert!("x".parse::<Rational>().is_err());
+    }
+
+    #[test]
+    fn to_f64_accuracy() {
+        assert!((rat("1/3").to_f64() - 1.0 / 3.0).abs() < 1e-15);
+        assert!((rat("-22/7").to_f64() + 22.0 / 7.0).abs() < 1e-15);
+        // huge values scale correctly
+        let big = Rational::new(BigInt::from(2).pow(600), BigInt::from(2).pow(599));
+        assert!((big.to_f64() - 2.0).abs() < 1e-12);
+    }
+
+    fn arb_rational() -> impl Strategy<Value = Rational> {
+        (any::<i32>(), 1..10_000i64)
+            .prop_map(|(p, q)| Rational::ratio(p as i64, q))
+    }
+
+    proptest! {
+        #[test]
+        fn field_axioms(a in arb_rational(), b in arb_rational(), c in arb_rational()) {
+            prop_assert_eq!(&a + &b, &b + &a);
+            prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+            prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+            prop_assert_eq!(&a + &Rational::zero(), a.clone());
+            prop_assert_eq!(&a * &Rational::one(), a.clone());
+        }
+
+        #[test]
+        fn sub_div_inverses(a in arb_rational(), b in arb_rational()) {
+            prop_assert_eq!(&(&a - &b) + &b, a.clone());
+            if !b.is_zero() {
+                prop_assert_eq!(&(&a / &b) * &b, a.clone());
+            }
+        }
+
+        #[test]
+        fn always_reduced(a in arb_rational(), b in arb_rational()) {
+            let c = &a * &b;
+            let g = c.numer().gcd(c.denom());
+            prop_assert!(g.is_one() || c.is_zero());
+            prop_assert!(c.denom().is_positive());
+        }
+
+        #[test]
+        fn parse_roundtrip(a in arb_rational()) {
+            prop_assert_eq!(a.to_string().parse::<Rational>().unwrap(), a);
+        }
+
+        #[test]
+        fn floor_ceil_bracket(a in arb_rational()) {
+            let fl = Rational::from(a.floor());
+            let ce = Rational::from(a.ceil());
+            prop_assert!(fl <= a && a <= ce);
+            prop_assert!(&ce - &fl <= Rational::one());
+        }
+
+        #[test]
+        fn ordering_total(a in arb_rational(), b in arb_rational()) {
+            let byf = a.to_f64().partial_cmp(&b.to_f64()).unwrap();
+            if byf != Ordering::Equal {
+                prop_assert_eq!(a.cmp(&b), byf);
+            }
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! E02/E05: the chase and the Theorem 4.4 FD-removal procedure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cq_core::{chase, parse_program, remove_simple_fds};
+
+fn chained_program(n: usize) -> String {
+    // Q(X0) :- S0(X0,X1), S0(X0,Y1), S1(X1,X2), S1(X1,Y2), ... with keys:
+    // chasing unifies Xi+1 with Yi+1 transitively.
+    let mut atoms = Vec::new();
+    let mut fds = Vec::new();
+    for i in 0..n {
+        atoms.push(format!("S{i}(X{i},X{})", i + 1));
+        atoms.push(format!("S{i}(X{i},Y{})", i + 1));
+        fds.push(format!("key S{i}[1]"));
+    }
+    format!("Q(X0) :- {}\n{}", atoms.join(", "), fds.join("\n"))
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chase");
+    for n in [4usize, 8, 16, 32] {
+        let (q, fds) = parse_program(&chained_program(n)).unwrap();
+        g.bench_with_input(BenchmarkId::new("chain", n), &(q, fds), |b, (q, fds)| {
+            b.iter(|| chase(q, fds).unifications)
+        });
+    }
+    for n in [4usize, 8, 12] {
+        let (q, fds) = parse_program(&chained_program(n)).unwrap();
+        let chased = chase(&q, &fds);
+        let vfds = chased.query.variable_fds(&fds);
+        g.bench_with_input(
+            BenchmarkId::new("fd_removal", n),
+            &(chased.query.clone(), vfds),
+            |b, (q, vfds)| b.iter(|| remove_simple_fds(q, vfds).steps.len()),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E20 / Prop 7.1: computing C(Q) via the Proposition 3.6 LP, scaling
+//! with query size on the cycle and clique families.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cq_bench::{clique_query, cycle_query, star_query};
+use cq_core::{size_bound_no_fds, size_bound_simple_fds};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("color_number_lp");
+    g.sample_size(10);
+    for n in [4usize, 8, 12, 16] {
+        let q = cycle_query(n);
+        g.bench_with_input(BenchmarkId::new("cycle", n), &q, |b, q| {
+            b.iter(|| size_bound_no_fds(q).exponent)
+        });
+    }
+    for n in [4usize, 6, 8] {
+        let q = clique_query(n);
+        g.bench_with_input(BenchmarkId::new("clique", n), &q, |b, q| {
+            b.iter(|| size_bound_no_fds(q).exponent)
+        });
+    }
+    for n in [4usize, 8, 12] {
+        let (q, fds) = star_query(n, true);
+        g.bench_with_input(BenchmarkId::new("keyed_star_thm44", n), &(q, fds), |b, (q, fds)| {
+            b.iter(|| size_bound_simple_fds(q, fds).0.exponent)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! E13/E14: the entropy LPs of Propositions 6.9 and 6.10. Exponential in
+//! the variable count by construction — the bench shows the wall.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cq_bench::cycle_query;
+use cq_core::{color_number_entropy_lp, entropy_upper_bound};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("entropy_lp");
+    g.sample_size(10);
+    for n in [3usize, 4, 5, 6] {
+        let q = cycle_query(n);
+        g.bench_with_input(BenchmarkId::new("prop_6_9_shannon", n), &q, |b, q| {
+            b.iter(|| entropy_upper_bound(q, &[]))
+        });
+        g.bench_with_input(BenchmarkId::new("prop_6_10_atoms", n), &q, |b, q| {
+            b.iter(|| color_number_entropy_lp(q, &[]))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! E01/E06: query evaluation — backtracking vs the Corollary 4.8
+//! join-project plan on AGM-worst-case databases.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cq_core::{evaluate, evaluate_by_plan, parse_query, size_bound_no_fds, worst_case_database};
+
+fn bench(c: &mut Criterion) {
+    let q = parse_query("S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z)").unwrap();
+    let bound = size_bound_no_fds(&q);
+    let mut g = c.benchmark_group("evaluation_triangle_worstcase");
+    g.sample_size(10);
+    for m in [4usize, 8, 16] {
+        let db = worst_case_database(&q, &bound.coloring, m);
+        g.bench_with_input(BenchmarkId::new("backtracking", m), &db, |b, db| {
+            b.iter(|| evaluate(&q, db).len())
+        });
+        g.bench_with_input(BenchmarkId::new("join_project_plan", m), &db, |b, db| {
+            b.iter(|| evaluate_by_plan(&q, db).0.len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

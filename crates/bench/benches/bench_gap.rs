@@ -1,0 +1,28 @@
+//! E16 / Prop 6.11: building and verifying the Shamir gap construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cq_core::{evaluate, gap_construction, gap_lower_bound_coloring};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gap_construction");
+    g.sample_size(10);
+    for n in [5u64, 7, 11] {
+        g.bench_with_input(BenchmarkId::new("build_k4", n), &n, |b, &n| {
+            b.iter(|| gap_construction(4, n).db.num_relations())
+        });
+    }
+    let gc = gap_construction(4, 5);
+    g.bench_function("evaluate_k4_n5", |b| b.iter(|| evaluate(&gc.query, &gc.db).len()));
+    g.bench_function("verify_fds_k4_n5", |b| b.iter(|| gc.db.satisfies(&gc.fds)));
+    g.bench_function("lower_bound_coloring_k6", |b| {
+        let gc6 = gap_construction(6, 7);
+        b.iter(|| {
+            let c = gap_lower_bound_coloring(&gc6);
+            c.color_number(&gc6.query)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! E17 / Thm 7.2: the polynomial-time Horn decision of C > 1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cq_bench::{clique_query, cycle_query};
+use cq_core::decide_size_increase;
+use cq_relation::FdSet;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("horn_decision");
+    for n in [4usize, 8, 16, 24] {
+        let q = clique_query(n);
+        g.bench_with_input(BenchmarkId::new("clique", n), &q, |b, q| {
+            b.iter(|| decide_size_increase(q, &FdSet::new()).increases)
+        });
+    }
+    for n in [8usize, 16, 32] {
+        let q = cycle_query(n);
+        g.bench_with_input(BenchmarkId::new("cycle", n), &q, |b, q| {
+            b.iter(|| decide_size_increase(q, &FdSet::new()).increases)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

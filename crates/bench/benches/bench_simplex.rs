@@ -1,0 +1,66 @@
+//! The exact rational simplex on dense random feasible LPs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cq_arith::Rational;
+use cq_lp::{solve_with, LinearProgram, PivotRule, Relation};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_lp(seed: u64, nv: usize, nc: usize) -> LinearProgram {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut lp = LinearProgram::maximize();
+    let vars: Vec<_> = (0..nv).map(|i| lp.add_var(format!("x{i}"))).collect();
+    for &v in &vars {
+        lp.set_objective_coeff(v, Rational::int(rng.gen_range(1..5)));
+    }
+    for _ in 0..nc {
+        let mut coeffs = Vec::new();
+        for &v in &vars {
+            if rng.gen_bool(0.6) {
+                coeffs.push((v, Rational::int(rng.gen_range(1..4))));
+            }
+        }
+        if coeffs.is_empty() {
+            continue;
+        }
+        lp.add_constraint(coeffs, Relation::Le, Rational::int(rng.gen_range(5..20)));
+    }
+    lp
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exact_simplex");
+    g.sample_size(10);
+    for (nv, nc) in [(10usize, 15usize), (16, 24)] {
+        let lp = random_lp(7, nv, nc);
+        g.bench_with_input(
+            BenchmarkId::new("dense_le", format!("{nv}v{nc}c")),
+            &lp,
+            |b, lp| b.iter(|| lp.solve().objective.clone()),
+        );
+    }
+    // Ablation: pivot rule (design choice called out in DESIGN.md —
+    // Bland is termination-safe, Dantzig often pivots less).
+    g.finish();
+    let mut g2 = c.benchmark_group("pivot_rule_ablation");
+    g2.sample_size(10);
+    for (nv, nc) in [(12usize, 18usize), (16, 24)] {
+        let lp = random_lp(11, nv, nc);
+        g2.bench_with_input(
+            BenchmarkId::new("bland", format!("{nv}v{nc}c")),
+            &lp,
+            |b, lp| b.iter(|| solve_with(lp, PivotRule::Bland).objective.clone()),
+        );
+        g2.bench_with_input(
+            BenchmarkId::new("dantzig", format!("{nv}v{nc}c")),
+            &lp,
+            |b, lp| {
+                b.iter(|| solve_with(lp, PivotRule::DantzigThenBland).objective.clone())
+            },
+        );
+    }
+    g2.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

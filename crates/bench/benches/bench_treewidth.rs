@@ -1,0 +1,46 @@
+//! E07: treewidth machinery — exact solver on grids, heuristics on the
+//! Figure 1 gadget, and the Theorem 5.5 decomposition transform.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cq_core::figure1_construction;
+use cq_core::treewidth::{gaifman_over, keyed_join_decomposition};
+use cq_hypergraph::{
+    decomposition_from_ordering, grid_graph, min_fill_ordering, treewidth_exact,
+    treewidth_upper_bound,
+};
+use cq_util::FxHashMap;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("treewidth");
+    g.sample_size(10);
+    for (r, cl) in [(3usize, 3usize), (3, 5), (4, 4)] {
+        let grid = grid_graph(r, cl);
+        g.bench_with_input(
+            BenchmarkId::new("exact_grid", format!("{r}x{cl}")),
+            &grid,
+            |b, grid| b.iter(|| treewidth_exact(grid)),
+        );
+    }
+    for (n, m) in [(4usize, 2usize), (5, 3), (6, 3)] {
+        let f = figure1_construction(n, m);
+        let (graph, _) = f.gaifman();
+        g.bench_with_input(
+            BenchmarkId::new("minfill_figure1", format!("n{n}m{m}")),
+            &graph,
+            |b, graph| b.iter(|| treewidth_upper_bound(graph)),
+        );
+    }
+    // Theorem 5.5 transform on figure 1 (n=4, m=2)
+    let f = figure1_construction(4, 2);
+    let r = f.relation().clone();
+    let mut vmap = FxHashMap::default();
+    let graph = gaifman_over(&[&r], &mut vmap);
+    let td = decomposition_from_ordering(&graph, &min_fill_ordering(&graph));
+    g.bench_function("thm_5_5_transform_fig1_n4m2", |b| {
+        b.iter(|| keyed_join_decomposition(&r, &r, &[(0, 1)], &f.fds, &td, &vmap).width())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E21: worst-case-optimal generic join vs the binary join-project plan
+//! and the backtracking engine on AGM-worst-case triangle inputs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cq_core::{
+    evaluate, evaluate_by_plan, evaluate_wcoj, parse_query, size_bound_no_fds,
+    worst_case_database,
+};
+
+fn bench(c: &mut Criterion) {
+    let q = parse_query("S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z)").unwrap();
+    let bound = size_bound_no_fds(&q);
+    let mut g = c.benchmark_group("wcoj_triangle_worstcase");
+    g.sample_size(10);
+    for m in [8usize, 16, 24] {
+        let db = worst_case_database(&q, &bound.coloring, m);
+        g.bench_with_input(BenchmarkId::new("generic_join", m), &db, |b, db| {
+            b.iter(|| evaluate_wcoj(&q, db).len())
+        });
+        g.bench_with_input(BenchmarkId::new("binary_plan", m), &db, |b, db| {
+            b.iter(|| evaluate_by_plan(&q, db).0.len())
+        });
+        g.bench_with_input(BenchmarkId::new("backtracking", m), &db, |b, db| {
+            b.iter(|| evaluate(&q, db).len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

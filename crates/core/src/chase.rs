@@ -1,0 +1,254 @@
+//! The chase (Definition 2.3).
+//!
+//! Chasing enforces the dependencies implied by repeated relations: if two
+//! atoms over the same relation agree (variable-wise) on the left side of
+//! an FD, their right-side variables are unified. The paper fixes an
+//! arbitrary deterministic order to make `chase(Q)` well-defined; we use
+//! (atom-pair index, FD index) order with the *earlier* atom's variable
+//! surviving each unification, and iterate to a fixpoint.
+//!
+//! After unification, syntactically identical atoms are deduplicated —
+//! exactly as in Example 3.4, where `R1(W,X,Y) ∧ R1(W,W,W)` chases to the
+//! single atom `R1(W,W,W)`.
+//!
+//! Fact 2.4: `Q(D) = chase(Q)(D)` for every database `D` satisfying the
+//! dependencies; this is property-tested in `eval.rs`.
+
+use crate::query::{Atom, ConjunctiveQuery, VarIdx};
+use cq_relation::FdSet;
+use cq_util::UnionFind;
+
+/// Result of chasing a query.
+#[derive(Clone, Debug)]
+pub struct ChaseResult {
+    /// The chased query (variables compacted; duplicate atoms removed).
+    pub query: ConjunctiveQuery,
+    /// Maps each original variable index to its variable index in the
+    /// chased query.
+    pub substitution: Vec<VarIdx>,
+    /// Number of unification steps performed (0 means `Q = chase(Q)` up
+    /// to atom deduplication).
+    pub unifications: usize,
+}
+
+/// Computes `chase(Q)` under the relation-level dependencies `fds`.
+///
+/// ```
+/// use cq_core::{chase, parse_program};
+/// // Example 2.2 / 3.4 of the paper:
+/// let (q, fds) = parse_program(
+///     "R0(W,X,Y,Z) :- R1(W,X,Y), R1(W,W,W), R2(Y,Z)\nkey R1[1]",
+/// ).unwrap();
+/// let chased = chase(&q, &fds);
+/// assert_eq!(chased.query.to_string(), "Q(W,W,W,Z) :- R1(W,W,W), R2(W,Z)");
+/// ```
+pub fn chase(q: &ConjunctiveQuery, fds: &FdSet) -> ChaseResult {
+    let n = q.num_vars();
+    let mut uf = UnionFind::new(n);
+    let mut unifications = 0usize;
+
+    // Fixpoint: repeatedly scan atom pairs in a fixed order.
+    loop {
+        let mut changed = false;
+        let body = q.body();
+        for a in 0..body.len() {
+            for b in a + 1..body.len() {
+                if body[a].relation != body[b].relation {
+                    continue;
+                }
+                for fd in fds.for_relation(&body[a].relation) {
+                    let arity = body[a].vars.len();
+                    if body[b].vars.len() != arity
+                        || fd.lhs.iter().any(|&p| p >= arity)
+                        || fd.rhs >= arity
+                    {
+                        continue;
+                    }
+                    let agree = fd
+                        .lhs
+                        .iter()
+                        .all(|&p| uf.find(body[a].vars[p]) == uf.find(body[b].vars[p]));
+                    if agree {
+                        let ra = uf.find(body[a].vars[fd.rhs]);
+                        let rb = uf.find(body[b].vars[fd.rhs]);
+                        if ra != rb {
+                            // deterministic: the smallest-index variable
+                            // survives each unification
+                            let (keep, absorb) = if ra < rb { (ra, rb) } else { (rb, ra) };
+                            uf.union_into(keep, absorb);
+                            unifications += 1;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Also close under *within-atom* implications: an atom whose lhs
+    // positions carry unified variables forces its own rhs position to
+    // agree with any sibling atom; the pair loop above covers cross-atom
+    // cases, and a single atom cannot force anything new (its positions
+    // already carry the variables they carry).
+
+    // Compact variables: representatives get new dense indices in order
+    // of first appearance (head first, then body).
+    let mut new_index: Vec<Option<VarIdx>> = vec![None; n];
+    let mut var_names: Vec<String> = Vec::new();
+    let assign = |v: VarIdx,
+                      uf: &mut UnionFind,
+                      new_index: &mut Vec<Option<VarIdx>>,
+                      var_names: &mut Vec<String>|
+     -> VarIdx {
+        let r = uf.find(v);
+        if let Some(i) = new_index[r] {
+            return i;
+        }
+        let i = var_names.len();
+        var_names.push(q.var_name(r).to_owned());
+        new_index[r] = Some(i);
+        i
+    };
+
+    // Deterministic traversal: body atoms left to right, then head.
+    let mut body: Vec<Atom> = Vec::with_capacity(q.body().len());
+    for atom in q.body() {
+        let vars: Vec<VarIdx> = atom
+            .vars
+            .iter()
+            .map(|&v| assign(v, &mut uf, &mut new_index, &mut var_names))
+            .collect();
+        let new_atom = Atom::new(atom.relation.clone(), vars);
+        if !body.contains(&new_atom) {
+            body.push(new_atom);
+        }
+    }
+    let head: Vec<VarIdx> = q
+        .head()
+        .iter()
+        .map(|&v| assign(v, &mut uf, &mut new_index, &mut var_names))
+        .collect();
+    // Declared-but-unused variables keep fresh trailing indices.
+    let mut substitution: Vec<VarIdx> = Vec::with_capacity(n);
+    for v in 0..n {
+        let r = uf.find(v);
+        let idx = match new_index[r] {
+            Some(i) => i,
+            None => {
+                let i = var_names.len();
+                var_names.push(q.var_name(r).to_owned());
+                new_index[r] = Some(i);
+                i
+            }
+        };
+        substitution.push(idx);
+    }
+    ChaseResult {
+        query: ConjunctiveQuery::new(var_names, head, body),
+        substitution,
+        unifications,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn example_2_2_chase_unifies_w_x_y() {
+        let (q, fds) = parse_program(
+            "R0(W,X,Y,Z) :- R1(W,X,Y), R1(W,W,W), R2(Y,Z)\nkey R1[1]",
+        )
+        .unwrap();
+        let res = chase(&q, &fds);
+        // W, X, Y all unify; atoms R1(W,X,Y) and R1(W,W,W) become equal
+        // and deduplicate: chase(Q) = R0(W,W,W,Z) <- R1(W,W,W), R2(W,Z).
+        assert_eq!(res.query.num_atoms(), 2);
+        assert_eq!(res.query.num_vars(), 2);
+        assert_eq!(res.query.to_string(), "Q(W,W,W,Z) :- R1(W,W,W), R2(W,Z)");
+        assert_eq!(res.unifications, 2);
+        // substitution maps X and Y onto W's new index
+        let w = res.substitution[0];
+        assert_eq!(res.substitution[1], w);
+        assert_eq!(res.substitution[2], w);
+        assert_ne!(res.substitution[3], w);
+    }
+
+    #[test]
+    fn chase_without_fds_is_identity() {
+        let (q, fds) = parse_program("Q(X,Y) :- R(X,Y), R(Y,X)").unwrap();
+        let res = chase(&q, &fds);
+        assert_eq!(res.query, q);
+        assert_eq!(res.unifications, 0);
+    }
+
+    #[test]
+    fn chase_is_idempotent() {
+        let (q, fds) = parse_program(
+            "R0(W,X,Y,Z) :- R1(W,X,Y), R1(W,W,W), R2(Y,Z)\nkey R1[1]",
+        )
+        .unwrap();
+        let once = chase(&q, &fds);
+        let twice = chase(&once.query, &fds);
+        assert_eq!(once.query, twice.query);
+        assert_eq!(twice.unifications, 0);
+    }
+
+    #[test]
+    fn chase_example_intro() {
+        // Introduction example: R(X,Y,Z) <- S(X,Y), S(X,Z) with S[1]->S[2]
+        // chases to R(X,Y,Y) <- S(X,Y).
+        let (q, fds) = parse_program("R(X,Y,Z) :- S(X,Y), S(X,Z)\nS[1] -> S[2]").unwrap();
+        let res = chase(&q, &fds);
+        assert_eq!(res.query.to_string(), "Q(X,Y,Y) :- S(X,Y)");
+    }
+
+    #[test]
+    fn compound_fd_chase() {
+        // R(X,Y,U), R(X,Y,V) with R[1]R[2] -> R[3]: U and V unify.
+        let (q, fds) =
+            parse_program("Q(X,Y,U,V) :- R(X,Y,U), R(X,Y,V)\nR[1,2] -> R[3]").unwrap();
+        let res = chase(&q, &fds);
+        assert_eq!(res.query.num_atoms(), 1);
+        assert_eq!(res.query.to_string(), "Q(X,Y,U,U) :- R(X,Y,U)");
+    }
+
+    #[test]
+    fn chase_cascades_transitively() {
+        // Unifying via one FD enables another:
+        // S(A,B), S(A,C), T(B,D), T(C,E) with S[1]->S[2], T[1]->T[2]:
+        // B=C then D=E.
+        let (q, fds) = parse_program(
+            "Q(A,B,C,D,E) :- S(A,B), S(A,C), T(B,D), T(C,E)\nS[1] -> S[2]\nT[1] -> T[2]",
+        )
+        .unwrap();
+        let res = chase(&q, &fds);
+        assert_eq!(res.query.to_string(), "Q(A,B,B,D,D) :- S(A,B), T(B,D)");
+        assert_eq!(res.unifications, 2);
+    }
+
+    #[test]
+    fn chase_ignores_mismatched_arity_atoms() {
+        // Same relation name used at two arities: FDs only apply where
+        // positions exist; the pair is skipped (arity mismatch).
+        let (q, fds) =
+            parse_program("Q(X,Y,Z) :- R(X,Y), R(X,Y,Z)\nR[1] -> R[2]").unwrap();
+        let res = chase(&q, &fds);
+        assert_eq!(res.query.num_atoms(), 2);
+        assert_eq!(res.unifications, 0);
+    }
+
+    #[test]
+    fn chase_key_on_triple_self_join() {
+        // R(X,A), R(X,B), R(X,C) with key R[1]: A=B=C.
+        let (q, fds) =
+            parse_program("Q(A,B,C) :- R(X,A), R(X,B), R(X,C)\nkey R[1]").unwrap();
+        let res = chase(&q, &fds);
+        assert_eq!(res.query.num_atoms(), 1);
+        assert_eq!(res.query.to_string(), "Q(A,A,A) :- R(X,A)");
+    }
+}

@@ -1,0 +1,127 @@
+//! Fact 6.12: normalizing functional dependencies to left-hand sides of
+//! at most two variables.
+//!
+//! Each dependency `X_1 ... X_k → Y` with `k ≥ 3` is replaced by
+//! introducing a fresh variable `Z` and a fresh binary-definition atom
+//! `P(X_1, X_2, Z)` with dependencies `X_1 X_2 → Z`, `Z → X_1`,
+//! `Z → X_2`, plus the shortened dependency `Z X_3 ... X_k → Y` (carried
+//! by a fresh atom `P'(Z, X_3, ..., X_k, Y)`), iterating until every
+//! left side has at most two variables. The transformation preserves the
+//! color number and the worst-case size increase (tested against the
+//! Proposition 6.10 LP).
+
+use crate::query::{Atom, ConjunctiveQuery, VarFd};
+
+/// Result of the Fact 6.12 normalization.
+#[derive(Clone, Debug)]
+pub struct Normalized {
+    /// The query extended with the definition atoms.
+    pub query: ConjunctiveQuery,
+    /// The normalized dependencies (every LHS has ≤ 2 variables).
+    pub var_fds: Vec<VarFd>,
+    /// Number of fresh variables introduced.
+    pub fresh_vars: usize,
+}
+
+/// Applies the Fact 6.12 transformation.
+pub fn normalize_fd_arity(q: &ConjunctiveQuery, var_fds: &[VarFd]) -> Normalized {
+    let mut var_names: Vec<String> = q.var_names().to_vec();
+    let mut body: Vec<Atom> = q.body().to_vec();
+    let mut fds: Vec<VarFd> = var_fds.to_vec();
+    let mut fresh = 0usize;
+    let mut queue: Vec<VarFd> = Vec::new();
+    // pull out one wide dependency at a time
+    while let Some(pos) = fds.iter().position(|fd| fd.lhs.len() >= 3) {
+        let wide = fds.remove(pos);
+        let z = var_names.len();
+        var_names.push(format!("Z·{fresh}"));
+        fresh += 1;
+        let (x1, x2) = (wide.lhs[0], wide.lhs[1]);
+        // definition atom P(X1, X2, Z)
+        body.push(Atom::new(format!("P·def{fresh}"), vec![x1, x2, z]));
+        queue.push(VarFd::new(vec![x1, x2], z));
+        queue.push(VarFd::new(vec![z], x1));
+        queue.push(VarFd::new(vec![z], x2));
+        // carrier atom P'(Z, X3.., Y) and the shortened dependency
+        let mut rest: Vec<usize> = vec![z];
+        rest.extend_from_slice(&wide.lhs[2..]);
+        let mut carrier_vars = rest.clone();
+        carrier_vars.push(wide.rhs);
+        body.push(Atom::new(format!("P·carry{fresh}"), carrier_vars));
+        let shortened = VarFd::new(rest, wide.rhs);
+        if shortened.lhs.len() >= 3 {
+            fds.push(shortened);
+        } else {
+            queue.push(shortened);
+        }
+        fds.append(&mut queue);
+    }
+    let query = ConjunctiveQuery::new(var_names, q.head().to_vec(), body);
+    Normalized {
+        query,
+        var_fds: fds,
+        fresh_vars: fresh,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entropy_lp::color_number_entropy_lp;
+    use crate::parser::parse_program;
+    use crate::query::QueryBuilder;
+
+    #[test]
+    fn narrow_fds_unchanged() {
+        let (q, fds) = parse_program("Q(X,Y,Z) :- R(X,Y,Z)\nR[1,2] -> R[3]").unwrap();
+        let vfds = q.variable_fds(&fds);
+        let norm = normalize_fd_arity(&q, &vfds);
+        assert_eq!(norm.fresh_vars, 0);
+        assert_eq!(norm.query, q);
+        assert_eq!(norm.var_fds, vfds);
+    }
+
+    #[test]
+    fn wide_fd_split() {
+        let mut b = QueryBuilder::new();
+        b.head(&["X1", "X2", "X3", "Y"])
+            .atom("R", &["X1", "X2", "X3", "Y"]);
+        let q = b.build();
+        let wide = vec![VarFd::new(vec![0, 1, 2], 3)];
+        let norm = normalize_fd_arity(&q, &wide);
+        assert_eq!(norm.fresh_vars, 1);
+        assert!(norm.var_fds.iter().all(|fd| fd.lhs.len() <= 2));
+        // 4 dependencies: X1X2->Z, Z->X1, Z->X2, ZX3->Y
+        assert_eq!(norm.var_fds.len(), 4);
+        assert_eq!(norm.query.num_atoms(), 3);
+    }
+
+    #[test]
+    fn very_wide_fd_iterates() {
+        let mut b = QueryBuilder::new();
+        b.head(&["A", "B", "C", "D", "E"])
+            .atom("R", &["A", "B", "C", "D", "E"]);
+        let q = b.build();
+        let wide = vec![VarFd::new(vec![0, 1, 2, 3], 4)];
+        let norm = normalize_fd_arity(&q, &wide);
+        assert_eq!(norm.fresh_vars, 2);
+        assert!(norm.var_fds.iter().all(|fd| fd.lhs.len() <= 2));
+    }
+
+    #[test]
+    fn color_number_preserved() {
+        // Q(X1,X2,X3,Y,W) :- R(X1,X2,X3,Y), S(W) with X1X2X3 -> Y:
+        // compute C via Prop 6.10 before and after normalization.
+        let mut b = QueryBuilder::new();
+        b.head(&["X1", "X2", "X3", "Y", "W"])
+            .atom("R", &["X1", "X2", "X3", "Y"])
+            .atom("S", &["W"]);
+        let q = b.build();
+        let wide = vec![VarFd::new(vec![0, 1, 2], 3)];
+        let before = color_number_entropy_lp(&q, &wide);
+        let norm = normalize_fd_arity(&q, &wide);
+        let after = color_number_entropy_lp(&norm.query, &norm.var_fds);
+        assert_eq!(before, after);
+        assert_eq!(before, cq_arith::Rational::int(2)); // R + S cover
+    }
+}

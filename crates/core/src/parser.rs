@@ -1,0 +1,350 @@
+//! A small textual syntax for conjunctive queries and dependencies.
+//!
+//! Queries use datalog notation, dependencies the paper's positional
+//! notation (1-based, as in `R[1]`):
+//!
+//! ```text
+//! Q(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z).
+//! S[1] -> S[2]           // simple FD
+//! T[1,2] -> T[3]         // compound FD
+//! key R[1]               // R[1] -> every attribute of R
+//! key R[1,2] arity 4     // compound key with explicit arity
+//! ```
+//!
+//! `parse_query` parses a single rule; `parse_program` parses a rule
+//! followed by any number of dependency lines (`//` comments and blank
+//! lines ignored).
+
+use crate::query::{Atom, ConjunctiveQuery, VarIdx};
+use cq_relation::{Fd, FdSet};
+use std::fmt;
+
+/// Parse error with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError(msg.into()))
+}
+
+/// Parses `Name(v1,...,vk)`; returns (name, vars) and the rest.
+fn parse_atom_text(s: &str) -> Result<(String, Vec<String>, &str), ParseError> {
+    let s = s.trim_start();
+    let open = match s.find('(') {
+        Some(i) => i,
+        None => return err(format!("expected '(' in atom near {s:?}")),
+    };
+    let name = s[..open].trim();
+    if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '·')
+    {
+        return err(format!("bad relation name {name:?}"));
+    }
+    let close = match s[open..].find(')') {
+        Some(i) => open + i,
+        None => return err(format!("missing ')' in atom near {s:?}")),
+    };
+    let inner = &s[open + 1..close];
+    let vars: Vec<String> = inner
+        .split(',')
+        .map(|v| v.trim().to_owned())
+        .filter(|v| !v.is_empty())
+        .collect();
+    if vars.is_empty() {
+        return err(format!("atom {name} has no variables"));
+    }
+    for v in &vars {
+        if !v.chars().all(|c| c.is_alphanumeric() || c == '_') {
+            return err(format!("bad variable name {v:?}"));
+        }
+    }
+    Ok((name.to_owned(), vars, &s[close + 1..]))
+}
+
+/// Parses a single datalog rule `H(..) :- A1(..), A2(..).` (trailing dot
+/// optional).
+pub fn parse_query(text: &str) -> Result<ConjunctiveQuery, ParseError> {
+    let text = text.trim().trim_end_matches('.');
+    let (head_text, body_text) = match text.split_once(":-") {
+        Some(p) => p,
+        None => return err("rule must contain ':-'"),
+    };
+    let (_, head_vars, rest) = parse_atom_text(head_text)?;
+    if !rest.trim().is_empty() {
+        return err("unexpected text after head atom");
+    }
+    let mut var_names: Vec<String> = Vec::new();
+    let var_idx = |name: &str, var_names: &mut Vec<String>| -> VarIdx {
+        if let Some(i) = var_names.iter().position(|n| n == name) {
+            i
+        } else {
+            var_names.push(name.to_owned());
+            var_names.len() - 1
+        }
+    };
+    let mut body = Vec::new();
+    let mut rest = body_text.trim();
+    if rest.is_empty() {
+        return err("empty body");
+    }
+    loop {
+        let (name, vars, tail) = parse_atom_text(rest)?;
+        let vars: Vec<VarIdx> = vars.iter().map(|v| var_idx(v, &mut var_names)).collect();
+        body.push(Atom::new(name, vars));
+        rest = tail.trim_start();
+        if rest.is_empty() {
+            break;
+        }
+        rest = match rest.strip_prefix(',') {
+            Some(r) => r.trim_start(),
+            None => return err(format!("expected ',' between atoms near {rest:?}")),
+        };
+    }
+    // head variables must already exist in the body
+    let mut head = Vec::with_capacity(head_vars.len());
+    for v in &head_vars {
+        match var_names.iter().position(|n| n == v) {
+            Some(i) => head.push(i),
+            None => return err(format!("head variable {v} does not occur in the body")),
+        }
+    }
+    Ok(ConjunctiveQuery::new(var_names, head, body))
+}
+
+/// Parses `R[1,2]` into (relation, 0-based positions).
+fn parse_attr_list(s: &str) -> Result<(String, Vec<usize>), ParseError> {
+    let s = s.trim();
+    let open = match s.find('[') {
+        Some(i) => i,
+        None => return err(format!("expected '[' in attribute list {s:?}")),
+    };
+    let close = match s.find(']') {
+        Some(i) => i,
+        None => return err(format!("missing ']' in attribute list {s:?}")),
+    };
+    let name = s[..open].trim().to_owned();
+    if name.is_empty() {
+        return err("missing relation name in attribute list");
+    }
+    let mut positions = Vec::new();
+    for part in s[open + 1..close].split(',') {
+        let p: usize = part
+            .trim()
+            .parse()
+            .map_err(|_| ParseError(format!("bad position {part:?}")))?;
+        if p == 0 {
+            return err("positions are 1-based");
+        }
+        positions.push(p - 1);
+    }
+    if !s[close + 1..].trim().is_empty() {
+        return err(format!("unexpected text after attribute list {s:?}"));
+    }
+    Ok((name, positions))
+}
+
+/// Parses one dependency line. `arities` maps relation names to arities
+/// (needed for `key` lines; taken from the query body).
+pub fn parse_dependency(
+    line: &str,
+    arities: &dyn Fn(&str) -> Option<usize>,
+) -> Result<Vec<Fd>, ParseError> {
+    let line = line.trim();
+    if let Some(rest) = line.strip_prefix("key ") {
+        // `key R[1]` or `key R[1,2] arity 4`
+        let (attr_part, arity_override) = match rest.split_once("arity") {
+            Some((a, ar)) => {
+                let arity: usize = ar
+                    .trim()
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad arity {ar:?}")))?;
+                (a, Some(arity))
+            }
+            None => (rest, None),
+        };
+        let (name, key_attrs) = parse_attr_list(attr_part)?;
+        let arity = match arity_override.or_else(|| arities(&name)) {
+            Some(a) => a,
+            None => {
+                return err(format!(
+                    "cannot determine arity of {name}; add `arity k` or use the relation in the query"
+                ))
+            }
+        };
+        let mut fds = FdSet::new();
+        fds.add_key(&name, &key_attrs, arity);
+        return Ok(fds.iter().cloned().collect());
+    }
+    // `R[1,2] -> R[3]` (right side may list several positions)
+    let (lhs_text, rhs_text) = match line.split_once("->") {
+        Some(p) => p,
+        None => return err(format!("dependency must contain '->' or start with 'key': {line:?}")),
+    };
+    let (lname, lpos) = parse_attr_list(lhs_text)?;
+    let (rname, rpos) = parse_attr_list(rhs_text)?;
+    if lname != rname {
+        return err(format!(
+            "dependency sides name different relations: {lname} vs {rname}"
+        ));
+    }
+    Ok(rpos
+        .into_iter()
+        .map(|r| Fd::new(lname.clone(), lpos.clone(), r))
+        .collect())
+}
+
+/// Parses a full program: one rule, then dependency lines.
+pub fn parse_program(text: &str) -> Result<(ConjunctiveQuery, FdSet), ParseError> {
+    let mut lines = text
+        .lines()
+        .map(|l| match l.find("//") {
+            Some(i) => &l[..i],
+            None => l,
+        })
+        .map(str::trim)
+        .filter(|l| !l.is_empty());
+    let rule = match lines.next() {
+        Some(l) => l,
+        None => return err("empty program"),
+    };
+    let query = parse_query(rule)?;
+    let arities = |name: &str| {
+        query
+            .body()
+            .iter()
+            .find(|a| a.relation == name)
+            .map(|a| a.vars.len())
+    };
+    let mut fds = FdSet::new();
+    for line in lines {
+        for fd in parse_dependency(line, &arities)? {
+            fds.add(fd);
+        }
+    }
+    Ok((query, fds))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_triangle() {
+        let q = parse_query("Q(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z).").unwrap();
+        assert_eq!(q.num_vars(), 3);
+        assert_eq!(q.num_atoms(), 3);
+        assert_eq!(q.rep(), 3);
+        assert_eq!(q.to_string(), "Q(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z)");
+    }
+
+    #[test]
+    fn parse_example_2_2() {
+        let q = parse_query("R0(W,X,Y,Z) :- R1(W,X,Y), R1(W,W,W), R2(Y,Z)").unwrap();
+        assert_eq!(q.num_vars(), 4);
+        assert_eq!(q.body()[1].vars, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_query("Q(X) : R(X)").is_err());
+        assert!(parse_query("Q(X) :- ").is_err());
+        assert!(parse_query("Q(X) :- R(X,").is_err());
+        assert!(parse_query("Q(Z) :- R(X,Y)").is_err()); // head var not in body
+        assert!(parse_query("Q(X) :- R(X) S(X)").is_err()); // missing comma
+        assert!(parse_query("Q() :- R(X)").is_err());
+    }
+
+    #[test]
+    fn parse_simple_fd() {
+        let fds = parse_dependency("S[1] -> S[2]", &|_| None).unwrap();
+        assert_eq!(fds.len(), 1);
+        assert_eq!(fds[0], Fd::new("S", vec![0], 1));
+    }
+
+    #[test]
+    fn parse_compound_fd_and_multi_rhs() {
+        let fds = parse_dependency("T[1,2] -> T[3,4]", &|_| None).unwrap();
+        assert_eq!(fds.len(), 2);
+        assert_eq!(fds[0], Fd::new("T", vec![0, 1], 2));
+        assert_eq!(fds[1], Fd::new("T", vec![0, 1], 3));
+    }
+
+    #[test]
+    fn parse_key_with_arity_from_query() {
+        let program = "Q(X,Y) :- R(X,Y,Z)\nkey R[1]";
+        let (q, fds) = parse_program(program).unwrap();
+        assert_eq!(q.num_atoms(), 1);
+        assert_eq!(fds.len(), 2); // R[1]->R[2], R[1]->R[3]
+        assert!(fds.is_key("R", &[0], 3));
+    }
+
+    #[test]
+    fn parse_key_with_explicit_arity() {
+        let fds = parse_dependency("key S[1,2] arity 4", &|_| None).unwrap();
+        assert_eq!(fds.len(), 2); // -> positions 3 and 4
+    }
+
+    #[test]
+    fn parse_program_with_comments() {
+        let text = "\n// triangle with a key\nQ(X,Y,Z) :- R(X,Y), S(X,Z), T(Y,Z).\n// S's first column is a key\nkey S[1]\nT[1] -> T[2]\n";
+        let (q, fds) = parse_program(text).unwrap();
+        assert_eq!(q.num_atoms(), 3);
+        assert_eq!(fds.len(), 2);
+    }
+
+    #[test]
+    fn dependency_errors() {
+        assert!(parse_dependency("S[0] -> S[1]", &|_| None).is_err());
+        assert!(parse_dependency("S[1] -> T[2]", &|_| None).is_err());
+        assert!(parse_dependency("S[1] S[2]", &|_| None).is_err());
+        assert!(parse_dependency("key S[1]", &|_| None).is_err()); // unknown arity
+    }
+
+    #[test]
+    fn parser_never_panics_on_garbage() {
+        let mut runner = proptest::test_runner::TestRunner::default();
+        runner
+            .run(&".{0,80}", |input: String| {
+                let _ = parse_query(&input);
+                let _ = parse_program(&input);
+                let _ = parse_dependency(&input, &|_| Some(2));
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn parser_never_panics_on_near_valid_input(){
+        use proptest::prelude::*;
+        let mut runner = proptest::test_runner::TestRunner::default();
+        // strings built from datalog-ish fragments
+        let strategy = proptest::collection::vec(
+            proptest::sample::select(vec![
+                "Q(", "R(", "X", "Y", ",", ")", " :- ", ".", "key ", "[1]", "->", " ",
+            ]),
+            0..12,
+        )
+        .prop_map(|parts| parts.concat());
+        runner
+            .run(&strategy, |input| {
+                let _ = parse_query(&input);
+                let _ = parse_program(&input);
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn roundtrip_display_parse() {
+        let q = parse_query("Q(X,Y) :- R(X,Z), S(Z,Y)").unwrap();
+        let q2 = parse_query(&q.to_string()).unwrap();
+        assert_eq!(q, q2);
+    }
+}

@@ -1,0 +1,435 @@
+//! Conjunctive queries in the paper's datalog-rule representation.
+//!
+//! A query is `R0(u0) ← R_{i1}(u1) ∧ ... ∧ R_{im}(um)` where each `uj` is a
+//! list of (not necessarily distinct) variables; a relation may appear
+//! several times in the body (`rep(Q)` counts the maximum multiplicity).
+//! Every head variable must occur in the body.
+//!
+//! Functional dependencies live on *relations* ([`cq_relation::FdSet`]);
+//! the paper reasons about the induced dependencies **between query
+//! variables** (§2: "we admit the slight abuse of notation"), which
+//! [`ConjunctiveQuery::variable_fds`] derives: for each atom `R(u)` and
+//! each FD `R[p..] → R[r]`, the variables at positions `p..` determine the
+//! variable at `r`.
+
+use cq_relation::FdSet;
+use cq_util::BitSet;
+use std::fmt;
+
+/// Index of a query variable (dense, per query).
+pub type VarIdx = usize;
+
+/// One body atom: a relation name applied to a variable list.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Atom {
+    /// Relation name.
+    pub relation: String,
+    /// Variable list (positions may repeat variables).
+    pub vars: Vec<VarIdx>,
+}
+
+impl Atom {
+    /// Creates an atom.
+    pub fn new(relation: impl Into<String>, vars: Vec<VarIdx>) -> Self {
+        Atom {
+            relation: relation.into(),
+            vars,
+        }
+    }
+
+    /// The set of distinct variables in this atom.
+    pub fn var_set(&self) -> BitSet {
+        BitSet::from_iter(self.vars.iter().copied())
+    }
+}
+
+/// A functional dependency between query variables: `lhs → rhs`
+/// (the paper's `X1...Xk → Y`).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarFd {
+    /// Determining variables (sorted, deduplicated, nonempty).
+    pub lhs: Vec<VarIdx>,
+    /// Determined variable.
+    pub rhs: VarIdx,
+}
+
+impl VarFd {
+    /// Creates a variable-level FD, normalizing the left side.
+    pub fn new(lhs: impl Into<Vec<VarIdx>>, rhs: VarIdx) -> Self {
+        let mut lhs = lhs.into();
+        lhs.sort_unstable();
+        lhs.dedup();
+        assert!(!lhs.is_empty(), "variable FD with empty left side");
+        VarFd { lhs, rhs }
+    }
+
+    /// `true` for a single-variable left side.
+    pub fn is_simple(&self) -> bool {
+        self.lhs.len() == 1
+    }
+
+    /// `true` when `rhs ∈ lhs`.
+    pub fn is_trivial(&self) -> bool {
+        self.lhs.contains(&self.rhs)
+    }
+}
+
+/// A conjunctive query `R0(u0) ← body`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConjunctiveQuery {
+    var_names: Vec<String>,
+    head: Vec<VarIdx>,
+    body: Vec<Atom>,
+}
+
+impl ConjunctiveQuery {
+    /// Creates a query from parts.
+    ///
+    /// # Panics
+    /// Panics if a head variable does not occur in the body, or an atom
+    /// references an out-of-range variable.
+    pub fn new(var_names: Vec<String>, head: Vec<VarIdx>, body: Vec<Atom>) -> Self {
+        let q = ConjunctiveQuery {
+            var_names,
+            head,
+            body,
+        };
+        q.check_well_formed();
+        q
+    }
+
+    fn check_well_formed(&self) {
+        let n = self.var_names.len();
+        let mut in_body = BitSet::with_capacity(n);
+        for atom in &self.body {
+            for &v in &atom.vars {
+                assert!(v < n, "atom references unknown variable index {v}");
+                in_body.insert(v);
+            }
+        }
+        for &v in &self.head {
+            assert!(v < n, "head references unknown variable index {v}");
+            assert!(
+                in_body.contains(v),
+                "head variable {} does not occur in the body",
+                self.var_names[v]
+            );
+        }
+    }
+
+    /// Number of declared variables (= `|var(Q)|` when every variable is
+    /// used; unused declared variables are permitted but ignored by the
+    /// bounds).
+    pub fn num_vars(&self) -> usize {
+        self.var_names.len()
+    }
+
+    /// Name of variable `v`.
+    pub fn var_name(&self, v: VarIdx) -> &str {
+        &self.var_names[v]
+    }
+
+    /// All variable names.
+    pub fn var_names(&self) -> &[String] {
+        &self.var_names
+    }
+
+    /// The head variable list `u0` (may repeat variables).
+    pub fn head(&self) -> &[VarIdx] {
+        &self.head
+    }
+
+    /// The distinct head variables.
+    pub fn head_var_set(&self) -> BitSet {
+        BitSet::from_iter(self.head.iter().copied())
+    }
+
+    /// Body atoms `u1..um`.
+    pub fn body(&self) -> &[Atom] {
+        &self.body
+    }
+
+    /// Number of body atoms `m`.
+    pub fn num_atoms(&self) -> usize {
+        self.body.len()
+    }
+
+    /// Distinct relation names appearing in the body.
+    pub fn relation_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.body.iter().map(|a| a.relation.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
+
+    /// `rep(Q)`: the maximum number of occurrences of any single relation
+    /// in the body (Proposition 4.1).
+    pub fn rep(&self) -> usize {
+        self.relation_names()
+            .iter()
+            .map(|n| self.body.iter().filter(|a| &a.relation == n).count())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// `true` when all query variables occur in the head (the paper's
+    /// *join queries*, the class covered by Atserias–Grohe–Marx).
+    pub fn is_join_query(&self) -> bool {
+        let head = self.head_var_set();
+        self.used_vars().iter().all(|v| head.contains(v))
+    }
+
+    /// The set of variables that occur in the body (= `var(Q)`).
+    pub fn used_vars(&self) -> BitSet {
+        let mut s = BitSet::with_capacity(self.num_vars());
+        for atom in &self.body {
+            for &v in &atom.vars {
+                s.insert(v);
+            }
+        }
+        s
+    }
+
+    /// Derives the FDs **between query variables** induced by relation
+    /// FDs: for each atom `R(u)` and relation FD `R[p1..pk] → R[r]`, the
+    /// dependency `u[p1]..u[pk] → u[r]` (trivial dependencies dropped,
+    /// duplicates merged).
+    pub fn variable_fds(&self, fds: &FdSet) -> Vec<VarFd> {
+        let mut out: Vec<VarFd> = Vec::new();
+        for atom in &self.body {
+            for fd in fds.for_relation(&atom.relation) {
+                if fd.lhs.iter().any(|&p| p >= atom.vars.len()) || fd.rhs >= atom.vars.len()
+                {
+                    continue; // FD declared for a different arity
+                }
+                let lhs: Vec<VarIdx> = fd.lhs.iter().map(|&p| atom.vars[p]).collect();
+                let vfd = VarFd::new(lhs, atom.vars[fd.rhs]);
+                if !vfd.is_trivial() && !out.contains(&vfd) {
+                    out.push(vfd);
+                }
+            }
+        }
+        out
+    }
+
+    /// The query hypergraph: variables are vertices, each body atom's
+    /// variable set is a hyperedge (Definition 3.5).
+    pub fn hypergraph(&self) -> cq_hypergraph::Hypergraph {
+        let mut h = cq_hypergraph::Hypergraph::new(self.num_vars());
+        for atom in &self.body {
+            h.add_edge(atom.var_set());
+        }
+        h
+    }
+
+    /// A copy of the query in which each body atom refers to a distinct
+    /// relation (`R` occurring three times becomes `R·1, R·2, R·3`).
+    /// Used by the proofs of Propositions 4.1/4.5: the per-occurrence
+    /// databases are built over distinct relations and then unioned.
+    pub fn with_distinct_relations(&self) -> ConjunctiveQuery {
+        let mut counts: std::collections::HashMap<&str, usize> = Default::default();
+        let body = self
+            .body
+            .iter()
+            .map(|a| {
+                let c = counts.entry(a.relation.as_str()).or_insert(0);
+                *c += 1;
+                let total = self.body.iter().filter(|b| b.relation == a.relation).count();
+                let name = if total > 1 {
+                    format!("{}·{}", a.relation, *c)
+                } else {
+                    a.relation.clone()
+                };
+                Atom::new(name, a.vars.clone())
+            })
+            .collect();
+        ConjunctiveQuery {
+            var_names: self.var_names.clone(),
+            head: self.head.clone(),
+            body,
+        }
+    }
+}
+
+impl fmt::Display for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let head_vars: Vec<&str> = self.head.iter().map(|&v| self.var_name(v)).collect();
+        write!(f, "Q({}) :- ", head_vars.join(","))?;
+        let atoms: Vec<String> = self
+            .body
+            .iter()
+            .map(|a| {
+                let vars: Vec<&str> = a.vars.iter().map(|&v| self.var_name(v)).collect();
+                format!("{}({})", a.relation, vars.join(","))
+            })
+            .collect();
+        write!(f, "{}", atoms.join(", "))
+    }
+}
+
+/// Convenience builder for queries in tests and examples.
+#[derive(Default)]
+pub struct QueryBuilder {
+    var_names: Vec<String>,
+    head: Vec<VarIdx>,
+    body: Vec<Atom>,
+}
+
+impl QueryBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        QueryBuilder::default()
+    }
+
+    /// Declares (or reuses) a variable by name.
+    pub fn var(&mut self, name: &str) -> VarIdx {
+        if let Some(i) = self.var_names.iter().position(|n| n == name) {
+            return i;
+        }
+        self.var_names.push(name.to_owned());
+        self.var_names.len() - 1
+    }
+
+    /// Sets the head variable list by names.
+    pub fn head(&mut self, names: &[&str]) -> &mut Self {
+        self.head = names.iter().map(|n| self.var(n)).collect();
+        self
+    }
+
+    /// Adds a body atom by relation name and variable names.
+    pub fn atom(&mut self, relation: &str, names: &[&str]) -> &mut Self {
+        let vars = names.iter().map(|n| self.var(n)).collect();
+        self.body.push(Atom::new(relation, vars));
+        self
+    }
+
+    /// Finishes the query.
+    pub fn build(&mut self) -> ConjunctiveQuery {
+        ConjunctiveQuery::new(
+            std::mem::take(&mut self.var_names),
+            std::mem::take(&mut self.head),
+            std::mem::take(&mut self.body),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq_relation::Fd;
+
+    fn triangle() -> ConjunctiveQuery {
+        // Example 3.3: S(X,Y,Z) <- R(X,Y), R(X,Z), R(Y,Z)
+        let mut b = QueryBuilder::new();
+        b.head(&["X", "Y", "Z"])
+            .atom("R", &["X", "Y"])
+            .atom("R", &["X", "Z"])
+            .atom("R", &["Y", "Z"]);
+        b.build()
+    }
+
+    #[test]
+    fn builder_and_accessors() {
+        let q = triangle();
+        assert_eq!(q.num_vars(), 3);
+        assert_eq!(q.num_atoms(), 3);
+        assert_eq!(q.rep(), 3);
+        assert!(q.is_join_query());
+        assert_eq!(q.head_var_set().len(), 3);
+        assert_eq!(q.relation_names(), vec!["R"]);
+        assert_eq!(q.to_string(), "Q(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z)");
+    }
+
+    #[test]
+    fn projection_query_not_join_query() {
+        let mut b = QueryBuilder::new();
+        b.head(&["X"]).atom("R", &["X", "Y"]);
+        let q = b.build();
+        assert!(!q.is_join_query());
+        assert_eq!(q.used_vars().len(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn head_var_must_occur_in_body() {
+        let mut b = QueryBuilder::new();
+        let x = b.var("X");
+        let y = b.var("Y");
+        b.head = vec![x, y];
+        b.body = vec![Atom::new("R", vec![x])];
+        b.build();
+    }
+
+    #[test]
+    fn variable_fds_from_relation_fds() {
+        // Example 2.2: R0(W,X,Y,Z) <- R1(W,X,Y), R1(W,W,W), R2(Y,Z)
+        // with R1[1] key: variable FDs W->X, W->Y (from first atom);
+        // second atom gives only trivial W->W.
+        let mut b = QueryBuilder::new();
+        b.head(&["W", "X", "Y", "Z"])
+            .atom("R1", &["W", "X", "Y"])
+            .atom("R1", &["W", "W", "W"])
+            .atom("R2", &["Y", "Z"]);
+        let q = b.build();
+        let mut fds = cq_relation::FdSet::new();
+        fds.add_key("R1", &[0], 3);
+        let vfds = q.variable_fds(&fds);
+        assert_eq!(
+            vfds,
+            vec![VarFd::new(vec![0], 1), VarFd::new(vec![0], 2)]
+        );
+    }
+
+    #[test]
+    fn variable_fds_compound() {
+        let mut b = QueryBuilder::new();
+        b.head(&["X", "Y", "Z"]).atom("R", &["X", "Y", "Z"]);
+        let q = b.build();
+        let mut fds = cq_relation::FdSet::new();
+        fds.add(Fd::new("R", vec![0, 1], 2));
+        let vfds = q.variable_fds(&fds);
+        assert_eq!(vfds, vec![VarFd::new(vec![0, 1], 2)]);
+        assert!(!vfds[0].is_simple());
+    }
+
+    #[test]
+    fn variable_fds_skip_wrong_arity() {
+        let mut b = QueryBuilder::new();
+        b.head(&["X"]).atom("R", &["X"]);
+        let q = b.build();
+        let mut fds = cq_relation::FdSet::new();
+        fds.add(Fd::new("R", vec![0], 1)); // declared for arity >= 2
+        assert!(q.variable_fds(&fds).is_empty());
+    }
+
+    #[test]
+    fn distinct_relations_rename() {
+        let q = triangle().with_distinct_relations();
+        let names: Vec<&str> = q.body().iter().map(|a| a.relation.as_str()).collect();
+        assert_eq!(names, vec!["R·1", "R·2", "R·3"]);
+        assert_eq!(q.rep(), 1);
+        // single-occurrence relations keep their names
+        let mut b = QueryBuilder::new();
+        b.head(&["X"]).atom("S", &["X"]);
+        let q2 = b.build().with_distinct_relations();
+        assert_eq!(q2.body()[0].relation, "S");
+    }
+
+    #[test]
+    fn hypergraph_shape() {
+        let h = triangle().hypergraph();
+        assert_eq!(h.num_vertices(), 3);
+        assert_eq!(h.num_edges(), 3);
+        let g = h.primal_graph();
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn repeated_vars_in_atom() {
+        let mut b = QueryBuilder::new();
+        b.head(&["X"]).atom("R", &["X", "X"]);
+        let q = b.build();
+        assert_eq!(q.body()[0].var_set().len(), 1);
+        assert_eq!(q.rep(), 1);
+    }
+}

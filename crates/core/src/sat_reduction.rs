@@ -1,0 +1,287 @@
+//! Proposition 7.3: NP-completeness of the 2-color/color-number-2
+//! question under compound FDs, via reduction from 3-SAT.
+//!
+//! Given a 3-SAT formula `E` over variables `x_1..x_n`, the reduction
+//! builds the query `Q(A,B) ← V_1 ∧ ... ∧ V_n ∧ C_1 ∧ ... ∧ C_k` with,
+//! per SAT variable `i`,
+//!
+//! ```text
+//! V_i = R_{i,1}(X_i, X̄_i, A) ∧ R_{i,2}(Y_i, Ȳ_i, B) ∧ R_{i,3}(X_i, Y_i) ∧ R_{i,4}(X̄_i, Ȳ_i)
+//! ```
+//!
+//! per clause an atom `S_c(ℓ_1, ℓ_2, ℓ_3, A)` over the literals' X-side
+//! variables, and the compound dependencies `X_i X̄_i → A`,
+//! `Y_i Ȳ_i → B`, and `S_c[1,2,3] → S_c[4]`. `E` is satisfiable iff the
+//! query admits a valid coloring with 2 colors achieving color number 2.
+//!
+//! [`two_coloring_sat`] provides an exact (exponential-time, via DPLL)
+//! decision of the 2-coloring question for *any* small query — used to
+//! cross-check the reduction in both directions.
+
+use crate::coloring::Coloring;
+use crate::query::{ConjunctiveQuery, QueryBuilder, VarFd};
+use crate::sat::{dpll, Clause};
+use cq_relation::{Fd, FdSet};
+use cq_util::BitSet;
+
+/// A 3-SAT literal: positive or negative occurrence of a 0-based
+/// variable.
+pub type Lit = i32; // +(v+1) or -(v+1)
+
+/// Output of the Proposition 7.3 reduction.
+#[derive(Clone, Debug)]
+pub struct Reduction {
+    /// The constructed conjunctive query.
+    pub query: ConjunctiveQuery,
+    /// The relation-level dependency set.
+    pub fds: FdSet,
+    /// The induced variable-level dependencies.
+    pub var_fds: Vec<VarFd>,
+}
+
+/// Builds the Proposition 7.3 query for a 3-SAT instance over
+/// `num_vars` variables.
+pub fn reduce_3sat(clauses: &[[Lit; 3]], num_vars: usize) -> Reduction {
+    let mut b = QueryBuilder::new();
+    b.head(&["A", "B"]);
+    let lit_name = |l: Lit| {
+        let v = l.unsigned_abs() as usize;
+        if l > 0 {
+            format!("X{v}")
+        } else {
+            format!("NX{v}")
+        }
+    };
+    let mut fds = FdSet::new();
+    for i in 1..=num_vars {
+        let (x, nx) = (format!("X{i}"), format!("NX{i}"));
+        let (y, ny) = (format!("Y{i}"), format!("NY{i}"));
+        b.atom(&format!("R{i}_1"), &[&x, &nx, "A"]);
+        b.atom(&format!("R{i}_2"), &[&y, &ny, "B"]);
+        b.atom(&format!("R{i}_3"), &[&x, &y]);
+        b.atom(&format!("R{i}_4"), &[&nx, &ny]);
+        fds.add(Fd::new(format!("R{i}_1"), vec![0, 1], 2));
+        fds.add(Fd::new(format!("R{i}_2"), vec![0, 1], 2));
+    }
+    for (c, clause) in clauses.iter().enumerate() {
+        let names: Vec<String> = clause.iter().map(|&l| lit_name(l)).collect();
+        let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let mut atom_vars = name_refs.clone();
+        atom_vars.push("A");
+        b.atom(&format!("S{c}"), &atom_vars);
+        fds.add(Fd::new(format!("S{c}"), vec![0, 1, 2], 3));
+    }
+    let query = b.build();
+    let var_fds = query.variable_fds(&fds);
+    Reduction {
+        query,
+        fds,
+        var_fds,
+    }
+}
+
+/// The forward direction of the Proposition 7.3 proof: turns a satisfying
+/// assignment of `E` into a valid coloring with 2 colors and color
+/// number 2.
+pub fn coloring_from_assignment(red: &Reduction, assignment: &[bool]) -> Coloring {
+    let q = &red.query;
+    let idx = |name: &str| {
+        q.var_names()
+            .iter()
+            .position(|n| n == name)
+            .unwrap_or_else(|| panic!("missing variable {name}"))
+    };
+    let mut coloring = Coloring::empty(q.num_vars());
+    coloring.label_mut(idx("A")).insert(0);
+    coloring.label_mut(idx("B")).insert(1);
+    for (i, &val) in assignment.iter().enumerate() {
+        let i = i + 1;
+        if val {
+            coloring.label_mut(idx(&format!("X{i}"))).insert(0);
+            coloring.label_mut(idx(&format!("NY{i}"))).insert(1);
+        } else {
+            coloring.label_mut(idx(&format!("NX{i}"))).insert(0);
+            coloring.label_mut(idx(&format!("Y{i}"))).insert(1);
+        }
+    }
+    coloring
+}
+
+/// Exact decision of "is there a valid coloring with 2 colors achieving
+/// color number 2?" for any query with variable-level FDs, by encoding
+/// into CNF and solving with DPLL. Exponential in the worst case
+/// (Proposition 7.3 shows the problem is NP-complete), fine for small
+/// queries.
+///
+/// Encoding: booleans `b_{v,c}` (`c ∈ L(v)`), clauses:
+/// - FD `lhs → rhs`, color `c`: `¬b_{rhs,c} ∨ (∨_{l∈lhs} b_{l,c})`;
+/// - head sees both colors: `∨_{v∈head} b_{v,c}` for each `c`;
+/// - every body atom sees at most one color:
+///   `¬b_{v,0} ∨ ¬b_{w,1}` for all `v, w` in the same atom.
+pub fn two_coloring_sat(q: &ConjunctiveQuery, var_fds: &[VarFd]) -> Option<Coloring> {
+    let n = q.num_vars();
+    let b = |v: usize, c: usize| v * 2 + c;
+    let mut clauses: Vec<Clause> = Vec::new();
+    for fd in var_fds {
+        for c in 0..2 {
+            clauses.push(Clause::new(
+                fd.lhs.iter().map(|&l| b(l, c)).collect(),
+                vec![b(fd.rhs, c)],
+            ));
+        }
+    }
+    let head: Vec<usize> = q.head_var_set().iter().collect();
+    for c in 0..2 {
+        clauses.push(Clause::new(head.iter().map(|&v| b(v, c)).collect(), vec![]));
+    }
+    for atom in q.body() {
+        let vars: Vec<usize> = atom.var_set().iter().collect();
+        for &v in &vars {
+            for &w in &vars {
+                clauses.push(Clause::new(vec![], vec![b(v, 0), b(w, 1)]));
+            }
+        }
+    }
+    let solution = dpll(&clauses, 2 * n)?;
+    let labels = (0..n)
+        .map(|v| {
+            let mut s = BitSet::new();
+            if solution[b(v, 0)] {
+                s.insert(0);
+            }
+            if solution[b(v, 1)] {
+                s.insert(1);
+            }
+            s
+        })
+        .collect();
+    let coloring = Coloring::from_labels(labels);
+    debug_assert!(coloring.validate(var_fds).is_ok());
+    debug_assert_eq!(
+        coloring.color_number(q),
+        Some(cq_arith::Rational::int(2))
+    );
+    Some(coloring)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coloring::find_two_coloring_brute_force;
+    use crate::parser::parse_query;
+    use crate::sat::satisfies;
+    use cq_arith::Rational;
+
+    fn sat_clauses(clauses: &[[Lit; 3]], n: usize) -> Option<Vec<bool>> {
+        let cnf: Vec<Clause> = clauses
+            .iter()
+            .map(|c| {
+                let mut pos = vec![];
+                let mut neg = vec![];
+                for &l in c {
+                    if l > 0 {
+                        pos.push(l as usize - 1);
+                    } else {
+                        neg.push((-l) as usize - 1);
+                    }
+                }
+                Clause::new(pos, neg)
+            })
+            .collect();
+        let a = dpll(&cnf, n);
+        if let Some(ref a) = a {
+            assert!(satisfies(&cnf, a));
+        }
+        a
+    }
+
+    #[test]
+    fn reduction_shape() {
+        let red = reduce_3sat(&[[1, -2, 3]], 3);
+        // 3 vars * 4 atoms + 1 clause atom = 13 atoms; 2 + 4*3 = 14 vars
+        assert_eq!(red.query.num_atoms(), 13);
+        assert_eq!(red.query.num_vars(), 14);
+        // FDs: per var 2 compound + 1 per clause
+        assert_eq!(red.var_fds.len(), 7);
+        assert!(red.var_fds.iter().all(|fd| !fd.is_simple()));
+    }
+
+    #[test]
+    fn satisfiable_instance_yields_coloring() {
+        // (x1 ∨ x2 ∨ x3): satisfiable.
+        let clauses = [[1, 2, 3]];
+        let red = reduce_3sat(&clauses, 3);
+        let assignment = sat_clauses(&clauses, 3).unwrap();
+        let coloring = coloring_from_assignment(&red, &assignment);
+        coloring.validate(&red.var_fds).unwrap();
+        assert_eq!(
+            coloring.color_number(&red.query),
+            Some(Rational::int(2))
+        );
+        // the DPLL-based decision agrees
+        assert!(two_coloring_sat(&red.query, &red.var_fds).is_some());
+    }
+
+    #[test]
+    fn unsatisfiable_instance_has_no_coloring() {
+        // (x1)(¬x1) as 3-literal clauses via repetition: unsat.
+        let clauses = [[1, 1, 1], [-1, -1, -1]];
+        assert!(sat_clauses(&clauses, 1).is_none());
+        let red = reduce_3sat(&clauses, 1);
+        assert!(two_coloring_sat(&red.query, &red.var_fds).is_none());
+    }
+
+    #[test]
+    fn reduction_equivalence_on_small_instances() {
+        // A handful of instances covering sat and unsat cases.
+        let cases: Vec<(Vec<[Lit; 3]>, usize)> = vec![
+            (vec![[1, 2, -1]], 2),
+            (vec![[1, 1, 1], [-1, -1, -1]], 1),
+            (vec![[1, 2, 3], [-1, -2, -3]], 3),
+            (vec![[1, -2, 2]], 2),
+            (
+                vec![
+                    [1, 1, 1],
+                    [-1, 2, 2],
+                    [-2, -2, -2],
+                ],
+                2,
+            ),
+        ];
+        for (clauses, n) in cases {
+            let sat = sat_clauses(&clauses, n).is_some();
+            let red = reduce_3sat(&clauses, n);
+            let colorable = two_coloring_sat(&red.query, &red.var_fds).is_some();
+            assert_eq!(sat, colorable, "{clauses:?}");
+        }
+    }
+
+    #[test]
+    fn two_coloring_sat_agrees_with_brute_force() {
+        for text in [
+            "S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z)",
+            "R2(X,Y,Z) :- R(X,Y), R(X,Z)",
+            "Q(X,Y) :- R(X), S(Y)",
+            "Q(X,Y) :- R(X,Y)",
+            "Q(A,B,C,D) :- R(A,B), S(B,C), T(C,D), U(D,A)",
+        ] {
+            let q = parse_query(text).unwrap();
+            assert_eq!(
+                two_coloring_sat(&q, &[]).is_some(),
+                find_two_coloring_brute_force(&q, &[]).is_some(),
+                "{text}"
+            );
+        }
+    }
+
+    #[test]
+    fn two_coloring_sat_respects_fds() {
+        // Q(X,Y) :- R(X), S(Y): colorable without FDs, not with X -> Y
+        // and Y -> X (the colors must then coincide on X and Y).
+        let q = parse_query("Q(X,Y) :- R(X), S(Y)").unwrap();
+        assert!(two_coloring_sat(&q, &[]).is_some());
+        let fds = vec![VarFd::new(vec![0], 1), VarFd::new(vec![1], 0)];
+        assert!(two_coloring_sat(&q, &fds).is_none());
+        assert!(find_two_coloring_brute_force(&q, &fds).is_none());
+    }
+}

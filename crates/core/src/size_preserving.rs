@@ -1,0 +1,237 @@
+//! Size-preserving queries (Theorem 6.1) and the polynomial decision
+//! procedure (Theorem 7.2).
+//!
+//! Theorem 6.1: a query with arbitrary FDs admits a database with
+//! `|Q(D)| > rmax(D)` **iff** `C(chase(Q)) > 1`, and in that case
+//! `C(chase(Q)) ≥ m/(m−1)`.
+//!
+//! Theorem 7.2 decides `C(chase(Q)) > 1` in polynomial time: for each
+//! body atom `u_i` build the formula
+//!
+//! ```text
+//! SAT_i = (∧_{X∈u_i} ¬x) ∧ (∨_{X∈u_0} x) ∧ (∧_{lhs→rhs} (∨_{X∈lhs} x ∨ ¬x_rhs))
+//! ```
+//!
+//! Each `SAT_i` is dual-Horn (at most one *negative* literal per clause);
+//! negating every variable turns it into a Horn formula solved by
+//! Dowling–Gallier. `C > 1` iff every `SAT_i` is satisfiable, and the
+//! per-atom single-color solutions combine (disjoint union) into a valid
+//! coloring with `m` colors and color number `≥ m/(m−1)`.
+//!
+//! Note the FD clauses tolerate arbitrary left-hand sides directly, so
+//! the Fact 6.12 normalization is not required for the decision (it is
+//! provided separately for fidelity to the paper's presentation).
+
+use crate::chase::chase;
+use crate::coloring::Coloring;
+use crate::query::{ConjunctiveQuery, VarFd};
+use crate::sat::{horn_sat, Clause};
+use cq_arith::Rational;
+use cq_relation::FdSet;
+
+/// Outcome of the Theorem 7.2 decision.
+#[derive(Clone, Debug)]
+pub struct SizeIncreaseDecision {
+    /// `true` iff `C(chase(Q)) > 1`, i.e. some database admits
+    /// `|Q(D)| > rmax(D)`.
+    pub increases: bool,
+    /// When `increases`: a valid coloring of `chase(Q)` with `m` colors
+    /// witnessing `C ≥ m/(m−1)`.
+    pub coloring: Option<Coloring>,
+    /// The chased query the coloring refers to.
+    pub chased: ConjunctiveQuery,
+    /// Lower bound on `C(chase(Q))` certified by the coloring
+    /// (`m/(m−1)`), or exactly 1 when size-preserving.
+    pub lower_bound: Rational,
+}
+
+/// Theorem 7.2: decides in polynomial time whether `Q` (with arbitrary
+/// FDs) admits any size increase.
+///
+/// ```
+/// use cq_core::{decide_size_increase, parse_program};
+/// use cq_relation::FdSet;
+/// let (q, _) = parse_program("S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z)").unwrap();
+/// let d = decide_size_increase(&q, &FdSet::new());
+/// assert!(d.increases);                       // the triangle can grow
+/// assert_eq!(d.lower_bound.to_string(), "3/2"); // by at least m/(m-1)
+/// ```
+pub fn decide_size_increase(q: &ConjunctiveQuery, fds: &FdSet) -> SizeIncreaseDecision {
+    let chased = chase(q, fds).query;
+    let var_fds = chased.variable_fds(fds);
+    decide_size_increase_chased(&chased, &var_fds)
+}
+
+/// As [`decide_size_increase`], for an already-chased query with
+/// variable-level dependencies.
+pub fn decide_size_increase_chased(
+    chased: &ConjunctiveQuery,
+    var_fds: &[VarFd],
+) -> SizeIncreaseDecision {
+    let n = chased.num_vars();
+    let head: Vec<usize> = chased.head_var_set().iter().collect();
+    let mut per_atom_solutions: Vec<Vec<bool>> = Vec::with_capacity(chased.num_atoms());
+    for atom in chased.body() {
+        // Build SAT_i over x, then negate variables (y = ¬x) to get Horn:
+        //   ¬x_v  (v ∈ u_i)            ->  (y_v)            [fact]
+        //   ∨_{v ∈ u_0} x_v            ->  ∨ ¬y_v           [goal clause]
+        //   (∨_{l ∈ lhs} x_l) ∨ ¬x_r   ->  y_r ∨ (∨ ¬y_l)   [definite]
+        let mut clauses: Vec<Clause> = Vec::new();
+        for v in atom.var_set().iter() {
+            clauses.push(Clause::new(vec![v], vec![]));
+        }
+        clauses.push(Clause::new(vec![], head.clone()));
+        for fd in var_fds {
+            clauses.push(Clause::new(vec![fd.rhs], fd.lhs.clone()));
+        }
+        match horn_sat(&clauses, n) {
+            Some(y) => {
+                // x = ¬y: colored variables are those with y false
+                per_atom_solutions.push(y.iter().map(|&b| !b).collect());
+            }
+            None => {
+                return SizeIncreaseDecision {
+                    increases: false,
+                    coloring: None,
+                    chased: chased.clone(),
+                    lower_bound: Rational::one(),
+                };
+            }
+        }
+    }
+    // Combine: one fresh color per atom's solution.
+    let mut combined = Coloring::empty(n);
+    for (color, solution) in per_atom_solutions.iter().enumerate() {
+        for (v, &colored) in solution.iter().enumerate() {
+            if colored {
+                combined.label_mut(v).insert(color);
+            }
+        }
+    }
+    combined
+        .validate(var_fds)
+        .expect("per-atom Horn solutions combine into a valid coloring");
+    let m = chased.num_atoms();
+    let lower = if m >= 2 {
+        Rational::ratio(m as i64, (m - 1) as i64)
+    } else {
+        // a single atom whose SAT instance is satisfiable means the head
+        // has a color invisible to the only body atom, which cannot
+        // happen for well-formed queries; but guard anyway.
+        Rational::int(m as i64)
+    };
+    let achieved = combined
+        .color_number(chased)
+        .expect("combined coloring colors some atom");
+    debug_assert!(achieved >= lower, "Theorem 6.1's m/(m-1) lower bound");
+    SizeIncreaseDecision {
+        increases: true,
+        coloring: Some(combined),
+        chased: chased.clone(),
+        lower_bound: lower,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entropy_lp::color_number_entropy_lp;
+    use crate::parser::{parse_program, parse_query};
+
+    fn rat(s: &str) -> Rational {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn triangle_increases() {
+        let q = parse_query("S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z)").unwrap();
+        let d = decide_size_increase(&q, &FdSet::new());
+        assert!(d.increases);
+        assert_eq!(d.lower_bound, rat("3/2")); // m/(m-1) with m=3
+        let c = d.coloring.unwrap();
+        assert!(c.color_number(&d.chased).unwrap() >= rat("3/2"));
+    }
+
+    #[test]
+    fn single_atom_is_size_preserving() {
+        let q = parse_query("Q(X,Y) :- R(X,Y)").unwrap();
+        let d = decide_size_increase(&q, &FdSet::new());
+        assert!(!d.increases);
+        assert_eq!(d.lower_bound, Rational::one());
+    }
+
+    #[test]
+    fn key_collapse_is_size_preserving() {
+        // Example 2.1's query becomes size-preserving with the key.
+        let (q, fds) =
+            parse_program("R2(X,Y,Z) :- R(X,Y), R(X,Z)\nkey R[1]").unwrap();
+        let d = decide_size_increase(&q, &fds);
+        assert!(!d.increases);
+        // without the key it increases
+        let d2 = decide_size_increase(&q, &FdSet::new());
+        assert!(d2.increases);
+        assert_eq!(d2.lower_bound, rat("2"));
+    }
+
+    #[test]
+    fn covered_head_is_size_preserving() {
+        // head fully inside one atom: SAT for that atom is unsatisfiable.
+        let q = parse_query("Q(X,Y) :- R(X,Y,Z), S(Z,W)").unwrap();
+        let d = decide_size_increase(&q, &FdSet::new());
+        assert!(!d.increases);
+    }
+
+    #[test]
+    fn decision_agrees_with_entropy_lp() {
+        // C > 1 per Theorem 7.2 iff the Prop 6.10 LP optimum exceeds 1.
+        for text in [
+            "S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z)",
+            "Q(X,Y) :- R(X,Y)",
+            "Q(X,Y) :- R(X), S(Y)",
+            "Q(X,Y,Z) :- S(X,Y), T(Y,Z)\nkey S[1]",
+            "R2(X,Y,Z) :- R(X,Y), R(X,Z)\nkey R[1]",
+            "Q(X,Y,Z) :- R(X,Y,Z)\nR[1,2] -> R[3]",
+        ] {
+            let (q, fds) = parse_program(text).unwrap();
+            let d = decide_size_increase(&q, &fds);
+            let vfds = d.chased.variable_fds(&fds);
+            let c = color_number_entropy_lp(&d.chased, &vfds);
+            assert_eq!(d.increases, c > Rational::one(), "{text}");
+        }
+    }
+
+    #[test]
+    fn compound_fds_block_increase() {
+        // Q(X,Y,Z) :- R(X,Y), S(X,Z), T(Y,Z) with compound FD making Z
+        // determined by X,Y via T's positions... use S[1]S[2]->S[3] on a
+        // ternary S instead:
+        let (q, fds) = parse_program(
+            "Q(X,Y,Z) :- R(X,Y), S(X,Y,Z)\nS[1,2] -> S[3]",
+        )
+        .unwrap();
+        let d = decide_size_increase(&q, &fds);
+        // head {X,Y,Z}; atom S contains all of them: SAT_S needs a head
+        // var colored that is not in S — impossible. Size-preserving.
+        assert!(!d.increases);
+        // Dropping the S atom's coverage: Q(X,Y,Z) :- R(X,Y), S2(X,Z)
+        // with compound FD XZ -> Y? then coloring Z alone works.
+        let (q2, fds2) = parse_program(
+            "Q(X,Y,Z) :- R(X,Y), S2(X,Z)\nS2[1,2] -> S2[2]",
+        )
+        .unwrap();
+        let d2 = decide_size_increase(&q2, &fds2);
+        assert!(d2.increases);
+        let _ = fds2;
+    }
+
+    #[test]
+    fn theorem_6_1_m_over_m_minus_1() {
+        // 4-cycle: m = 4, C = 2 >= 4/3.
+        let q = parse_query("Q(A,B,C,D) :- R(A,B), S(B,C), T(C,D), U(D,A)").unwrap();
+        let d = decide_size_increase(&q, &FdSet::new());
+        assert!(d.increases);
+        assert_eq!(d.lower_bound, rat("4/3"));
+        let achieved = d.coloring.unwrap().color_number(&d.chased).unwrap();
+        assert!(achieved >= rat("4/3"));
+    }
+}

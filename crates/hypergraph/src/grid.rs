@@ -1,0 +1,133 @@
+//! Rectangular grid graphs and grid-based treewidth certificates.
+//!
+//! Fact 5.1 of the paper: the treewidth of an `n × m` rectangular grid is
+//! `min(n, m)` (for `n + m >= 3`). The paper's Proposition 5.2 certifies
+//! the treewidth blowup of a keyed self-join by exhibiting a large grid
+//! *subgraph* in the join's Gaifman graph; [`grid_lower_bound`] packages
+//! that argument: a grid embedding is a treewidth lower-bound certificate.
+
+use crate::graph::Graph;
+
+/// Vertex index of grid cell `(row, col)` in a `rows × cols` grid.
+pub fn grid_vertex(cols: usize, row: usize, col: usize) -> usize {
+    row * cols + col
+}
+
+/// The `rows × cols` rectangular grid graph.
+pub fn grid_graph(rows: usize, cols: usize) -> Graph {
+    let mut g = Graph::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_edge(grid_vertex(cols, r, c), grid_vertex(cols, r, c + 1));
+            }
+            if r + 1 < rows {
+                g.add_edge(grid_vertex(cols, r, c), grid_vertex(cols, r + 1, c));
+            }
+        }
+    }
+    g
+}
+
+/// Treewidth of the `rows × cols` grid per Fact 5.1.
+pub fn grid_treewidth(rows: usize, cols: usize) -> usize {
+    assert!(rows + cols >= 3, "Fact 5.1 requires n + m >= 3");
+    rows.min(cols)
+}
+
+/// Certifies `tw(g) >= min(rows, cols)` by checking that `embed` is an
+/// injective, edge-preserving map of the `rows × cols` grid into `g`
+/// (`embed[grid_vertex(cols, r, c)]` is the host vertex of cell `(r, c)`).
+///
+/// Returns the certified lower bound, or `None` if the embedding is not
+/// valid.
+pub fn grid_lower_bound(
+    g: &Graph,
+    rows: usize,
+    cols: usize,
+    embed: &[usize],
+) -> Option<usize> {
+    let grid = grid_graph(rows, cols);
+    if g.contains_embedded(&grid, embed) {
+        Some(grid_treewidth(rows, cols))
+    } else {
+        None
+    }
+}
+
+/// A width-`min(rows, cols)` elimination ordering for the grid: sweep the
+/// shorter dimension column-by-column. Returns the ordering; its
+/// elimination width is exactly `min(rows, cols)` (matching Fact 5.1), so
+/// it doubles as an upper-bound certificate.
+pub fn grid_elimination_ordering(rows: usize, cols: usize) -> Vec<usize> {
+    let mut order = Vec::with_capacity(rows * cols);
+    if rows <= cols {
+        // eliminate column by column, top to bottom
+        for c in 0..cols {
+            for r in 0..rows {
+                order.push(grid_vertex(cols, r, c));
+            }
+        }
+    } else {
+        for r in 0..rows {
+            for c in 0..cols {
+                order.push(grid_vertex(cols, r, c));
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elimination::elimination_width;
+    use crate::exact::treewidth_exact;
+
+    #[test]
+    fn grid_shape() {
+        let g = grid_graph(3, 4);
+        assert_eq!(g.num_vertices(), 12);
+        // edges: 3*3 horizontal + 2*4 vertical = 9 + 8
+        assert_eq!(g.num_edges(), 17);
+        assert!(g.has_edge(grid_vertex(4, 0, 0), grid_vertex(4, 0, 1)));
+        assert!(g.has_edge(grid_vertex(4, 0, 0), grid_vertex(4, 1, 0)));
+        assert!(!g.has_edge(grid_vertex(4, 0, 0), grid_vertex(4, 1, 1)));
+    }
+
+    #[test]
+    fn elimination_ordering_achieves_fact_5_1() {
+        for (r, c) in [(2, 2), (2, 5), (3, 4), (4, 3), (5, 2), (4, 6)] {
+            let g = grid_graph(r, c);
+            let order = grid_elimination_ordering(r, c);
+            assert_eq!(elimination_width(&g, &order), r.min(c), "{r}x{c}");
+        }
+    }
+
+    #[test]
+    fn exact_matches_fact_5_1_small() {
+        for (r, c) in [(2, 3), (3, 3), (3, 5), (4, 4)] {
+            assert_eq!(treewidth_exact(&grid_graph(r, c)), grid_treewidth(r, c));
+        }
+    }
+
+    #[test]
+    fn identity_embedding_certifies() {
+        let g = grid_graph(3, 4);
+        let embed: Vec<usize> = (0..12).collect();
+        assert_eq!(grid_lower_bound(&g, 3, 4, &embed), Some(3));
+        // wrong embedding fails
+        let mut bad = embed.clone();
+        bad.swap(0, 5);
+        assert_eq!(grid_lower_bound(&g, 3, 4, &bad), None);
+    }
+
+    #[test]
+    fn embedding_into_supergraph() {
+        // grid plus chords still contains the grid
+        let mut g = grid_graph(3, 3);
+        g.add_edge(0, 8);
+        let embed: Vec<usize> = (0..9).collect();
+        assert_eq!(grid_lower_bound(&g, 3, 3, &embed), Some(3));
+    }
+}

@@ -1,0 +1,37 @@
+//! Graphs, hypergraphs, tree decompositions and treewidth for `cqbounds`.
+//!
+//! Section 5 of the paper is entirely about the treewidth of query results:
+//! bounds for keyed joins (Theorem 5.5), sequences of keyed joins
+//! (Proposition 5.7), and characterizations of treewidth-preserving queries
+//! (Proposition 5.9, Theorem 5.10). This crate supplies the graph-theoretic
+//! substrate those results are stated over:
+//!
+//! - [`Graph`] — undirected simple graphs (Gaifman graphs live here);
+//! - [`Hypergraph`] — query/database hypergraphs and their primal graphs;
+//! - [`TreeDecomposition`] — decompositions with full validity checking and
+//!   the path-augmentation operation of Observation 5.6;
+//! - elimination orderings (§2 of the paper), greedy upper-bound heuristics
+//!   and the MMD lower bound;
+//! - an exact branch-and-bound treewidth solver for small graphs;
+//! - rectangular grids and the Fact 5.1 certificate machinery used by the
+//!   Proposition 5.2 construction.
+
+pub mod decomposition;
+pub mod elimination;
+pub mod exact;
+pub mod graph;
+pub mod grid;
+#[allow(clippy::module_inception)]
+pub mod hypergraph;
+
+pub use decomposition::TreeDecomposition;
+pub use elimination::{
+    decomposition_from_ordering, elimination_width, min_degree_ordering,
+    min_fill_ordering, treewidth_lower_bound, treewidth_upper_bound,
+};
+pub use exact::treewidth_exact;
+pub use graph::Graph;
+pub use grid::{
+    grid_elimination_ordering, grid_graph, grid_lower_bound, grid_treewidth, grid_vertex,
+};
+pub use hypergraph::Hypergraph;

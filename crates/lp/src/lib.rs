@@ -1,0 +1,24 @@
+//! Exact linear programming over rationals for `cqbounds`.
+//!
+//! Every quantitative bound in the paper is the optimum of a linear program:
+//! the color number (Proposition 3.6), the fractional edge cover number
+//! (Definition 3.5), the entropy upper bound (Proposition 6.9), and the
+//! entropy characterization of the color number (Proposition 6.10). All are
+//! solved here with a dense two-phase simplex using **Bland's rule** over
+//! [`cq_arith::Rational`], so optima like `3/2` are exact values, not
+//! floating-point approximations, and degenerate tableaus cannot cycle.
+//!
+//! Variables are nonnegative (all of the paper's LPs are over nonnegative
+//! quantities: color weights, cover weights, entropies). Constraints may be
+//! `<=`, `>=`, or `=`; both maximization and minimization are supported.
+//!
+//! The solver is deliberately a dense tableau: the paper's LPs are small
+//! (the entropy LPs are exponential in the number of query variables by
+//! nature — see the entropy-LP module in `cq-core` for the documented
+//! practical cap).
+
+pub mod problem;
+pub mod simplex;
+
+pub use problem::{Constraint, LinearProgram, Objective, Relation, VarId};
+pub use simplex::{solve_with, LpSolution, LpStatus, PivotRule};

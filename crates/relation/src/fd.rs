@@ -1,0 +1,288 @@
+//! Functional dependencies and keys (§2 of the paper).
+//!
+//! A functional dependency `A -> B` on relation `R` — written positionally
+//! as `R[i..] -> R[k]` — states that tuples agreeing on the (possibly
+//! compound) attribute list `A` agree on `B`. A key is `K -> attr(R)`. A
+//! *simple* FD has a single attribute on the left; the paper's Theorem 4.4
+//! (tight size bounds) covers simple FDs, while §6 handles the general
+//! compound case.
+//!
+//! This module stores FDs positionally (0-based), normalized to a single
+//! right-hand attribute, and provides instance checking, Armstrong-style
+//! attribute-set closure, and key detection.
+
+use crate::relation::Relation;
+use crate::symbol::Value;
+use cq_util::{FxHashMap, FxHashSet};
+use std::fmt;
+
+/// A functional dependency `lhs -> rhs` on a named relation, positional
+/// and 0-based, normalized to one right-hand attribute.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fd {
+    /// Relation name the dependency applies to.
+    pub relation: String,
+    /// Left-hand attribute positions (sorted, deduplicated, nonempty).
+    pub lhs: Vec<usize>,
+    /// Right-hand attribute position.
+    pub rhs: usize,
+}
+
+impl Fd {
+    /// Creates a dependency, sorting and deduplicating the left side.
+    pub fn new(relation: impl Into<String>, lhs: impl Into<Vec<usize>>, rhs: usize) -> Self {
+        let mut lhs = lhs.into();
+        lhs.sort_unstable();
+        lhs.dedup();
+        assert!(!lhs.is_empty(), "FD with empty left-hand side");
+        Fd {
+            relation: relation.into(),
+            lhs,
+            rhs,
+        }
+    }
+
+    /// `true` when the left side is a single attribute (paper: "simple").
+    pub fn is_simple(&self) -> bool {
+        self.lhs.len() == 1
+    }
+
+    /// `true` when the dependency is trivially satisfied (`rhs ∈ lhs`).
+    pub fn is_trivial(&self) -> bool {
+        self.lhs.contains(&self.rhs)
+    }
+
+    /// Checks the dependency on a relation instance.
+    pub fn holds_on(&self, rel: &Relation) -> bool {
+        let mut seen: FxHashMap<Box<[Value]>, Value> = FxHashMap::default();
+        for row in rel.iter() {
+            let key: Box<[Value]> = self.lhs.iter().map(|&i| row[i]).collect();
+            match seen.get(&key) {
+                Some(&v) if v != row[self.rhs] => return false,
+                Some(_) => {}
+                None => {
+                    seen.insert(key, row[self.rhs]);
+                }
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for Fd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let lhs: Vec<String> = self
+            .lhs
+            .iter()
+            .map(|i| format!("{}[{}]", self.relation, i + 1))
+            .collect();
+        write!(f, "{} -> {}[{}]", lhs.join(""), self.relation, self.rhs + 1)
+    }
+}
+
+/// A set of functional dependencies over a database's relations.
+#[derive(Clone, Debug, Default)]
+pub struct FdSet {
+    fds: Vec<Fd>,
+}
+
+impl FdSet {
+    /// The empty dependency set.
+    pub fn new() -> Self {
+        FdSet::default()
+    }
+
+    /// Adds one dependency (ignored if an identical one is present).
+    pub fn add(&mut self, fd: Fd) {
+        if !self.fds.contains(&fd) {
+            self.fds.push(fd);
+        }
+    }
+
+    /// Declares a key: `key_attrs -> every attribute of the relation`.
+    ///
+    /// `arity` is the relation arity; one FD is added per non-key
+    /// attribute.
+    pub fn add_key(&mut self, relation: &str, key_attrs: &[usize], arity: usize) {
+        for rhs in 0..arity {
+            if !key_attrs.contains(&rhs) {
+                self.add(Fd::new(relation, key_attrs.to_vec(), rhs));
+            }
+        }
+    }
+
+    /// All dependencies.
+    pub fn iter(&self) -> impl Iterator<Item = &Fd> + '_ {
+        self.fds.iter()
+    }
+
+    /// Dependencies on a given relation.
+    pub fn for_relation<'a>(&'a self, relation: &'a str) -> impl Iterator<Item = &'a Fd> + 'a {
+        self.fds.iter().filter(move |fd| fd.relation == relation)
+    }
+
+    /// Number of dependencies.
+    pub fn len(&self) -> usize {
+        self.fds.len()
+    }
+
+    /// `true` when there are no dependencies.
+    pub fn is_empty(&self) -> bool {
+        self.fds.is_empty()
+    }
+
+    /// `true` when every dependency is simple (single-attribute LHS).
+    pub fn all_simple(&self) -> bool {
+        self.fds.iter().all(Fd::is_simple)
+    }
+
+    /// Armstrong closure of an attribute set for one relation: the set of
+    /// positions functionally determined by `attrs`.
+    pub fn closure(&self, relation: &str, attrs: &[usize]) -> FxHashSet<usize> {
+        let mut closed: FxHashSet<usize> = attrs.iter().copied().collect();
+        loop {
+            let mut changed = false;
+            for fd in self.for_relation(relation) {
+                if !closed.contains(&fd.rhs) && fd.lhs.iter().all(|a| closed.contains(a)) {
+                    closed.insert(fd.rhs);
+                    changed = true;
+                }
+            }
+            if !changed {
+                return closed;
+            }
+        }
+    }
+
+    /// `true` when `attrs` is a key for a relation of the given arity.
+    pub fn is_key(&self, relation: &str, attrs: &[usize], arity: usize) -> bool {
+        let closed = self.closure(relation, attrs);
+        (0..arity).all(|a| closed.contains(&a))
+    }
+
+    /// Checks all dependencies against an instance.
+    pub fn holds_on(&self, rel: &Relation) -> bool {
+        self.for_relation(rel.name()).all(|fd| fd.holds_on(rel))
+    }
+
+    /// The positions of `relation` that are *keyed positions* (single
+    /// attributes that are keys), per the paper's §2 definition.
+    pub fn keyed_positions(&self, relation: &str, arity: usize) -> Vec<usize> {
+        (0..arity)
+            .filter(|&p| self.is_key(relation, &[p], arity))
+            .collect()
+    }
+}
+
+impl FromIterator<Fd> for FdSet {
+    fn from_iter<I: IntoIterator<Item = Fd>>(iter: I) -> Self {
+        let mut s = FdSet::new();
+        for fd in iter {
+            s.add(fd);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::symbol::SymbolTable;
+
+    fn rel_with(rows: &[&[&str]]) -> (SymbolTable, Relation) {
+        let mut t = SymbolTable::new();
+        let mut r = Relation::new(Schema::new("R", rows[0].len()));
+        for row in rows {
+            let vals: Vec<Value> = row.iter().map(|n| t.intern(n)).collect();
+            r.insert(vals);
+        }
+        (t, r)
+    }
+
+    #[test]
+    fn fd_normalization() {
+        let fd = Fd::new("R", vec![2, 0, 2], 1);
+        assert_eq!(fd.lhs, vec![0, 2]);
+        assert!(!fd.is_simple());
+        assert!(Fd::new("R", vec![0], 1).is_simple());
+        assert!(Fd::new("R", vec![0, 1], 1).is_trivial());
+    }
+
+    #[test]
+    fn holds_on_instance() {
+        let (_, r) = rel_with(&[&["a", "1"], &["a", "1"], &["b", "2"]]);
+        assert!(Fd::new("R", vec![0], 1).holds_on(&r));
+        let (_, r2) = rel_with(&[&["a", "1"], &["a", "2"]]);
+        assert!(!Fd::new("R", vec![0], 1).holds_on(&r2));
+    }
+
+    #[test]
+    fn compound_fd_on_instance() {
+        let (_, r) = rel_with(&[
+            &["a", "b", "1"],
+            &["a", "c", "2"],
+            &["a", "b", "1"],
+        ]);
+        assert!(Fd::new("R", vec![0, 1], 2).holds_on(&r));
+        let (_, bad) = rel_with(&[&["a", "b", "1"], &["a", "b", "2"]]);
+        assert!(!Fd::new("R", vec![0, 1], 2).holds_on(&bad));
+    }
+
+    #[test]
+    fn key_expansion_and_closure() {
+        let mut fds = FdSet::new();
+        fds.add_key("R", &[0], 3);
+        assert_eq!(fds.len(), 2); // R[0]->R[1], R[0]->R[2]
+        assert!(fds.all_simple());
+        assert!(fds.is_key("R", &[0], 3));
+        assert!(!fds.is_key("R", &[1], 3));
+        assert_eq!(fds.keyed_positions("R", 3), vec![0]);
+    }
+
+    #[test]
+    fn transitive_closure() {
+        // A->B, B->C: closure(A) = {A,B,C}
+        let mut fds = FdSet::new();
+        fds.add(Fd::new("R", vec![0], 1));
+        fds.add(Fd::new("R", vec![1], 2));
+        let cl = fds.closure("R", &[0]);
+        assert!(cl.contains(&0) && cl.contains(&1) && cl.contains(&2));
+        assert!(fds.is_key("R", &[0], 3));
+    }
+
+    #[test]
+    fn closure_respects_relation_name() {
+        let mut fds = FdSet::new();
+        fds.add(Fd::new("R", vec![0], 1));
+        fds.add(Fd::new("S", vec![1], 0));
+        assert!(fds.closure("R", &[0]).contains(&1));
+        assert!(!fds.closure("S", &[0]).contains(&1));
+        assert_eq!(fds.for_relation("S").count(), 1);
+    }
+
+    #[test]
+    fn compound_key() {
+        let mut fds = FdSet::new();
+        fds.add_key("R", &[0, 1], 4);
+        assert!(!fds.all_simple());
+        assert!(fds.is_key("R", &[0, 1], 4));
+        assert!(fds.keyed_positions("R", 4).is_empty());
+    }
+
+    #[test]
+    fn fdset_holds_on() {
+        let (_, r) = rel_with(&[&["a", "1", "x"], &["b", "1", "y"]]);
+        let mut fds = FdSet::new();
+        fds.add_key("R", &[0], 3);
+        assert!(fds.holds_on(&r));
+        let (_, bad) = rel_with(&[&["a", "1", "x"], &["a", "1", "y"]]);
+        assert!(!fds.holds_on(&bad));
+    }
+
+    #[test]
+    fn display_is_one_based() {
+        let fd = Fd::new("S", vec![0, 1], 2);
+        assert_eq!(fd.to_string(), "S[1]S[2] -> S[3]");
+    }
+}

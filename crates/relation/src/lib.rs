@@ -1,0 +1,35 @@
+//! In-memory relational substrate for `cqbounds`.
+//!
+//! The paper's results are statements about databases: every tightness
+//! construction (Propositions 4.5, 5.2, 6.11) *produces a database* whose
+//! result size or treewidth we then measure. This crate supplies that
+//! machinery:
+//!
+//! - [`SymbolTable`]/[`Value`] — interned domain values;
+//! - [`Schema`]/[`Relation`] — deduplicated tuple sets with projection and
+//!   selection;
+//! - [`Fd`]/[`FdSet`] — functional dependencies, keys, Armstrong closure
+//!   and instance checking (§2 of the paper);
+//! - [`Database`] — named relations, `rmax(D)`, and Gaifman graphs;
+//! - hash [`equi_join`]s, [`keyed_join`]s (Theorem 5.5's setting) and
+//!   [`natural_join`]s (used by the Corollary 4.8 join-project plans).
+//!
+//! Query *evaluation* lives in `cq-core`, next to the conjunctive-query
+//! type it evaluates.
+
+pub mod database;
+pub mod fd;
+pub mod join;
+#[allow(clippy::module_inception)]
+pub mod relation;
+pub mod schema;
+pub mod symbol;
+pub mod textio;
+
+pub use database::Database;
+pub use fd::{Fd, FdSet};
+pub use join::{equi_join, keyed_join, natural_join};
+pub use relation::{Relation, Row};
+pub use schema::Schema;
+pub use symbol::{DisplayValue, SymbolTable, Value};
+pub use textio::{parse_database, render_database, DbParseError};

@@ -1,0 +1,217 @@
+//! Relations: schemas plus deduplicated tuple sets.
+//!
+//! Tuples are boxed slices of interned [`Value`]s. Insertion order is
+//! preserved for deterministic iteration (the experiment harness prints
+//! tuples), and a hash index enforces set semantics.
+
+use crate::schema::Schema;
+use crate::symbol::Value;
+use cq_util::FxHashSet;
+
+/// A tuple of interned values.
+pub type Row = Box<[Value]>;
+
+/// A relation instance: a schema and a set of tuples.
+#[derive(Clone, Debug)]
+pub struct Relation {
+    schema: Schema,
+    rows: Vec<Row>,
+    index: FxHashSet<Row>,
+}
+
+impl Relation {
+    /// Creates an empty relation over `schema`.
+    pub fn new(schema: Schema) -> Self {
+        Relation {
+            schema,
+            rows: Vec::new(),
+            index: FxHashSet::default(),
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Relation name (shorthand for `schema().name()`).
+    pub fn name(&self) -> &str {
+        self.schema.name()
+    }
+
+    /// Arity (shorthand for `schema().arity()`).
+    pub fn arity(&self) -> usize {
+        self.schema.arity()
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Inserts a tuple; returns `true` if it was new.
+    ///
+    /// # Panics
+    /// Panics if the tuple arity does not match the schema.
+    pub fn insert(&mut self, row: impl Into<Row>) -> bool {
+        let row: Row = row.into();
+        assert_eq!(
+            row.len(),
+            self.schema.arity(),
+            "tuple arity {} does not match schema {}",
+            row.len(),
+            self.schema
+        );
+        if self.index.contains(&row) {
+            return false;
+        }
+        self.index.insert(row.clone());
+        self.rows.push(row);
+        true
+    }
+
+    /// Membership test.
+    pub fn contains(&self, row: &[Value]) -> bool {
+        self.index.contains(row)
+    }
+
+    /// Iterates over tuples in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &[Value]> + '_ {
+        self.rows.iter().map(|r| r.as_ref())
+    }
+
+    /// Projection onto the 0-based positions `cols` (duplicates removed).
+    pub fn project(&self, cols: &[usize], name: impl Into<String>) -> Relation {
+        let schema = Schema::with_attrs(
+            name,
+            cols.iter().map(|&c| self.schema.attr(c).to_owned()),
+        );
+        let mut out = Relation::new(schema);
+        for row in self.iter() {
+            let proj: Row = cols.iter().map(|&c| row[c]).collect();
+            out.insert(proj);
+        }
+        out
+    }
+
+    /// Selection by predicate.
+    pub fn select(&self, mut pred: impl FnMut(&[Value]) -> bool) -> Relation {
+        let mut out = Relation::new(self.schema.clone());
+        for row in self.iter() {
+            if pred(row) {
+                out.insert(row.to_vec());
+            }
+        }
+        out
+    }
+
+    /// Set union with another relation of the same arity (schema of `self`
+    /// is kept). Used by the `rep(Q) > 1` construction step of
+    /// Proposition 4.5: relations occurring several times in a query are
+    /// populated with the union of the per-occurrence relations.
+    pub fn union(&self, other: &Relation) -> Relation {
+        assert_eq!(self.arity(), other.arity(), "union arity mismatch");
+        let mut out = self.clone();
+        for row in other.iter() {
+            out.insert(row.to_vec());
+        }
+        out
+    }
+
+    /// Renames the relation.
+    pub fn renamed(&self, name: impl Into<String>) -> Relation {
+        let mut out = self.clone();
+        out.schema = out.schema.renamed(name);
+        out
+    }
+
+    /// The set of distinct values in column `col`.
+    pub fn column_values(&self, col: usize) -> FxHashSet<Value> {
+        self.iter().map(|r| r[col]).collect()
+    }
+
+    /// All distinct values appearing anywhere in the relation.
+    pub fn active_domain(&self) -> FxHashSet<Value> {
+        self.iter().flat_map(|r| r.iter().copied()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::SymbolTable;
+
+    fn vals(t: &mut SymbolTable, names: &[&str]) -> Vec<Value> {
+        names.iter().map(|n| t.intern(n)).collect()
+    }
+
+    #[test]
+    fn insert_dedup_and_iterate() {
+        let mut t = SymbolTable::new();
+        let mut r = Relation::new(Schema::new("R", 2));
+        assert!(r.insert(vals(&mut t, &["a", "b"])));
+        assert!(r.insert(vals(&mut t, &["a", "c"])));
+        assert!(!r.insert(vals(&mut t, &["a", "b"])));
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&vals(&mut t, &["a", "c"])));
+        assert!(!r.contains(&vals(&mut t, &["c", "a"])));
+        let rows: Vec<_> = r.iter().map(|x| x.to_vec()).collect();
+        assert_eq!(rows[0], vals(&mut t, &["a", "b"]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_mismatch_panics() {
+        let mut t = SymbolTable::new();
+        let mut r = Relation::new(Schema::new("R", 2));
+        r.insert(vals(&mut t, &["a"]));
+    }
+
+    #[test]
+    fn projection() {
+        let mut t = SymbolTable::new();
+        let mut r = Relation::new(Schema::new("R", 3));
+        r.insert(vals(&mut t, &["a", "b", "c"]));
+        r.insert(vals(&mut t, &["a", "b", "d"]));
+        r.insert(vals(&mut t, &["x", "y", "z"]));
+        let p = r.project(&[0, 1], "P");
+        assert_eq!(p.len(), 2); // (a,b) deduplicated
+        assert_eq!(p.arity(), 2);
+        // column order respected, including permutations
+        let swapped = r.project(&[2, 0], "S");
+        assert!(swapped.contains(&vals(&mut t, &["c", "a"])));
+    }
+
+    #[test]
+    fn selection_and_union() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("a");
+        let mut r = Relation::new(Schema::new("R", 2));
+        r.insert(vals(&mut t, &["a", "b"]));
+        r.insert(vals(&mut t, &["c", "d"]));
+        let sel = r.select(|row| row[0] == a);
+        assert_eq!(sel.len(), 1);
+        let mut s = Relation::new(Schema::new("S", 2));
+        s.insert(vals(&mut t, &["c", "d"]));
+        s.insert(vals(&mut t, &["e", "f"]));
+        let u = r.union(&s);
+        assert_eq!(u.len(), 3);
+        assert_eq!(u.name(), "R");
+    }
+
+    #[test]
+    fn domains() {
+        let mut t = SymbolTable::new();
+        let mut r = Relation::new(Schema::new("R", 2));
+        r.insert(vals(&mut t, &["a", "b"]));
+        r.insert(vals(&mut t, &["a", "c"]));
+        assert_eq!(r.column_values(0).len(), 1);
+        assert_eq!(r.column_values(1).len(), 2);
+        assert_eq!(r.active_domain().len(), 3);
+    }
+}

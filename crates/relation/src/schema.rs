@@ -1,0 +1,98 @@
+//! Relation schemas.
+//!
+//! A schema is a relation name plus named attribute positions. The paper
+//! addresses attributes positionally (`R[i]`), so attribute names default
+//! to `A1..Ak` but can be set for readability in examples.
+
+use std::fmt;
+
+/// Schema of a relation: name and attribute names (arity = their count).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schema {
+    name: String,
+    attrs: Vec<String>,
+}
+
+impl Schema {
+    /// Creates a schema with default attribute names `A1..Ak`.
+    pub fn new(name: impl Into<String>, arity: usize) -> Self {
+        Schema {
+            name: name.into(),
+            attrs: (1..=arity).map(|i| format!("A{i}")).collect(),
+        }
+    }
+
+    /// Creates a schema with explicit attribute names.
+    pub fn with_attrs(
+        name: impl Into<String>,
+        attrs: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Self {
+        Schema {
+            name: name.into(),
+            attrs: attrs.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Attribute name at position `i` (0-based; the paper's `R[i+1]`).
+    pub fn attr(&self, i: usize) -> &str {
+        &self.attrs[i]
+    }
+
+    /// All attribute names.
+    pub fn attrs(&self) -> &[String] {
+        &self.attrs
+    }
+
+    /// Position of the attribute named `name`.
+    pub fn position(&self, name: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a == name)
+    }
+
+    /// Renames the relation, keeping attributes.
+    pub fn renamed(&self, name: impl Into<String>) -> Schema {
+        Schema {
+            name: name.into(),
+            attrs: self.attrs.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.name, self.attrs.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_names() {
+        let s = Schema::new("R", 3);
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.attr(0), "A1");
+        assert_eq!(s.attr(2), "A3");
+        assert_eq!(s.to_string(), "R(A1, A2, A3)");
+    }
+
+    #[test]
+    fn explicit_names_and_positions() {
+        let s = Schema::with_attrs("Emp", ["id", "dept", "name"]);
+        assert_eq!(s.position("dept"), Some(1));
+        assert_eq!(s.position("salary"), None);
+        let r = s.renamed("Emp2");
+        assert_eq!(r.name(), "Emp2");
+        assert_eq!(r.attrs(), s.attrs());
+    }
+}

@@ -1,0 +1,127 @@
+//! Value interning.
+//!
+//! Domain values are interned strings: a [`Value`] is a dense `u32` id
+//! into a [`SymbolTable`]. The paper's tightness constructions mint values
+//! with structured names (e.g. `v[c1=3,c2=0]` for the color-product
+//! database of Proposition 4.5, or `7_j`-style marked values in the
+//! Proposition 6.11 Shamir construction); interning keeps tuples compact
+//! (`u32`s) while preserving readable provenance for debugging and the
+//! experiment reports.
+
+use cq_util::FxHashMap;
+use std::fmt;
+
+/// An interned domain value.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Value(pub(crate) u32);
+
+impl Value {
+    /// The dense id of this value.
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+/// An append-only string interner for domain values.
+#[derive(Default, Clone, Debug)]
+pub struct SymbolTable {
+    names: Vec<String>,
+    ids: FxHashMap<String, u32>,
+}
+
+impl SymbolTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        SymbolTable::default()
+    }
+
+    /// Interns `name`, returning the same [`Value`] for equal names.
+    pub fn intern(&mut self, name: &str) -> Value {
+        if let Some(&id) = self.ids.get(name) {
+            return Value(id);
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_owned());
+        self.ids.insert(name.to_owned(), id);
+        Value(id)
+    }
+
+    /// Mints a fresh value guaranteed distinct from all existing ones.
+    pub fn fresh(&mut self, prefix: &str) -> Value {
+        let mut k = self.names.len();
+        loop {
+            let candidate = format!("{prefix}#{k}");
+            if !self.ids.contains_key(&candidate) {
+                return self.intern(&candidate);
+            }
+            k += 1;
+        }
+    }
+
+    /// Name of `v`.
+    pub fn name(&self, v: Value) -> &str {
+        &self.names[v.0 as usize]
+    }
+
+    /// Looks up an already-interned name.
+    pub fn lookup(&self, name: &str) -> Option<Value> {
+        self.ids.get(name).map(|&id| Value(id))
+    }
+
+    /// Number of interned values.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` when no value has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// Displays a value through its table.
+pub struct DisplayValue<'a>(pub &'a SymbolTable, pub Value);
+
+impl fmt::Display for DisplayValue<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.0.name(self.1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("alpha");
+        let b = t.intern("beta");
+        assert_ne!(a, b);
+        assert_eq!(t.intern("alpha"), a);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.name(a), "alpha");
+        assert_eq!(t.lookup("beta"), Some(b));
+        assert_eq!(t.lookup("gamma"), None);
+    }
+
+    #[test]
+    fn fresh_values_are_distinct() {
+        let mut t = SymbolTable::new();
+        let a = t.fresh("x");
+        let b = t.fresh("x");
+        assert_ne!(a, b);
+        // fresh avoids collisions with user names
+        let c_name = format!("x#{}", t.len());
+        t.intern(&c_name);
+        let d = t.fresh("x");
+        assert_ne!(t.name(d), c_name);
+    }
+
+    #[test]
+    fn display() {
+        let mut t = SymbolTable::new();
+        let v = t.intern("v[c1=3]");
+        assert_eq!(DisplayValue(&t, v).to_string(), "v[c1=3]");
+    }
+}

@@ -1,0 +1,184 @@
+//! A small text format for database instances.
+//!
+//! One relation block per `relation NAME`, then one tuple per line with
+//! whitespace-separated values; `#` comments and blank lines ignored:
+//!
+//! ```text
+//! # employees
+//! relation emp
+//! e1 d1
+//! e2 d1
+//!
+//! relation dept
+//! d1 e1
+//! ```
+//!
+//! Used by the `cq-analyze --db` flag so the paper's bounds can be
+//! checked against user-supplied data, and by tests that want readable
+//! fixtures.
+
+use crate::database::Database;
+use crate::relation::Relation;
+use crate::schema::Schema;
+use std::fmt;
+
+/// Error parsing a database text file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DbParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Problem description.
+    pub message: String,
+}
+
+impl fmt::Display for DbParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for DbParseError {}
+
+/// Parses the text format into a [`Database`].
+pub fn parse_database(text: &str) -> Result<Database, DbParseError> {
+    let mut db = Database::new();
+    let mut current: Option<(String, Option<usize>)> = None; // (name, arity)
+    for (i, raw) in text.lines().enumerate() {
+        let line = match raw.find('#') {
+            Some(p) => &raw[..p],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix("relation ") {
+            let name = name.trim();
+            if name.is_empty() || name.contains(char::is_whitespace) {
+                return Err(DbParseError {
+                    line: i + 1,
+                    message: format!("bad relation name {name:?}"),
+                });
+            }
+            current = Some((name.to_owned(), None));
+            continue;
+        }
+        let Some((ref name, ref mut arity)) = current else {
+            return Err(DbParseError {
+                line: i + 1,
+                message: "tuple before any `relation NAME` header".into(),
+            });
+        };
+        let values: Vec<&str> = line.split_whitespace().collect();
+        match arity {
+            None => {
+                *arity = Some(values.len());
+                if db.relation(name).is_none() {
+                    db.add_relation(Relation::new(Schema::new(name.clone(), values.len())));
+                }
+            }
+            Some(a) if *a != values.len() => {
+                return Err(DbParseError {
+                    line: i + 1,
+                    message: format!(
+                        "tuple arity {} does not match {name}'s arity {a}",
+                        values.len()
+                    ),
+                });
+            }
+            Some(_) => {}
+        }
+        let existing_arity = db.relation(name).map(crate::relation::Relation::arity);
+        if let Some(ea) = existing_arity {
+            if ea != values.len() {
+                return Err(DbParseError {
+                    line: i + 1,
+                    message: format!(
+                        "relation {name} re-declared with arity {} (was {ea})",
+                        values.len()
+                    ),
+                });
+            }
+        }
+        db.insert_named(name, &values);
+    }
+    Ok(db)
+}
+
+/// Renders a database in the same text format (round-trips through
+/// [`parse_database`]).
+pub fn render_database(db: &Database) -> String {
+    let mut out = String::new();
+    for rel in db.relations() {
+        out.push_str(&format!("relation {}\n", rel.name()));
+        for row in rel.iter() {
+            let names: Vec<&str> = row.iter().map(|&v| db.symbols().name(v)).collect();
+            out.push_str(&names.join(" "));
+            out.push('\n');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic() {
+        let db = parse_database(
+            "# comment\nrelation R\na b\nc d  # trailing comment\n\nrelation S\nx\n",
+        )
+        .unwrap();
+        assert_eq!(db.relation("R").unwrap().len(), 2);
+        assert_eq!(db.relation("R").unwrap().arity(), 2);
+        assert_eq!(db.relation("S").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn duplicate_tuples_deduplicated() {
+        let db = parse_database("relation R\na b\na b\n").unwrap();
+        assert_eq!(db.relation("R").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn relation_blocks_can_be_split() {
+        let db = parse_database("relation R\na b\nrelation S\nx y\nrelation R\nc d\n")
+            .unwrap();
+        assert_eq!(db.relation("R").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn errors_reported_with_line_numbers() {
+        let err = parse_database("a b\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        let err = parse_database("relation R\na b\nc\n").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("arity"));
+        let err = parse_database("relation bad name\n").unwrap_err();
+        assert!(err.message.contains("bad relation name"));
+    }
+
+    #[test]
+    fn arity_conflict_across_blocks() {
+        let err = parse_database("relation R\na b\nrelation R\nc\n").unwrap_err();
+        assert!(err.message.contains("arity"), "{err}");
+    }
+
+    #[test]
+    fn round_trip() {
+        let db = parse_database("relation R\na b\nc d\n\nrelation S\nx\n").unwrap();
+        let text = render_database(&db);
+        let db2 = parse_database(&text).unwrap();
+        assert_eq!(db2.relation("R").unwrap().len(), 2);
+        assert_eq!(db2.relation("S").unwrap().len(), 1);
+        assert_eq!(render_database(&db2), text);
+    }
+
+    #[test]
+    fn empty_input_is_empty_database() {
+        let db = parse_database("").unwrap();
+        assert_eq!(db.num_relations(), 0);
+    }
+}

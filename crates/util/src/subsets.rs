@@ -1,0 +1,130 @@
+//! Subset enumeration over `u32` bitmask-encoded sets.
+//!
+//! The entropy machinery of the paper (§6) indexes joint entropies `h(S)`
+//! and I-measure atoms `I(S | [k]−S)` by subsets `S ⊆ [k]` of the query
+//! variables. With `k ≤ 31` a subset is a `u32` mask; these helpers
+//! enumerate subsets and sub-subsets without allocation.
+
+/// Iterates over all subsets of `mask` (including the empty set and `mask`
+/// itself) in increasing numeric order of the subset pattern.
+pub struct SubsetIter {
+    mask: u32,
+    current: u32,
+    done: bool,
+}
+
+impl Iterator for SubsetIter {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        if self.done {
+            return None;
+        }
+        let out = self.current;
+        if self.current == self.mask {
+            self.done = true;
+        } else {
+            // Standard sub-mask enumeration trick: (current - mask) & mask
+            // steps through submasks in increasing order when started at 0.
+            self.current = (self.current.wrapping_sub(self.mask)) & self.mask;
+        }
+        Some(out)
+    }
+}
+
+/// All subsets of `mask`, empty set first, `mask` last.
+pub fn subsets_of(mask: u32) -> SubsetIter {
+    SubsetIter {
+        mask,
+        current: 0,
+        done: false,
+    }
+}
+
+/// Number of set bits, as `usize` (convenience over `u32::count_ones`).
+pub fn popcount(mask: u32) -> usize {
+    mask.count_ones() as usize
+}
+
+/// The full mask `{0, .., k-1}`.
+pub fn full_mask(k: usize) -> u32 {
+    assert!(k <= 31, "subset machinery supports at most 31 elements");
+    if k == 0 {
+        0
+    } else {
+        (1u32 << k) - 1
+    }
+}
+
+/// The elements of `mask` in increasing order.
+pub fn mask_elems(mask: u32) -> impl Iterator<Item = usize> {
+    let mut m = mask;
+    std::iter::from_fn(move || {
+        if m == 0 {
+            None
+        } else {
+            let b = m.trailing_zeros() as usize;
+            m &= m - 1;
+            Some(b)
+        }
+    })
+}
+
+/// Builds a mask from an iterator of element indices (each `< 31`).
+pub fn mask_from<I: IntoIterator<Item = usize>>(iter: I) -> u32 {
+    let mut m = 0u32;
+    for i in iter {
+        assert!(i < 31, "subset machinery supports at most 31 elements");
+        m |= 1 << i;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subsets_of_small_mask() {
+        let subs: Vec<u32> = subsets_of(0b101).collect();
+        assert_eq!(subs, vec![0b000, 0b001, 0b100, 0b101]);
+    }
+
+    #[test]
+    fn subsets_of_empty() {
+        let subs: Vec<u32> = subsets_of(0).collect();
+        assert_eq!(subs, vec![0]);
+    }
+
+    #[test]
+    fn subset_count_is_power_of_two() {
+        for mask in [0b1u32, 0b111, 0b1011, 0b11111] {
+            let n = subsets_of(mask).count();
+            assert_eq!(n, 1 << popcount(mask));
+        }
+    }
+
+    #[test]
+    fn every_subset_is_a_submask() {
+        let mask = 0b110101;
+        for s in subsets_of(mask) {
+            assert_eq!(s & mask, s);
+        }
+    }
+
+    #[test]
+    fn mask_helpers() {
+        assert_eq!(full_mask(0), 0);
+        assert_eq!(full_mask(3), 0b111);
+        assert_eq!(mask_from([0, 2, 4]), 0b10101);
+        let elems: Vec<_> = mask_elems(0b10101).collect();
+        assert_eq!(elems, vec![0, 2, 4]);
+        assert_eq!(popcount(0b10101), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn full_mask_too_large_panics() {
+        full_mask(32);
+    }
+}

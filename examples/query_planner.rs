@@ -1,0 +1,65 @@
+//! Corollary 4.8: when `C(chase(Q))` is bounded and all variables are
+//! output variables, `Q(D)` is computable by a join-project plan in
+//! `O(|Q|² · rmax^{C+1})` time.
+//!
+//! This example evaluates the triangle query both ways — the generic
+//! backtracking engine and the Corollary 4.8 natural-join plan — on
+//! AGM-worst-case databases of growing size, reporting intermediate
+//! sizes (which stay within `rmax^C`, the crux of the corollary) and
+//! wall-clock times.
+//!
+//! Run with: `cargo run --release --example query_planner`
+
+use cqbounds::core::{
+    evaluate, evaluate_by_plan, parse_query, pow_le, size_bound_no_fds,
+    worst_case_database,
+};
+use std::time::Instant;
+
+fn main() {
+    let q = parse_query("S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z)").unwrap();
+    let bound = size_bound_no_fds(&q);
+    println!("query: {q}");
+    println!("C(Q) = {} (join-project plan applies: all vars in head)\n", bound.exponent);
+
+    println!(
+        "{:>4} {:>8} {:>10} {:>22} {:>12} {:>12}",
+        "M", "rmax", "|Q(D)|", "intermediates", "plan", "backtrack"
+    );
+    for m in [2usize, 4, 8, 12, 16] {
+        let db = worst_case_database(&q, &bound.coloring, m);
+        let rmax = db.rmax(&["R"]);
+
+        let t0 = Instant::now();
+        let (planned, intermediates) = evaluate_by_plan(&q, &db);
+        let plan_time = t0.elapsed();
+
+        let t1 = Instant::now();
+        let direct = evaluate(&q, &db);
+        let direct_time = t1.elapsed();
+
+        assert_eq!(planned.len(), direct.len());
+        // Corollary 4.8's engine guarantee: every intermediate is within
+        // rmax^C of the inputs (checked exactly).
+        for &size in &intermediates {
+            assert!(
+                pow_le(size, rmax, &bound.exponent),
+                "intermediate {size} exceeded rmax^C"
+            );
+        }
+        println!(
+            "{:>4} {:>8} {:>10} {:>22} {:>10.1?} {:>10.1?}",
+            m,
+            rmax,
+            planned.len(),
+            format!("{intermediates:?}"),
+            plan_time,
+            direct_time
+        );
+    }
+
+    println!(
+        "\nEvery intermediate stayed within rmax^C — the join-project plan\n\
+         of Corollary 4.8 is output-polynomial whenever C(chase(Q)) is bounded."
+    );
+}

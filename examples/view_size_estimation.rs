@@ -1,0 +1,105 @@
+//! View-size estimation for data exchange (the paper's §1 motivation).
+//!
+//! A target site materializes views defined by conjunctive queries over
+//! a source database. Before shipping any data we want a worst-case
+//! bound on how large each view can get — the paper's bound
+//! `rmax^{C(chase(Q))}` — and we compare it against the actual
+//! materialized sizes on a generated company database.
+//!
+//! Run with: `cargo run --example view_size_estimation`
+
+use cqbounds::core::{
+    agm_product_bound, evaluate, parse_program, pow_le, size_bound_simple_fds,
+};
+use cqbounds::relation::Database;
+
+/// Generates a small company database:
+/// `emp(eid, dept)` — eid is a key;
+/// `dept(did, mgr)` — did is a key;
+/// `assign(eid, pid)` — many-to-many;
+/// `proj(pid, lead)` — pid is a key.
+fn company_db(num_emps: usize, num_depts: usize, num_projects: usize) -> Database {
+    let mut db = Database::new();
+    for e in 0..num_emps {
+        db.insert_named("emp", &[&format!("e{e}"), &format!("d{}", e % num_depts)]);
+    }
+    for d in 0..num_depts {
+        db.insert_named("dept", &[&format!("d{d}"), &format!("e{}", d * 3 % num_emps)]);
+    }
+    for e in 0..num_emps {
+        // each employee on ~3 projects
+        for k in 0..3 {
+            db.insert_named(
+                "assign",
+                &[&format!("e{e}"), &format!("p{}", (e * 7 + k * 11) % num_projects)],
+            );
+        }
+    }
+    for p in 0..num_projects {
+        db.insert_named("proj", &[&format!("p{p}"), &format!("e{}", p % num_emps)]);
+    }
+    db
+}
+
+fn main() {
+    let db = company_db(60, 6, 20);
+    let keys = "key emp[1] arity 2\nkey dept[1] arity 2\nkey proj[1] arity 2";
+
+    // Views a data-exchange mapping might materialize at the target.
+    let views = [
+        (
+            "colleagues: pairs sharing a department",
+            format!("V(E1,E2) :- emp(E1,D), emp(E2,D)\n{keys}"),
+        ),
+        (
+            "dept roster with manager",
+            format!("V(E,D,M) :- emp(E,D), dept(D,M)\n{keys}"),
+        ),
+        (
+            "project co-membership",
+            format!("V(E1,E2,P) :- assign(E1,P), assign(E2,P)\n{keys}"),
+        ),
+        (
+            "employee-project-lead triples",
+            format!("V(E,P,L) :- assign(E,P), proj(P,L)\n{keys}"),
+        ),
+        (
+            "triangle: colleagues on a common project",
+            format!("V(E1,E2,P) :- emp(E1,D), emp(E2,D), assign(E1,P), assign(E2,P)\n{keys}"),
+        ),
+    ];
+
+    println!(
+        "{:<44} {:>6} {:>10} {:>14} {:>16}",
+        "view", "C", "measured", "bound rmax^C", "product bound"
+    );
+    for (name, text) in &views {
+        let (q, fds) = parse_program(text).expect("parse");
+        let (bound, _, _) = size_bound_simple_fds(&q, &fds);
+        let names = q.relation_names();
+        let rmax = db.rmax(&names);
+        let out = evaluate(&q, &db);
+        let holds = pow_le(out.len(), rmax, &bound.exponent);
+        assert!(holds, "the worst-case bound must hold on any instance");
+        let bound_value = (rmax as f64).powf(bound.exponent.to_f64());
+        // The product-form AGM bound uses per-relation sizes and is
+        // usually much sharper than rmax^C on skewed schemas.
+        let product = agm_product_bound(&q, &db);
+        assert!(product.holds);
+        println!(
+            "{:<44} {:>6} {:>10} {:>14.0} {:>16.0}",
+            name,
+            bound.exponent.to_string(),
+            out.len(),
+            bound_value,
+            product.bound_approx,
+        );
+    }
+
+    println!(
+        "\nAll bounds hold; worst-case exponents are exact rationals computed\n\
+         by the Proposition 3.6 LP after chasing the keys (Theorem 4.4).\n\
+         The product bound Π|R_j|^y_j uses the same fractional cover with\n\
+         per-relation sizes — sharper whenever the inputs are skewed."
+    );
+}

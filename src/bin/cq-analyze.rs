@@ -1,0 +1,181 @@
+//! `cq-analyze` — command-line analyzer for conjunctive queries.
+//!
+//! Reads a program (one datalog rule plus dependency lines — see
+//! `cq_core::parser`) from a file or stdin and prints the full analysis:
+//! chase, size-bound exponent, size-increase decision, treewidth
+//! preservation, acyclicity, and (optionally) a worst-case witness
+//! database.
+//!
+//! ```text
+//! cq-analyze query.cq              # analyze a file
+//! echo '...' | cq-analyze -        # analyze stdin
+//! cq-analyze query.cq --witness 4  # also build & measure the M=4 worst case
+//! cq-analyze query.cq --db data.db # evaluate + check bounds on real data
+//! ```
+
+use cqbounds::core::*;
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (path, witness_m, db_path) = match parse_args(&args) {
+        Ok(p) => p,
+        Err(msg) => {
+            eprintln!("{msg}");
+            eprintln!("usage: cq-analyze <file|-> [--witness M] [--db FILE]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let text = match read_input(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (q, fds) = match parse_program(&text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("query       : {q}");
+    println!("variables   : {}", q.num_vars());
+    println!("atoms       : {} (rep = {})", q.num_atoms(), q.rep());
+    println!("join query  : {}", q.is_join_query());
+    println!("acyclic     : {}", is_acyclic(&q));
+    for fd in fds.iter() {
+        println!("dependency  : {fd}");
+    }
+
+    let vfds_simple = {
+        let chased = chase(&q, &fds);
+        chased.query.variable_fds(&fds).iter().all(VarFd::is_simple)
+    };
+
+    if vfds_simple {
+        let (bound, chased, _) = size_bound_simple_fds(&q, &fds);
+        println!("chase(Q)    : {}", chased.query);
+        println!("size bound  : |Q(D)| <= rmax(D)^{}", bound.exponent);
+        match treewidth_preservation_simple_fds(&q, &fds) {
+            TwPreservation::Preserved => println!("treewidth   : preserved"),
+            TwPreservation::Blowup { x, y } => println!(
+                "treewidth   : UNBOUNDED blowup (witness pair {}, {})",
+                bound.query.var_name(x),
+                bound.query.var_name(y)
+            ),
+        }
+        if let Some(m) = witness_m {
+            let db = worst_case_database(&chased.query, &bound.coloring, m);
+            let check = check_size_bound(&chased.query, &db, &bound.exponent);
+            println!(
+                "witness M={m}: rmax = {}, |Q(D)| = {} (bound ~ {:.1}, holds: {})",
+                check.rmax, check.measured, check.bound_approx, check.holds
+            );
+        }
+    } else {
+        println!("chase(Q)    : (compound dependencies; Theorem 4.4 does not apply)");
+        let chased = chase(&q, &fds);
+        let vfds = chased.query.variable_fds(&fds);
+        if chased.query.num_vars() <= 10 {
+            let c = color_number_entropy_lp(&chased.query, &vfds);
+            println!("color number: C(chase(Q)) = {c} (Prop 6.10 LP; lower bound on the exponent)");
+        }
+        if chased.query.num_vars() <= 6 {
+            let s = entropy_upper_bound(&chased.query, &vfds);
+            println!("size bound  : |Q(D)| <= rmax(D)^{s} (Prop 6.9 Shannon LP)");
+        }
+    }
+
+    if let Some(db_path) = db_path {
+        let db_text = match std::fs::read_to_string(&db_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {db_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let db = match cqbounds::relation::parse_database(&db_text) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("{db_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if !db.satisfies(&fds) {
+            println!("data        : WARNING — the declared dependencies do not hold");
+        }
+        let out = evaluate(&q, &db);
+        let rmax = db.rmax(&q.relation_names());
+        println!("data        : rmax = {rmax}, |Q(D)| = {}", out.len());
+        if vfds_simple {
+            let (bound, _, _) = size_bound_simple_fds(&q, &fds);
+            let holds = pow_le(out.len(), rmax, &bound.exponent);
+            println!(
+                "data bound  : |Q(D)| <= rmax^{} -> {} (exact check: {})",
+                bound.exponent,
+                (rmax as f64).powf(bound.exponent.to_f64()),
+                holds
+            );
+        }
+        if q.is_join_query() {
+            let product = agm_product_bound(&q, &db);
+            println!(
+                "data bound  : product form Π|R_j|^y_j ~ {:.1} (holds: {})",
+                product.bound_approx, product.holds
+            );
+        }
+    }
+
+    let decision = decide_size_increase(&q, &fds);
+    if decision.increases {
+        println!(
+            "growth      : some database makes |Q(D)| > rmax(D)  (C >= {})",
+            decision.lower_bound
+        );
+    } else {
+        println!("growth      : size-preserving (|Q(D)| <= rmax(D) always)");
+    }
+    ExitCode::SUCCESS
+}
+
+fn parse_args(args: &[String]) -> Result<(String, Option<usize>, Option<String>), String> {
+    let mut path = None;
+    let mut witness = None;
+    let mut db = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--witness" => {
+                i += 1;
+                let m = args
+                    .get(i)
+                    .ok_or("--witness needs a value")?
+                    .parse()
+                    .map_err(|_| "--witness needs an integer".to_string())?;
+                witness = Some(m);
+            }
+            "--db" => {
+                i += 1;
+                db = Some(args.get(i).ok_or("--db needs a file")?.to_string());
+            }
+            other if path.is_none() => path = Some(other.to_string()),
+            other => return Err(format!("unexpected argument {other}")),
+        }
+        i += 1;
+    }
+    Ok((path.ok_or("missing input file")?, witness, db))
+}
+
+fn read_input(path: &str) -> std::io::Result<String> {
+    if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin().read_to_string(&mut buf)?;
+        Ok(buf)
+    } else {
+        std::fs::read_to_string(path)
+    }
+}

@@ -1,0 +1,25 @@
+//! # cqbounds — Size and treewidth bounds for conjunctive queries
+//!
+//! Umbrella crate re-exporting the whole workspace:
+//!
+//! - [`core`] — the paper's contribution: colorings, the chase,
+//!   exact LP size bounds, treewidth-preservation analysis, entropy
+//!   bounds, tightness constructions and decision procedures;
+//! - [`relation`] — the in-memory relational substrate;
+//! - [`hypergraph`] — graphs, tree decompositions, treewidth;
+//! - [`lp`] — exact rational simplex;
+//! - [`arith`] — big integers and rationals;
+//! - [`util`] — bitsets, hashing, subset enumeration.
+//!
+//! See the `examples/` directory for runnable walkthroughs and
+//! `cq-bench` for the experiment harness that regenerates every figure,
+//! example and theorem-check of the paper.
+
+pub use cq_arith as arith;
+pub use cq_core as core;
+pub use cq_hypergraph as hypergraph;
+pub use cq_lp as lp;
+pub use cq_relation as relation;
+pub use cq_util as util;
+
+pub use cq_core::*;

@@ -1,0 +1,129 @@
+//! Integration tests for the `cq-analyze` CLI binary.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn run_cli(args: &[&str], stdin: Option<&str>) -> (String, String, bool) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_cq-analyze"));
+    cmd.args(args).stdout(Stdio::piped()).stderr(Stdio::piped());
+    if stdin.is_some() {
+        cmd.stdin(Stdio::piped());
+    }
+    let mut child = cmd.spawn().expect("spawn cq-analyze");
+    if let Some(text) = stdin {
+        child
+            .stdin
+            .as_mut()
+            .unwrap()
+            .write_all(text.as_bytes())
+            .unwrap();
+    }
+    let out = child.wait_with_output().expect("wait");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn analyzes_triangle_from_stdin() {
+    let (stdout, _, ok) = run_cli(
+        &["-", "--witness", "3"],
+        Some("S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z)\n"),
+    );
+    assert!(ok);
+    assert!(stdout.contains("rmax(D)^3/2"), "{stdout}");
+    assert!(stdout.contains("treewidth   : preserved"), "{stdout}");
+    assert!(stdout.contains("witness M=3"), "{stdout}");
+    assert!(stdout.contains("holds: true"), "{stdout}");
+}
+
+#[test]
+fn analyzes_keyed_query_from_file() {
+    let dir = std::env::temp_dir();
+    let path = dir.join("cq_analyze_test.cq");
+    std::fs::write(&path, "R2(X,Y,Z) :- R(X,Y), R(X,Z)\nkey R[1]\n").unwrap();
+    let (stdout, _, ok) = run_cli(&[path.to_str().unwrap()], None);
+    assert!(ok);
+    assert!(stdout.contains("chase(Q)    : Q(X,Y,Y) :- R(X,Y)"), "{stdout}");
+    assert!(stdout.contains("rmax(D)^1"), "{stdout}");
+    assert!(stdout.contains("size-preserving"), "{stdout}");
+}
+
+#[test]
+fn reports_blowup_and_growth() {
+    let (stdout, _, ok) = run_cli(&["-"], Some("R2(X,Y,Z) :- R(X,Y), R(X,Z)\n"));
+    assert!(ok);
+    assert!(stdout.contains("UNBOUNDED blowup"), "{stdout}");
+    assert!(stdout.contains("|Q(D)| > rmax(D)"), "{stdout}");
+}
+
+#[test]
+fn compound_fds_fall_back_to_entropy_lps() {
+    let (stdout, _, ok) = run_cli(
+        &["-"],
+        Some("Q(X,Y,Z) :- R(X,Y,Z), S2(X,Z)\nR[1,2] -> R[3]\n"),
+    );
+    assert!(ok);
+    assert!(stdout.contains("compound dependencies"), "{stdout}");
+    assert!(stdout.contains("Prop 6.10"), "{stdout}");
+    assert!(stdout.contains("Prop 6.9"), "{stdout}");
+}
+
+#[test]
+fn evaluates_against_supplied_database() {
+    let dir = std::env::temp_dir();
+    let qpath = dir.join("cq_analyze_db_test.cq");
+    let dpath = dir.join("cq_analyze_db_test.db");
+    std::fs::write(&qpath, "T(X,Y,Z) :- E(X,Y), E(Y,Z), E(X,Z)\n").unwrap();
+    std::fs::write(
+        &dpath,
+        "relation E\na b\nb c\na c\n",
+    )
+    .unwrap();
+    let (stdout, _, ok) = run_cli(
+        &[qpath.to_str().unwrap(), "--db", dpath.to_str().unwrap()],
+        None,
+    );
+    assert!(ok);
+    assert!(stdout.contains("|Q(D)| = 1"), "{stdout}");
+    assert!(stdout.contains("exact check: true"), "{stdout}");
+    assert!(stdout.contains("product form"), "{stdout}");
+}
+
+#[test]
+fn warns_on_violated_dependencies() {
+    let dir = std::env::temp_dir();
+    let qpath = dir.join("cq_analyze_warn.cq");
+    let dpath = dir.join("cq_analyze_warn.db");
+    std::fs::write(&qpath, "Q(X,Y) :- R(X,Y)\nkey R[1]\n").unwrap();
+    std::fs::write(&dpath, "relation R\na 1\na 2\n").unwrap();
+    let (stdout, _, ok) = run_cli(
+        &[qpath.to_str().unwrap(), "--db", dpath.to_str().unwrap()],
+        None,
+    );
+    assert!(ok);
+    assert!(stdout.contains("WARNING"), "{stdout}");
+}
+
+#[test]
+fn parse_errors_fail_cleanly() {
+    let (_, stderr, ok) = run_cli(&["-"], Some("not a query\n"));
+    assert!(!ok);
+    assert!(stderr.contains("parse error"), "{stderr}");
+}
+
+#[test]
+fn missing_file_fails_cleanly() {
+    let (_, stderr, ok) = run_cli(&["/nonexistent/query.cq"], None);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    let (_, stderr, ok) = run_cli(&[], None);
+    assert!(!ok);
+    assert!(stderr.contains("usage"), "{stderr}");
+}

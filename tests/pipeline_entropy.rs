@@ -1,0 +1,199 @@
+//! End-to-end §6 pipelines: empirical entropy vs the LPs, Equation (2),
+//! the Shamir gap construction, Fact 6.12, and knitted complexity.
+
+mod common;
+
+use common::{random_database, random_query};
+use cqbounds::core::{
+    color_number_entropy_lp, color_number_lp, entropy_upper_bound, evaluate,
+    gap_construction, gap_lower_bound_coloring, normalize_fd_arity, parse_query,
+    size_bound_no_fds, worst_case_database, EntropyVector, VarFd,
+};
+use cqbounds::relation::FdSet;
+
+/// Equation (2) of the paper: on a *measured* database, the normalized
+/// entropy point h(S) = H_D(S) / max_j H_D(u_j) is feasible for the
+/// Proposition 6.9 LP, so s(Q) upper-bounds the measured exponent
+/// log |Q(D)| / log rmax.
+#[test]
+fn equation_2_feasibility_on_constructions() {
+    for text in [
+        "S(X,Y,Z) :- R(X,Y), R2(X,Z), R3(Y,Z)",
+        "Q(X,Y,Z) :- R(X,Y), S(Y,Z)",
+        "Q(X,Y,Z,W) :- A(X,Y), B(Y,Z), C(Z,W)",
+    ] {
+        let q = parse_query(text).unwrap();
+        let bound = size_bound_no_fds(&q);
+        let s_q = entropy_upper_bound(&q, &[]);
+        let db = worst_case_database(&q, &bound.coloring, 3);
+        let out = evaluate(&q, &db);
+        let rmax = db.rmax(&q.relation_names());
+        let measured_exponent = (out.len() as f64).ln() / (rmax as f64).ln();
+        assert!(
+            measured_exponent <= s_q.to_f64() + 1e-9,
+            "{text}: measured {measured_exponent} > s(Q) {s_q}"
+        );
+        // and the color number is sandwiched in between
+        assert!(bound.exponent.to_f64() <= s_q.to_f64() + 1e-9);
+    }
+}
+
+/// Random FD-free queries: Prop 3.6 LP == Prop 6.10 LP, and both are
+/// upper-bounded by the Prop 6.9 Shannon LP.
+#[test]
+fn lp_sandwich_on_random_queries() {
+    let mut checked = 0;
+    for seed in 0..40u64 {
+        let q = random_query(seed, 4, 3);
+        if q.num_vars() > 6 {
+            continue;
+        }
+        let c36 = color_number_lp(&q).value;
+        let c610 = color_number_entropy_lp(&q, &[]);
+        let s69 = entropy_upper_bound(&q, &[]);
+        assert_eq!(c36, c610, "seed {seed}: {q}");
+        assert!(s69 >= c610, "seed {seed}: {q}");
+        checked += 1;
+    }
+    assert!(checked > 20);
+}
+
+/// Without FDs the Shannon LP collapses to the AGM/color-number value
+/// (Shearer): s(Q) == C(Q).
+#[test]
+fn shannon_bound_tight_without_fds() {
+    for seed in 50..75u64 {
+        let q = random_query(seed, 4, 3);
+        if q.num_vars() > 5 {
+            continue;
+        }
+        let c = color_number_lp(&q).value;
+        let s = entropy_upper_bound(&q, &[]);
+        assert_eq!(c, s, "seed {seed}: {q}");
+    }
+}
+
+/// The gap construction end to end for k=4: measured sizes, validated
+/// coloring, and the entropy structure of a group.
+#[test]
+fn gap_construction_end_to_end() {
+    let g = gap_construction(4, 5);
+    // FDs hold on the Shamir database
+    assert!(g.db.satisfies(&g.fds));
+    // measured |Q(D)| and rmax match predictions
+    let out = evaluate(&g.query, &g.db);
+    assert_eq!(out.len() as u128, g.predicted_output());
+    let names = g.query.relation_names();
+    assert_eq!(g.db.rmax(&names) as u128, g.predicted_rmax());
+    // true exponent k/2 = 2 exceeds the color number upper bound? No —
+    // at k=4 they coincide (2 = 2); the *gap* is that C is actually
+    // 4/3 < 2 is only a lower bound... the measured exponent:
+    let measured = (out.len() as f64).ln() / (g.db.rmax(&names) as f64).ln();
+    assert!((measured - 2.0).abs() < 1e-9);
+    // the best known coloring gives only 4/3
+    let coloring = gap_lower_bound_coloring(&g);
+    coloring.validate(&g.var_fds).unwrap();
+    let achieved = coloring.color_number(&g.query).unwrap();
+    assert!(achieved.to_f64() < measured);
+    // the group entropy has the Figure 3 structure
+    let e = EntropyVector::from_relation(g.db.relation("R1").unwrap());
+    assert!(e.atom_identity_error() < 1e-9);
+    let log_n = 5f64.log2();
+    assert!((e.interaction(0b1111) / log_n + 2.0).abs() < 1e-9);
+}
+
+/// Entropy LP on the gap construction's *group subquery*: with the
+/// Shamir FDs, the Shannon bound for a single group query is 1
+/// (any half determines the rest), strictly below the FD-free value.
+#[test]
+fn group_subquery_entropy_bound() {
+    use cqbounds::core::QueryBuilder;
+    // Q(X1,X2,X3,X4) :- R(X1,X2,X3,X4) with every 2-subset determining
+    // the rest (k=4 group).
+    let mut b = QueryBuilder::new();
+    b.head(&["X1", "X2", "X3", "X4"])
+        .atom("R", &["X1", "X2", "X3", "X4"]);
+    let q = b.build();
+    let mut vfds = Vec::new();
+    for i in 0..4usize {
+        for j in i + 1..4 {
+            for t in 0..4 {
+                if t != i && t != j {
+                    vfds.push(VarFd::new(vec![i, j], t));
+                }
+            }
+        }
+    }
+    assert_eq!(entropy_upper_bound(&q, &vfds), cqbounds::arith::Rational::one());
+    assert_eq!(
+        color_number_entropy_lp(&q, &vfds),
+        cqbounds::arith::Rational::one()
+    );
+}
+
+/// Fact 6.12 preserves the Prop 6.10 color number on random wide-FD
+/// instances.
+#[test]
+fn fact_6_12_preserves_color_number() {
+    use cqbounds::core::QueryBuilder;
+    for (head, atoms, fd) in [
+        (
+            vec!["A", "B", "C", "D"],
+            vec![("R", vec!["A", "B", "C", "D"])],
+            VarFd::new(vec![0, 1, 2], 3),
+        ),
+        (
+            vec!["A", "B", "C", "D", "E"],
+            vec![("R", vec!["A", "B", "C", "D"]), ("S", vec!["E"])],
+            VarFd::new(vec![0, 1, 2], 3),
+        ),
+    ] {
+        let mut b = QueryBuilder::new();
+        b.head(&head);
+        for (rel, vars) in &atoms {
+            b.atom(rel, &vars.iter().map(|s| &**s).collect::<Vec<_>>());
+        }
+        let q = b.build();
+        let before = color_number_entropy_lp(&q, std::slice::from_ref(&fd));
+        let norm = normalize_fd_arity(&q, &[fd]);
+        let after = color_number_entropy_lp(&norm.query, &norm.var_fds);
+        assert_eq!(before, after);
+    }
+}
+
+/// Knitted complexity (Def 8.1) is 1 exactly when all atoms are
+/// nonnegative — e.g. on product distributions and color-product
+/// constructions, and > 1 on the Shamir groups.
+#[test]
+fn knitted_complexity_separates_structures() {
+    // color-product construction: independent colors => atoms >= 0
+    let q = parse_query("Q(X,Y) :- R(X), S(Y)").unwrap();
+    let bound = size_bound_no_fds(&q);
+    let db = worst_case_database(&q, &bound.coloring, 4);
+    let out = evaluate(&q, &db);
+    let e = EntropyVector::from_relation(&out);
+    assert!((e.knitted_complexity().unwrap() - 1.0).abs() < 1e-9);
+    // Shamir group: negative interaction => knitted complexity > 1
+    let g = gap_construction(4, 5);
+    let e2 = EntropyVector::from_relation(g.db.relation("R1").unwrap());
+    assert!(e2.knitted_complexity().unwrap() > 1.0 + 1e-9);
+}
+
+/// Entropy measured on random query outputs reconstructs through the
+/// I-measure identity (Fact 6.7) regardless of structure.
+#[test]
+fn atom_identity_on_random_outputs() {
+    for seed in 300..320u64 {
+        let q = random_query(seed, 4, 3);
+        if q.head().len() > 5 {
+            continue;
+        }
+        let db = random_database(seed, &q, &FdSet::new(), 3, 8);
+        let out = evaluate(&q, &db);
+        if out.is_empty() {
+            continue;
+        }
+        let e = EntropyVector::from_relation(&out);
+        assert!(e.atom_identity_error() < 1e-7, "seed {seed}");
+    }
+}

@@ -1,0 +1,160 @@
+//! Cross-crate property tests: chase confluence, evaluator agreement,
+//! certificate round-trips, and monotonicity laws on random instances.
+
+mod common;
+
+use common::{random_database, random_query};
+use cqbounds::core::{
+    chase, evaluate, evaluate_wcoj, is_acyclic, size_bound_no_fds, worst_case_database,
+};
+use cqbounds::relation::{Fd, FdSet};
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, Rng, SeedableRng};
+
+/// Chase confluence: the chased query does not depend on the order in
+/// which dependencies are listed (the paper fixes an arbitrary order to
+/// make `chase(Q)` well-defined; our min-index representative choice
+/// makes it canonical outright).
+#[test]
+fn chase_is_confluent_under_fd_reordering() {
+    for seed in 0..60u64 {
+        let q = random_query(seed, 4, 4);
+        let mut fd_list: Vec<Fd> = Vec::new();
+        for atom in q.body() {
+            if atom.vars.len() >= 2 {
+                fd_list.push(Fd::new(&atom.relation, vec![0], 1));
+                if atom.vars.len() >= 3 {
+                    fd_list.push(Fd::new(&atom.relation, vec![0], 2));
+                }
+            }
+        }
+        if fd_list.is_empty() {
+            continue;
+        }
+        let fds: FdSet = fd_list.iter().cloned().collect();
+        let reference = chase(&q, &fds);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
+        for _ in 0..3 {
+            let mut shuffled = fd_list.clone();
+            shuffled.shuffle(&mut rng);
+            let fds2: FdSet = shuffled.into_iter().collect();
+            let res = chase(&q, &fds2);
+            assert_eq!(
+                reference.query, res.query,
+                "seed {seed}: chase depends on FD order"
+            );
+        }
+    }
+}
+
+/// All three evaluators agree on random queries and databases.
+#[test]
+fn three_evaluators_agree() {
+    for seed in 0..60u64 {
+        let q = random_query(seed, 4, 4);
+        let db = random_database(seed, &q, &FdSet::new(), 3, 8);
+        let a = evaluate(&q, &db);
+        let b = evaluate_wcoj(&q, &db);
+        assert_eq!(a.len(), b.len(), "seed {seed}: {q}");
+        for row in a.iter() {
+            assert!(b.contains(row), "seed {seed}: row set mismatch");
+        }
+        if q.is_join_query() {
+            let (c, _) = cqbounds::core::evaluate_by_plan(&q, &db);
+            assert_eq!(a.len(), c.len(), "seed {seed}: plan mismatch");
+        }
+        if is_acyclic(&q) {
+            let d = cqbounds::core::evaluate_yannakakis(&q, &db);
+            assert_eq!(a.len(), d.len(), "seed {seed}: yannakakis mismatch");
+        }
+    }
+}
+
+/// Output monotonicity: adding tuples to the database never removes
+/// output tuples (conjunctive queries are monotone).
+#[test]
+fn evaluation_is_monotone() {
+    for seed in 100..130u64 {
+        let q = random_query(seed, 4, 3);
+        let small = random_database(seed, &q, &FdSet::new(), 3, 5);
+        let mut large = small.clone();
+        // add extra random tuples
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7777);
+        let names: Vec<String> = q.relation_names().iter().map(|s| s.to_string()).collect();
+        for name in &names {
+            let arity = large.relation(name).map(|r| r.arity()).unwrap_or(0);
+            for _ in 0..3 {
+                let tuple: Vec<String> = (0..arity)
+                    .map(|_| format!("d{}", rng.gen_range(0..4)))
+                    .collect();
+                let refs: Vec<&str> = tuple.iter().map(String::as_str).collect();
+                large.insert_named(name, &refs);
+            }
+        }
+        let out_small = evaluate(&q, &small);
+        let out_large = evaluate(&q, &large);
+        for row in out_small.iter() {
+            assert!(out_large.contains(row), "seed {seed}: monotonicity violated");
+        }
+    }
+}
+
+/// Certificate round-trip: the LP optimum, the coloring's own ratio, and
+/// the measured exponent of the construction agree for rep(Q)=1 queries.
+#[test]
+fn certificate_round_trip() {
+    for seed in 200..240u64 {
+        let q = random_query(seed, 4, 3);
+        if q.rep() != 1 {
+            continue;
+        }
+        let bound = size_bound_no_fds(&q);
+        let ratio = bound.coloring.color_number(&q);
+        assert_eq!(ratio.as_ref(), Some(&bound.exponent), "seed {seed}");
+        let m = 3usize;
+        let db = worst_case_database(&q, &bound.coloring, m);
+        let out = evaluate(&q, &db);
+        let expected = cqbounds::core::predicted_output_size(&q, &bound.coloring, m);
+        assert_eq!(out.len(), expected, "seed {seed}: {q}");
+    }
+}
+
+/// Adding an FD can only shrink the bound exponent (more constraints on
+/// colorings).
+#[test]
+fn fds_shrink_bounds() {
+    for seed in 300..340u64 {
+        let q = random_query(seed, 4, 3);
+        let free = size_bound_no_fds(&q).exponent;
+        let mut fds = FdSet::new();
+        for atom in q.body() {
+            if atom.vars.len() >= 2 {
+                fds.add_key(&atom.relation, &[0], atom.vars.len());
+                break;
+            }
+        }
+        let (keyed, _, _) = cqbounds::core::size_bound_simple_fds(&q, &fds);
+        assert!(
+            keyed.exponent <= free,
+            "seed {seed}: key increased the bound ({} > {free})",
+            keyed.exponent
+        );
+    }
+}
+
+/// Worst-case databases satisfy exactly the dependencies they were built
+/// under, and evaluation grows monotonically in M.
+#[test]
+fn construction_monotone_in_m() {
+    for seed in 400..420u64 {
+        let q = random_query(seed, 4, 3);
+        let bound = size_bound_no_fds(&q);
+        let mut last = 0usize;
+        for m in [1usize, 2, 3] {
+            let db = worst_case_database(&q, &bound.coloring, m);
+            let out = evaluate(&q, &db);
+            assert!(out.len() >= last, "seed {seed}: output shrank with M");
+            last = out.len();
+        }
+    }
+}

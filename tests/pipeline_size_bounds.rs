@@ -1,0 +1,179 @@
+//! End-to-end size-bound pipelines across all crates:
+//! parse → chase → FD removal → LP → certificate coloring →
+//! worst-case database → evaluation → exact bound check.
+
+mod common;
+
+use common::{random_database, random_query};
+use cqbounds::core::{
+    check_size_bound, color_number_entropy_lp, evaluate, parse_program, pow_le,
+    size_bound_no_fds, size_bound_simple_fds, worst_case_database,
+};
+use cqbounds::relation::FdSet;
+
+/// Every query of this battery: the Theorem 4.4 bound holds on its own
+/// worst-case construction and the construction achieves the predicted
+/// tightness for rep(Q) = 1 queries.
+#[test]
+fn battery_of_keyed_queries() {
+    let programs = [
+        "S(X,Y,Z) :- R(X,Y), R2(X,Z), R3(Y,Z)",
+        "Q(X,Y,Z) :- S(X,Y), T(Y,Z)\nkey S[1]",
+        "Q(X,Y,Z,W) :- A(X,Y), B(Y,Z), C(Z,W)\nkey B[1]",
+        "Q(X,Y) :- R(X,Z), S(Z,Y)\nkey S[1]",
+        "Q(A,B,C,D) :- R(A,B), S(B,C), T(C,D), U(D,A)",
+        "Q(X,Y,Z) :- E(X,Y), F(Y,Z), G(X,Z)\nkey E[1]\nkey F[1]",
+    ];
+    for text in programs {
+        let (q, fds) = parse_program(text).unwrap();
+        let (bound, chased, _) = size_bound_simple_fds(&q, &fds);
+        for m in [2usize, 3, 5] {
+            let db = worst_case_database(&chased.query, &bound.coloring, m);
+            assert!(db.satisfies(&fds), "{text}: construction violates FDs");
+            let check = check_size_bound(&chased.query, &db, &bound.exponent);
+            assert!(check.holds, "{text}: bound violated at M={m}");
+            if chased.query.rep() == 1 {
+                // tightness: |Q(D)| = M^{head colors} and rmax = M^{max atom colors}
+                let expected = cqbounds::core::predicted_output_size(
+                    &chased.query,
+                    &bound.coloring,
+                    m,
+                );
+                assert_eq!(check.measured, expected, "{text}: tightness at M={m}");
+            }
+        }
+    }
+}
+
+/// The AGM bound (Prop 4.3) is never violated on random join-query
+/// instances, and equals the color number by §3.1 duality.
+#[test]
+fn agm_bound_on_random_instances() {
+    for seed in 0..40u64 {
+        let q = random_query(seed, 4, 3);
+        if !q.is_join_query() {
+            continue;
+        }
+        let bound = size_bound_no_fds(&q);
+        assert_eq!(bound.exponent, cqbounds::core::agm_bound(&q), "seed {seed}");
+        let db = random_database(seed, &q, &FdSet::new(), 4, 8);
+        let check = check_size_bound(&q, &db, &bound.exponent);
+        assert!(check.holds, "seed {seed}: AGM bound violated");
+    }
+}
+
+/// Proposition 4.1's bound holds for arbitrary (projection) queries on
+/// random instances.
+#[test]
+fn prop_4_1_on_random_projection_queries() {
+    for seed in 100..140u64 {
+        let q = random_query(seed, 5, 4);
+        let bound = size_bound_no_fds(&q);
+        let db = random_database(seed, &q, &FdSet::new(), 3, 10);
+        let out = evaluate(&q, &db);
+        let names = q.relation_names();
+        let rmax = db.rmax(&names);
+        assert!(
+            pow_le(out.len(), rmax, &bound.exponent),
+            "seed {seed}: |Q(D)|={} > rmax={}^{}",
+            out.len(),
+            rmax,
+            bound.exponent
+        );
+    }
+}
+
+/// Theorem 4.4 pipeline agrees with the Proposition 6.10 entropy LP on
+/// random keyed queries (two completely independent computations of
+/// C(chase(Q))).
+#[test]
+fn theorem_4_4_agrees_with_entropy_lp_on_random_queries() {
+    let mut checked = 0;
+    for seed in 200..260u64 {
+        let q = random_query(seed, 4, 3);
+        // key the first atom's first position when it has arity >= 2
+        let mut fds = FdSet::new();
+        let a0 = &q.body()[0];
+        if a0.vars.len() >= 2 {
+            fds.add_key(&a0.relation, &[0], a0.vars.len());
+        }
+        let (bound, chased, _) = size_bound_simple_fds(&q, &fds);
+        let vfds = chased.query.variable_fds(&fds);
+        if chased.query.num_vars() > 8 {
+            continue;
+        }
+        let lp = color_number_entropy_lp(&chased.query, &vfds);
+        assert_eq!(bound.exponent, lp, "seed {seed}: {q}");
+        checked += 1;
+    }
+    assert!(checked > 20, "battery too small: {checked}");
+}
+
+/// The chase never increases the color number (C(chase(Q)) <= C(Q),
+/// noted after Example 3.4).
+#[test]
+fn chase_never_increases_color_number() {
+    for seed in 300..340u64 {
+        let q = random_query(seed, 4, 4);
+        let mut fds = FdSet::new();
+        for atom in q.body() {
+            if atom.vars.len() >= 2 {
+                fds.add_key(&atom.relation, &[0], atom.vars.len());
+            }
+        }
+        let naive = size_bound_no_fds(&q).exponent;
+        let (bound, _, _) = size_bound_simple_fds(&q, &fds);
+        assert!(
+            bound.exponent <= naive,
+            "seed {seed}: C(chase(Q))={} > C(Q)={naive}",
+            bound.exponent
+        );
+    }
+}
+
+/// Evaluation by Corollary 4.8's plan agrees with backtracking on random
+/// join queries and random databases.
+#[test]
+fn plan_agrees_with_backtracking_on_random_join_queries() {
+    let mut checked = 0;
+    for seed in 400..460u64 {
+        let q = random_query(seed, 4, 3);
+        if !q.is_join_query() {
+            continue;
+        }
+        let db = random_database(seed, &q, &FdSet::new(), 3, 9);
+        let direct = evaluate(&q, &db);
+        let (planned, _) = cqbounds::core::evaluate_by_plan(&q, &db);
+        assert_eq!(direct.len(), planned.len(), "seed {seed}: {q}");
+        for row in direct.iter() {
+            assert!(planned.contains(row), "seed {seed}: row mismatch");
+        }
+        checked += 1;
+    }
+    assert!(checked > 10, "battery too small: {checked}");
+}
+
+/// Fact 2.4 on random key-respecting databases: Q(D) = chase(Q)(D).
+#[test]
+fn fact_2_4_random_cross_crate() {
+    let mut checked = 0;
+    for seed in 500..560u64 {
+        let q = random_query(seed, 4, 3);
+        let mut fds = FdSet::new();
+        for atom in q.body() {
+            if atom.vars.len() >= 2 {
+                fds.add_key(&atom.relation, &[0], atom.vars.len());
+            }
+        }
+        let chased = cqbounds::core::chase(&q, &fds);
+        let db = random_database(seed, &q, &fds, 3, 8);
+        if !db.satisfies(&fds) {
+            continue;
+        }
+        let out1 = evaluate(&q, &db);
+        let out2 = evaluate(&chased.query, &db);
+        assert_eq!(out1.len(), out2.len(), "seed {seed}: {q}");
+        checked += 1;
+    }
+    assert!(checked > 20, "battery too small: {checked}");
+}

@@ -1,0 +1,246 @@
+//! End-to-end treewidth pipelines (§5): keyed-join decompositions on
+//! random databases, iterated joins vs the Proposition 5.7 bound, the
+//! Figure 1 gadget, and preservation decisions vs brute force.
+
+mod common;
+
+use common::random_query;
+use cqbounds::core::{
+    blowup_witness_database, evaluate, find_two_coloring_brute_force,
+    gaifman_over, keyed_join_decomposition, parse_query, theorem_5_5_bound,
+    treewidth_preservation_no_fds, two_coloring_sat, TwPreservation,
+};
+use cqbounds::hypergraph::{
+    decomposition_from_ordering, min_fill_ordering, treewidth_exact, Graph,
+};
+use cqbounds::relation::{equi_join, Database, FdSet, Relation};
+use cqbounds::util::FxHashMap;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_keyed_pair(seed: u64) -> (Database, FdSet) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    let n_left = rng.gen_range(3..12);
+    let n_keys = rng.gen_range(2..6);
+    let right_arity = rng.gen_range(2..5);
+    for i in 0..n_left {
+        db.insert_named(
+            "L",
+            &[&format!("a{i}"), &format!("k{}", rng.gen_range(0..n_keys))],
+        );
+    }
+    for k in 0..n_keys {
+        let mut row = vec![format!("k{k}")];
+        for c in 1..right_arity {
+            row.push(format!("b{}_{}", k, rng.gen_range(0..3.max(c))));
+        }
+        let refs: Vec<&str> = row.iter().map(String::as_str).collect();
+        db.insert_named("Rt", &refs);
+    }
+    let mut fds = FdSet::new();
+    fds.add_key("Rt", &[0], right_arity);
+    (db, fds)
+}
+
+/// Theorem 5.5's constructive decomposition is valid and within bound on
+/// random keyed joins.
+#[test]
+fn theorem_5_5_on_random_keyed_joins() {
+    for seed in 0..30u64 {
+        let (db, fds) = random_keyed_pair(seed);
+        let l = db.relation("L").unwrap();
+        let r = db.relation("Rt").unwrap();
+        let mut vertex_of = FxHashMap::default();
+        let g = gaifman_over(&[l, r], &mut vertex_of);
+        let td = decomposition_from_ordering(&g, &min_fill_ordering(&g));
+        td.validate(&g).unwrap();
+        let omega = td.width();
+        let td2 = keyed_join_decomposition(l, r, &[(1, 0)], &fds, &td, &vertex_of);
+        let join = equi_join(l, r, &[(1, 0)], "J");
+        let g_join = gaifman_over(&[&join], &mut vertex_of.clone());
+        let mut padded = Graph::new(g.num_vertices().max(g_join.num_vertices()));
+        for (a, b) in g_join.edges() {
+            padded.add_edge(a, b);
+        }
+        td2.validate(&padded)
+            .unwrap_or_else(|e| panic!("seed {seed}: invalid decomposition: {e}"));
+        assert!(
+            td2.width() <= theorem_5_5_bound(r.arity(), omega),
+            "seed {seed}: width {} > bound {}",
+            td2.width(),
+            theorem_5_5_bound(r.arity(), omega)
+        );
+    }
+}
+
+/// A chain of keyed joins: iterating the Theorem 5.5 transformation
+/// keeps each decomposition valid, and the final width respects the
+/// iterated per-step bounds.
+#[test]
+fn iterated_keyed_joins() {
+    let mut db = Database::new();
+    // L(a, k1), S1(k1, k2), S2(k2, x) with keys on first columns
+    for i in 0..8 {
+        db.insert_named("L", &[&format!("a{i}"), &format!("k{}", i % 4)]);
+    }
+    for k in 0..4 {
+        db.insert_named("S1", &[&format!("k{k}"), &format!("m{}", k % 2)]);
+    }
+    for m in 0..2 {
+        db.insert_named("S2", &[&format!("m{m}"), &format!("x{m}"), &format!("y{m}")]);
+    }
+    let mut fds = FdSet::new();
+    fds.add_key("S1", &[0], 2);
+    fds.add_key("S2", &[0], 3);
+
+    let l = db.relation("L").unwrap().clone();
+    let s1 = db.relation("S1").unwrap().clone();
+    let s2 = db.relation("S2").unwrap().clone();
+
+    let mut vertex_of = FxHashMap::default();
+    let g_all = gaifman_over(&[&l, &s1, &s2], &mut vertex_of);
+    let mut td = decomposition_from_ordering(&g_all, &min_fill_ordering(&g_all));
+    td.validate(&g_all).unwrap();
+    let mut width_bound = td.width();
+
+    // join 1: L ⋈ S1 on (1, 0)
+    td = keyed_join_decomposition(&l, &s1, &[(1, 0)], &fds, &td, &vertex_of);
+    let j1 = equi_join(&l, &s1, &[(1, 0)], "J1");
+    width_bound = theorem_5_5_bound(s1.arity(), width_bound);
+    assert!(td.width() <= width_bound);
+
+    // join 2: J1 ⋈ S2 on (J1's m column = position 3, 0)
+    td = keyed_join_decomposition(&j1, &s2, &[(3, 0)], &fds, &td, &vertex_of);
+    let j2 = equi_join(&j1, &s2, &[(3, 0)], "J2");
+    width_bound = theorem_5_5_bound(s2.arity(), width_bound);
+    assert!(td.width() <= width_bound);
+
+    // final decomposition covers the final join's Gaifman graph
+    let g_final = gaifman_over(&[&j2], &mut vertex_of.clone());
+    let mut padded = Graph::new(
+        g_all.num_vertices().max(g_final.num_vertices()),
+    );
+    for (a, b) in g_final.edges() {
+        padded.add_edge(a, b);
+    }
+    td.validate(&padded).unwrap();
+    // Proposition 5.7's closed form also bounds the result (ℓ = max arity 3,
+    // n = 3 relations in the chain).
+    let p57 = cqbounds::core::proposition_5_7_bound(3, 3, g_all.num_vertices());
+    assert!(td.width() <= p57);
+}
+
+/// Preservation characterization agrees with both certificate searches
+/// on random queries.
+#[test]
+fn preservation_agrees_with_certificates() {
+    for seed in 0..60u64 {
+        let q = random_query(seed, 4, 4);
+        let characterized = treewidth_preservation_no_fds(&q) != TwPreservation::Preserved;
+        let brute = find_two_coloring_brute_force(&q, &[]).is_some();
+        let sat = two_coloring_sat(&q, &[]).is_some();
+        assert_eq!(characterized, brute, "seed {seed}: {q}");
+        assert_eq!(characterized, sat, "seed {seed}: {q}");
+    }
+}
+
+/// The blowup witness really blows up for random non-preserving queries.
+#[test]
+fn blowup_witnesses_on_random_queries() {
+    let mut found = 0;
+    for seed in 100..160u64 {
+        let q = random_query(seed, 4, 3);
+        let TwPreservation::Blowup { x, y } = treewidth_preservation_no_fds(&q) else {
+            continue;
+        };
+        let m = 4;
+        let db = blowup_witness_database(&q, x, y, m);
+        let (g_in, _) = db.gaifman_graph(&[]);
+        assert!(
+            treewidth_exact(&g_in) <= 1,
+            "seed {seed}: witness inputs must be near-trees"
+        );
+        let out = evaluate(&q, &db);
+        let mut map = FxHashMap::default();
+        let g_out = gaifman_over(&[&out], &mut map);
+        // output contains K_M (at least): tw >= m - 1
+        assert!(
+            cqbounds::hypergraph::treewidth_lower_bound(&g_out) >= m - 1,
+            "seed {seed}: no clique in output"
+        );
+        found += 1;
+    }
+    assert!(found >= 5, "battery found only {found} blowup queries");
+}
+
+/// Keyed joins never increase the tuple count (the observation opening
+/// §5.1), while unkeyed joins can.
+#[test]
+fn keyed_join_size_invariant() {
+    for seed in 200..230u64 {
+        let (db, fds) = random_keyed_pair(seed);
+        let l = db.relation("L").unwrap();
+        let r = db.relation("Rt").unwrap();
+        let join = cqbounds::relation::keyed_join(l, r, &[(1, 0)], &fds, "J");
+        assert!(join.len() <= l.len(), "seed {seed}");
+    }
+}
+
+/// Example 2.1 scaled: output clique grows with n while inputs stay
+/// treewidth 1.
+#[test]
+fn example_2_1_scaling() {
+    let q = parse_query("R2(X,Y,Z) :- R(X,Y), R(X,Z)").unwrap();
+    for n in [3usize, 5, 8] {
+        let db = cqbounds::core::example_2_1_database(n);
+        let (g_in, _) = db.gaifman_graph(&[]);
+        assert_eq!(treewidth_exact(&g_in), 1);
+        let out = evaluate(&q, &db);
+        assert_eq!(out.len(), n * n);
+        let mut map = FxHashMap::default();
+        let g_out = gaifman_over(&[&out], &mut map);
+        assert_eq!(treewidth_exact(&g_out), n - 1, "K_n has treewidth n-1");
+    }
+}
+
+/// Padding helper sanity: relations into graphs with shared mapping.
+#[test]
+fn shared_mapping_is_stable() {
+    let mut db = Database::new();
+    db.insert_named("A", &["x", "y"]);
+    db.insert_named("B", &["y", "z"]);
+    let a = db.relation("A").unwrap();
+    let b = db.relation("B").unwrap();
+    let mut map = FxHashMap::default();
+    let g1 = gaifman_over(&[a], &mut map);
+    let y_vertex = map[&db.symbols().lookup("y").unwrap()];
+    let g2 = gaifman_over(&[a, b], &mut map);
+    assert_eq!(map[&db.symbols().lookup("y").unwrap()], y_vertex);
+    assert!(g2.num_vertices() >= g1.num_vertices());
+}
+
+/// Width of the constructed decomposition for a keyed join equals the
+/// measured Gaifman treewidth in the exactly-solvable range.
+#[test]
+fn constructed_width_vs_exact_small() {
+    let mut db = Database::new();
+    for i in 0..4 {
+        db.insert_named("L", &[&format!("a{i}"), &format!("k{}", i % 2)]);
+    }
+    for k in 0..2 {
+        db.insert_named("Rr", &[&format!("k{k}"), &format!("b{k}")]);
+    }
+    let mut fds = FdSet::new();
+    fds.add_key("Rr", &[0], 2);
+    let l: &Relation = db.relation("L").unwrap();
+    let r: &Relation = db.relation("Rr").unwrap();
+    let mut vertex_of = FxHashMap::default();
+    let g = gaifman_over(&[l, r], &mut vertex_of);
+    let td = decomposition_from_ordering(&g, &min_fill_ordering(&g));
+    let td2 = keyed_join_decomposition(l, r, &[(1, 0)], &fds, &td, &vertex_of);
+    let join = equi_join(l, r, &[(1, 0)], "J");
+    let g_join = gaifman_over(&[&join], &mut vertex_of.clone());
+    // constructed width is an upper bound on the true treewidth
+    assert!(td2.width() >= treewidth_exact(&g_join));
+}
