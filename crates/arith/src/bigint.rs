@@ -324,9 +324,7 @@ fn mag_divrem(u: &[u64], v: &[u64]) -> (Vec<u64>, Vec<u64>) {
         let top = ((un[j + n] as u128) << 64) | un[j + n - 1] as u128;
         let mut qhat = top / vn[n - 1] as u128;
         let mut rhat = top % vn[n - 1] as u128;
-        while qhat >= b
-            || qhat * vn[n - 2] as u128 > ((rhat << 64) | un[j + n - 2] as u128)
-        {
+        while qhat >= b || qhat * vn[n - 2] as u128 > ((rhat << 64) | un[j + n - 2] as u128) {
             qhat -= 1;
             rhat += vn[n - 1] as u128;
             if rhat >= b {
@@ -541,12 +539,8 @@ impl Add for &BigInt {
         } else {
             match mag_cmp(&self.mag, &rhs.mag) {
                 Ordering::Equal => BigInt::zero(),
-                Ordering::Greater => {
-                    BigInt::from_mag(self.negative, mag_sub(&self.mag, &rhs.mag))
-                }
-                Ordering::Less => {
-                    BigInt::from_mag(rhs.negative, mag_sub(&rhs.mag, &self.mag))
-                }
+                Ordering::Greater => BigInt::from_mag(self.negative, mag_sub(&self.mag, &rhs.mag)),
+                Ordering::Less => BigInt::from_mag(rhs.negative, mag_sub(&rhs.mag, &self.mag)),
             }
         }
     }
@@ -671,10 +665,7 @@ mod tests {
         let max = BigInt::from(u64::MAX);
         assert_eq!((&max + &BigInt::one()).to_string(), "18446744073709551616");
         let big2 = &max * &max;
-        assert_eq!(
-            big2.to_string(),
-            "340282366920938463426481119284349108225"
-        );
+        assert_eq!(big2.to_string(), "340282366920938463426481119284349108225");
     }
 
     #[test]
@@ -704,7 +695,10 @@ mod tests {
         assert_eq!(big("0").gcd(&big("0")), big("0"));
         assert_eq!(big("0").gcd(&big("5")), big("5"));
         assert_eq!(big("3").pow(5), big("243"));
-        assert_eq!(big("2").pow(100).to_string(), "1267650600228229401496703205376");
+        assert_eq!(
+            big("2").pow(100).to_string(),
+            "1267650600228229401496703205376"
+        );
         assert_eq!(big("-2").pow(3), big("-8"));
         assert_eq!(big("17").pow(0), big("1"));
     }
@@ -726,7 +720,10 @@ mod tests {
         assert_eq!(big("-9223372036854775809").to_i64(), None);
         assert_eq!(big("42").to_u64(), Some(42));
         assert_eq!(big("-1").to_u64(), None);
-        assert_eq!(BigInt::from(1u128 << 80).to_string(), "1208925819614629174706176");
+        assert_eq!(
+            BigInt::from(1u128 << 80).to_string(),
+            "1208925819614629174706176"
+        );
         assert!((big("1000000").to_f64() - 1e6).abs() < 1e-9);
     }
 

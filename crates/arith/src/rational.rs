@@ -406,7 +406,10 @@ mod tests {
     fn normalization() {
         assert_eq!(rat("2/4"), rat("1/2"));
         assert_eq!(rat("-2/4"), rat("-1/2"));
-        assert_eq!(Rational::new(BigInt::from(3), BigInt::from(-6)), rat("-1/2"));
+        assert_eq!(
+            Rational::new(BigInt::from(3), BigInt::from(-6)),
+            rat("-1/2")
+        );
         assert_eq!(rat("0/5"), Rational::zero());
         assert_eq!(rat("0/5").denom(), &BigInt::one());
     }
@@ -467,8 +470,7 @@ mod tests {
     }
 
     fn arb_rational() -> impl Strategy<Value = Rational> {
-        (any::<i32>(), 1..10_000i64)
-            .prop_map(|(p, q)| Rational::ratio(p as i64, q))
+        (any::<i32>(), 1..10_000i64).prop_map(|(p, q)| Rational::ratio(p as i64, q))
     }
 
     proptest! {

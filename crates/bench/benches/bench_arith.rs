@@ -1,21 +1,25 @@
 //! The exact-arithmetic substrate: BigInt multiply/divide and Rational
 //! pivot-style operations at the sizes the simplex produces.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cq_arith::{BigInt, Rational};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("arith");
     for bits in [64usize, 512, 2048] {
         let a: BigInt = BigInt::from(3u64).pow((bits / 2) as u32);
         let b: BigInt = BigInt::from(5u64).pow((bits / 3) as u32);
-        g.bench_with_input(BenchmarkId::new("mul", bits), &(a.clone(), b.clone()), |bn, (a, b)| {
-            bn.iter(|| a * b)
-        });
+        g.bench_with_input(
+            BenchmarkId::new("mul", bits),
+            &(a.clone(), b.clone()),
+            |bn, (a, b)| bn.iter(|| a * b),
+        );
         let prod = &a * &b;
-        g.bench_with_input(BenchmarkId::new("divrem", bits), &(prod, b), |bn, (p, b)| {
-            bn.iter(|| p.div_rem(b))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("divrem", bits),
+            &(prod, b),
+            |bn, (p, b)| bn.iter(|| p.div_rem(b)),
+        );
     }
     let x = Rational::ratio(355, 113);
     let y = Rational::ratio(-99, 70);

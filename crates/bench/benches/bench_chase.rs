@@ -1,7 +1,7 @@
 //! E02/E05: the chase and the Theorem 4.4 FD-removal procedure.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cq_core::{chase, parse_program, remove_simple_fds};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn chained_program(n: usize) -> String {
     // Q(X0) :- S0(X0,X1), S0(X0,Y1), S1(X1,X2), S1(X1,Y2), ... with keys:

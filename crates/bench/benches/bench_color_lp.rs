@@ -1,9 +1,9 @@
 //! E20 / Prop 7.1: computing C(Q) via the Proposition 3.6 LP, scaling
 //! with query size on the cycle and clique families.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cq_bench::{clique_query, cycle_query, star_query};
 use cq_core::{size_bound_no_fds, size_bound_simple_fds};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("color_number_lp");
@@ -22,9 +22,11 @@ fn bench(c: &mut Criterion) {
     }
     for n in [4usize, 8, 12] {
         let (q, fds) = star_query(n, true);
-        g.bench_with_input(BenchmarkId::new("keyed_star_thm44", n), &(q, fds), |b, (q, fds)| {
-            b.iter(|| size_bound_simple_fds(q, fds).0.exponent)
-        });
+        g.bench_with_input(
+            BenchmarkId::new("keyed_star_thm44", n),
+            &(q, fds),
+            |b, (q, fds)| b.iter(|| size_bound_simple_fds(q, fds).0.exponent),
+        );
     }
     g.finish();
 }

@@ -1,0 +1,72 @@
+//! The engine layer: memoized sessions vs hand-wired recomputation, and
+//! batch throughput across threads.
+
+use cq_bench::{family_workload, random_workload};
+use cq_engine::{AnalysisSession, BatchAnalyzer, ReportOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+
+    // One full report through a fresh session (parse-free path).
+    let workload = family_workload(5);
+    g.bench_function("session_report_families", |b| {
+        b.iter(|| {
+            workload
+                .iter()
+                .map(|(name, q, fds)| {
+                    AnalysisSession::from_parts(name, q.clone(), fds.clone())
+                        .report(&ReportOptions::default())
+                })
+                .collect::<Vec<_>>()
+                .len()
+        })
+    });
+
+    // The memoization win: ask one session for everything three times
+    // over vs recomputing the Theorem 4.4 pipeline from scratch each
+    // time (what the consumers did before the engine existed).
+    let q = cq_bench::cycle_query(6);
+    let fds = cq_relation::FdSet::new();
+    g.bench_function("memoized_triple_access", |b| {
+        b.iter(|| {
+            let s = AnalysisSession::from_parts("q", q.clone(), fds.clone());
+            for _ in 0..3 {
+                let _ = s.size_bound();
+                let _ = s.treewidth_preservation();
+                let _ = s.size_increase();
+            }
+            s.stats().color_lp_runs
+        })
+    });
+    g.bench_function("handwired_triple_access", |b| {
+        b.iter(|| {
+            for _ in 0..3 {
+                let _ = cq_core::size_bound_simple_fds(&q, &fds);
+                let _ = cq_core::treewidth_preservation_simple_fds(&q, &fds);
+                let _ = cq_core::decide_size_increase(&q, &fds);
+            }
+        })
+    });
+
+    // Batch scaling over a random workload.
+    let random = random_workload(7, 32, 5, 4);
+    for threads in [1usize, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("batch_random32", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    BatchAnalyzer::with_threads(threads)
+                        .analyze_queries(&random, &ReportOptions::default())
+                        .len()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

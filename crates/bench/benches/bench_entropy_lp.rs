@@ -1,9 +1,9 @@
 //! E13/E14: the entropy LPs of Propositions 6.9 and 6.10. Exponential in
 //! the variable count by construction — the bench shows the wall.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cq_bench::cycle_query;
 use cq_core::{color_number_entropy_lp, entropy_upper_bound};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("entropy_lp");

@@ -1,8 +1,8 @@
 //! E01/E06: query evaluation — backtracking vs the Corollary 4.8
 //! join-project plan on AGM-worst-case databases.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cq_core::{evaluate, evaluate_by_plan, parse_query, size_bound_no_fds, worst_case_database};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench(c: &mut Criterion) {
     let q = parse_query("S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z)").unwrap();

@@ -1,7 +1,7 @@
 //! E16 / Prop 6.11: building and verifying the Shamir gap construction.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cq_core::{evaluate, gap_construction, gap_lower_bound_coloring};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("gap_construction");
@@ -12,7 +12,9 @@ fn bench(c: &mut Criterion) {
         });
     }
     let gc = gap_construction(4, 5);
-    g.bench_function("evaluate_k4_n5", |b| b.iter(|| evaluate(&gc.query, &gc.db).len()));
+    g.bench_function("evaluate_k4_n5", |b| {
+        b.iter(|| evaluate(&gc.query, &gc.db).len())
+    });
     g.bench_function("verify_fds_k4_n5", |b| b.iter(|| gc.db.satisfies(&gc.fds)));
     g.bench_function("lower_bound_coloring_k6", |b| {
         let gc6 = gap_construction(6, 7);

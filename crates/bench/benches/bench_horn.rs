@@ -1,9 +1,9 @@
 //! E17 / Thm 7.2: the polynomial-time Horn decision of C > 1.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cq_bench::{clique_query, cycle_query};
 use cq_core::decide_size_increase;
 use cq_relation::FdSet;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("horn_decision");

@@ -1,8 +1,8 @@
 //! The exact rational simplex on dense random feasible LPs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cq_arith::Rational;
 use cq_lp::{solve_with, LinearProgram, PivotRule, Relation};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -55,7 +55,11 @@ fn bench(c: &mut Criterion) {
             BenchmarkId::new("dantzig", format!("{nv}v{nc}c")),
             &lp,
             |b, lp| {
-                b.iter(|| solve_with(lp, PivotRule::DantzigThenBland).objective.clone())
+                b.iter(|| {
+                    solve_with(lp, PivotRule::DantzigThenBland)
+                        .objective
+                        .clone()
+                })
             },
         );
     }

@@ -1,7 +1,6 @@
 //! E07: treewidth machinery — exact solver on grids, heuristics on the
 //! Figure 1 gadget, and the Theorem 5.5 decomposition transform.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cq_core::figure1_construction;
 use cq_core::treewidth::{gaifman_over, keyed_join_decomposition};
 use cq_hypergraph::{
@@ -9,6 +8,7 @@ use cq_hypergraph::{
     treewidth_upper_bound,
 };
 use cq_util::FxHashMap;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("treewidth");

@@ -1,11 +1,10 @@
 //! E21: worst-case-optimal generic join vs the binary join-project plan
 //! and the backtracking engine on AGM-worst-case triangle inputs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cq_core::{
-    evaluate, evaluate_by_plan, evaluate_wcoj, parse_query, size_bound_no_fds,
-    worst_case_database,
+    evaluate, evaluate_by_plan, evaluate_wcoj, parse_query, size_bound_no_fds, worst_case_database,
 };
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench(c: &mut Criterion) {
     let q = parse_query("S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z)").unwrap();

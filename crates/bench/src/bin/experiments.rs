@@ -21,16 +21,36 @@ fn main() {
     let filter: Option<String> = std::env::args().nth(1);
     let experiments: Vec<(&str, &str, fn())> = vec![
         ("e01", "Example 2.1: square query blowup", e01),
-        ("e02", "Examples 2.2/3.4: chase collapses the color number", e02),
+        (
+            "e02",
+            "Examples 2.2/3.4: chase collapses the color number",
+            e02,
+        ),
         ("e03", "Example 3.3 + Prop 4.3: triangle/AGM tightness", e03),
-        ("e04", "Prop 4.1: size bounds without FDs (random + families)", e04),
-        ("e05", "Thm 4.4: size bounds with simple keys + Example 4.6", e05),
+        (
+            "e04",
+            "Prop 4.1: size bounds without FDs (random + families)",
+            e04,
+        ),
+        (
+            "e05",
+            "Thm 4.4: size bounds with simple keys + Example 4.6",
+            e05,
+        ),
         ("e06", "Cor 4.8: join-project plan vs backtracking", e06),
-        ("e07", "Prop 5.2 / Fig 1: keyed self-join squares treewidth", e07),
+        (
+            "e07",
+            "Prop 5.2 / Fig 1: keyed self-join squares treewidth",
+            e07,
+        ),
         ("e08", "Thm 5.5: keyed-join decomposition bound", e08),
         ("e09", "Prop 5.7: sequences of keyed joins", e09),
         ("e10", "Prop 5.9: treewidth preservation without FDs", e10),
-        ("e11", "Thm 5.10: treewidth preservation with simple keys", e11),
+        (
+            "e11",
+            "Thm 5.10: treewidth preservation with simple keys",
+            e11,
+        ),
         ("e12", "Thm 6.1: size-preserving characterization", e12),
         ("e13", "Prop 6.9: Shannon entropy upper bound", e13),
         ("e14", "Prop 6.10: color number as an entropy LP", e14),
@@ -39,9 +59,21 @@ fn main() {
         ("e17", "Thm 7.2: polynomial decision of C > 1", e17),
         ("e18", "Prop 7.3: NP-hardness reduction", e18),
         ("e19", "Def 8.1: knitted complexity", e19),
-        ("e20", "Prop 7.1: computing C(chase(Q)) scales polynomially", e20),
-        ("e21", "Extension: worst-case-optimal join vs binary plans", e21),
-        ("e22", "Extension: GYO acyclicity + Yannakakis evaluation", e22),
+        (
+            "e20",
+            "Prop 7.1: computing C(chase(Q)) scales polynomially",
+            e20,
+        ),
+        (
+            "e21",
+            "Extension: worst-case-optimal join vs binary plans",
+            e21,
+        ),
+        (
+            "e22",
+            "Extension: GYO acyclicity + Yannakakis evaluation",
+            e22,
+        ),
     ];
     for (id, title, f) in experiments {
         if let Some(ref want) = filter {
@@ -59,7 +91,13 @@ fn main() {
 /// E01 — Example 2.1: |Q(D)| = n² and tw jumps from 1 to n−1.
 fn e01() {
     let q = parse_query("R2(X,Y,Z) :- R(X,Y), R(X,Z)").unwrap();
-    let mut t = Table::new(&["n", "|R|", "|Q(D)| (paper: n^2)", "tw(D)", "tw(Q(D)) (paper: n-1)"]);
+    let mut t = Table::new(&[
+        "n",
+        "|R|",
+        "|Q(D)| (paper: n^2)",
+        "tw(D)",
+        "tw(Q(D)) (paper: n-1)",
+    ]);
     for n in [3usize, 5, 8, 12] {
         let db = example_2_1_database(n);
         let out = evaluate(&q, &db);
@@ -86,10 +124,8 @@ fn e01() {
 
 /// E02 — the chase collapses C from 2 to 1 on Example 2.2/3.4.
 fn e02() {
-    let (q, fds) = parse_program(
-        "R0(W,X,Y,Z) :- R1(W,X,Y), R1(W,W,W), R2(Y,Z)\nkey R1[1]",
-    )
-    .unwrap();
+    let (q, fds) =
+        parse_program("R0(W,X,Y,Z) :- R1(W,X,Y), R1(W,W,W), R2(Y,Z)\nkey R1[1]").unwrap();
     let naive = size_bound_no_fds(&q).exponent;
     let (bound, chased, _) = size_bound_simple_fds(&q, &fds);
     println!("Q        : {q}");
@@ -104,8 +140,18 @@ fn e02() {
 fn e03() {
     let q = parse_query("S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z)").unwrap();
     let bound = size_bound_no_fds(&q);
-    println!("C(Q) = {}  (paper: 3/2); rep(Q) = {}", bound.exponent, bound.rep);
-    let mut t = Table::new(&["M", "rmax", "|Q(D)|", "M^3 predicted", "(rmax/rep)^{3/2}", "bound holds"]);
+    println!(
+        "C(Q) = {}  (paper: 3/2); rep(Q) = {}",
+        bound.exponent, bound.rep
+    );
+    let mut t = Table::new(&[
+        "M",
+        "rmax",
+        "|Q(D)|",
+        "M^3 predicted",
+        "(rmax/rep)^{3/2}",
+        "bound holds",
+    ]);
     for m in [2usize, 4, 8, 16] {
         let db = worst_case_database(&q, &bound.coloring, m);
         let check = check_size_bound(&q, &db, &bound.exponent);
@@ -198,7 +244,15 @@ fn e05() {
 fn e06() {
     let q = parse_query("S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z)").unwrap();
     let bound = size_bound_no_fds(&q);
-    let mut t = Table::new(&["M", "rmax", "|Q(D)|", "max intermediate", "rmax^C", "plan time", "backtrack time"]);
+    let mut t = Table::new(&[
+        "M",
+        "rmax",
+        "|Q(D)|",
+        "max intermediate",
+        "rmax^C",
+        "plan time",
+        "backtrack time",
+    ]);
     for m in [4usize, 8, 16, 24] {
         let db = worst_case_database(&q, &bound.coloring, m);
         let rmax = db.rmax(&["R"]);
@@ -230,7 +284,12 @@ fn e07() {
     let f_small = figure1_construction(4, 2);
     print!("{}", f_small.render_figure());
     let mut t = Table::new(&[
-        "n", "m", "|R|", "tw before (cert >=)", "tw before (<=)", "tw after (cert >=, paper nm)",
+        "n",
+        "m",
+        "|R|",
+        "tw before (cert >=)",
+        "tw before (<=)",
+        "tw after (cert >=, paper nm)",
         "thm 5.5 bound",
     ]);
     for (n, m) in [(3usize, 1usize), (4, 1), (4, 2), (5, 2), (5, 3)] {
@@ -263,7 +322,13 @@ fn e07() {
 fn e08() {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
-    let mut t = Table::new(&["seed", "j=arity(S)", "omega", "constructed width", "bound j(omega+1)-1"]);
+    let mut t = Table::new(&[
+        "seed",
+        "j=arity(S)",
+        "omega",
+        "constructed width",
+        "bound j(omega+1)-1",
+    ]);
     for seed in 0..8u64 {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut db = Database::new();
@@ -319,7 +384,11 @@ fn e09() {
         for k in 0..3 {
             db.insert_named(
                 &format!("S{s}"),
-                &[&format!("k{s}_{k}"), &format!("k{}_{}", s + 1, k % 2), &format!("p{s}_{k}")],
+                &[
+                    &format!("k{s}_{k}"),
+                    &format!("k{}_{}", s + 1, k % 2),
+                    &format!("p{s}_{k}"),
+                ],
             );
         }
     }
@@ -336,7 +405,12 @@ fn e09() {
     let tw0 = treewidth_upper_bound(&g_all);
     let mut td = decomposition_from_ordering(&g_all, &min_fill_ordering(&g_all));
     let mut acc = rels[0].clone();
-    let mut t = Table::new(&["step", "acc width", "per-step bound", "prop 5.7 closed form"]);
+    let mut t = Table::new(&[
+        "step",
+        "acc width",
+        "per-step bound",
+        "prop 5.7 closed form",
+    ]);
     let mut step_bound = td.width();
     for s in 0..chain {
         let right = &rels[s + 1];
@@ -383,7 +457,11 @@ fn e10() {
         let lower = cq_hypergraph::treewidth_lower_bound(&g_out);
         assert!(treewidth_exact(&g_in) <= 1);
         assert!(lower >= m - 1);
-        t.row(&[m.to_string(), treewidth_exact(&g_in).to_string(), lower.to_string()]);
+        t.row(&[
+            m.to_string(),
+            treewidth_exact(&g_in).to_string(),
+            lower.to_string(),
+        ]);
     }
     print!("{}", t.render());
 }
@@ -437,7 +515,11 @@ fn e12() {
 /// E13 — Prop 6.9: the Shannon bound vs color number vs measured.
 fn e13() {
     let mut t = Table::new(&[
-        "query", "C (Prop 6.10)", "s(Q) (Prop 6.9)", "s_ZY (ext)", "measured exp",
+        "query",
+        "C (Prop 6.10)",
+        "s(Q) (Prop 6.9)",
+        "s_ZY (ext)",
+        "measured exp",
     ]);
     for text in [
         "S(X,Y,Z) :- R(X,Y), R2(X,Z), R3(Y,Z)",
@@ -506,7 +588,9 @@ fn e14() {
             agree_k += 1;
         }
     }
-    println!("Thm 4.4 pipeline == Prop 6.10 LP on {agree_k}/{total_k} random keyed queries (paper: all)");
+    println!(
+        "Thm 4.4 pipeline == Prop 6.10 LP on {agree_k}/{total_k} random keyed queries (paper: all)"
+    );
     assert_eq!(agree_k, total_k);
 }
 
@@ -518,14 +602,23 @@ fn e15() {
     }
     let e = EntropyVector::from_relation(db.relation("W").unwrap());
     print!("{}", e.render_diagram(&["X", "Y", "Z"]));
-    println!("identity check (Fact 6.7): max error = {:.2e}", e.atom_identity_error());
+    println!(
+        "identity check (Fact 6.7): max error = {:.2e}",
+        e.atom_identity_error()
+    );
     assert!(e.atom_identity_error() < 1e-9);
 }
 
 /// E16 — Prop 6.11 / Figure 3: the Shamir gap.
 fn e16() {
     let mut t = Table::new(&[
-        "k", "N", "rmax=N^{k/2}", "|Q(D)|=N^{k^2/4}", "true exp", "coloring >=", "C <= (paper)",
+        "k",
+        "N",
+        "rmax=N^{k/2}",
+        "|Q(D)|=N^{k^2/4}",
+        "true exp",
+        "coloring >=",
+        "C <= (paper)",
     ]);
     for (k, n) in [(4usize, 5u64), (4, 7), (6, 7)] {
         let g = gap_construction(k, n);
@@ -611,7 +704,11 @@ fn e18() {
     let cases: Vec<(Vec<[i32; 3]>, usize, &str)> = vec![
         (vec![[1, 2, 3]], 3, "sat"),
         (vec![[1, 1, 1], [-1, -1, -1]], 1, "unsat"),
-        (vec![[1, 2, 2], [-1, -2, -2], [1, -2, -2], [-1, 2, 2]], 2, "unsat"),
+        (
+            vec![[1, 2, 2], [-1, -2, -2], [1, -2, -2], [-1, 2, 2]],
+            2,
+            "unsat",
+        ),
         (vec![[1, -2, 3], [-1, 2, -3]], 3, "sat"),
     ];
     let mut t = Table::new(&["3-SAT instance", "expected", "2-coloring exists"]);
@@ -637,19 +734,27 @@ fn e19() {
     let db = worst_case_database(&q, &bound.coloring, 4);
     let out = evaluate(&q, &db);
     let e1 = EntropyVector::from_relation(&out);
-    t.row(&["independent product (color construction)".into(),
-            format!("{:.3}", e1.knitted_complexity().unwrap())]);
+    t.row(&[
+        "independent product (color construction)".into(),
+        format!("{:.3}", e1.knitted_complexity().unwrap()),
+    ]);
     // xor: 2
     let mut db2 = Database::new();
     for (x, y, z) in [(0, 0, 0), (0, 1, 1), (1, 0, 1), (1, 1, 0)] {
         db2.insert_named("W", &[&x.to_string(), &y.to_string(), &z.to_string()]);
     }
     let e2 = EntropyVector::from_relation(db2.relation("W").unwrap());
-    t.row(&["xor triple".into(), format!("{:.3}", e2.knitted_complexity().unwrap())]);
+    t.row(&[
+        "xor triple".into(),
+        format!("{:.3}", e2.knitted_complexity().unwrap()),
+    ]);
     // Shamir group: 3
     let g = gap_construction(4, 5);
     let e3 = EntropyVector::from_relation(g.db.relation("R1").unwrap());
-    t.row(&["Shamir (2,4) group".into(), format!("{:.3}", e3.knitted_complexity().unwrap())]);
+    t.row(&[
+        "Shamir (2,4) group".into(),
+        format!("{:.3}", e3.knitted_complexity().unwrap()),
+    ]);
     print!("{}", t.render());
     println!("(higher = further from any coloring-realizable entropy structure)");
 }
@@ -693,7 +798,12 @@ fn e21() {
     let q = parse_query("S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z)").unwrap();
     let bound = size_bound_no_fds(&q);
     let mut t = Table::new(&[
-        "M", "rmax", "|Q(D)|", "binary-plan max intermediate", "wcoj time", "plan time",
+        "M",
+        "rmax",
+        "|Q(D)|",
+        "binary-plan max intermediate",
+        "wcoj time",
+        "plan time",
     ]);
     for m in [4usize, 8, 16, 24] {
         let db = worst_case_database(&q, &bound.coloring, m);

@@ -7,6 +7,7 @@
 //! and parameterized query families.
 
 use cq_core::{Atom, ConjunctiveQuery};
+use cq_engine::{AnalysisReport, BatchAnalyzer, ReportOptions};
 use cq_relation::{Database, FdSet};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -72,7 +73,9 @@ pub fn random_database(
     }
     let names: Vec<String> = q.relation_names().iter().map(|s| s.to_string()).collect();
     for name in names {
-        let Some(rel) = db.relation(&name) else { continue };
+        let Some(rel) = db.relation(&name) else {
+            continue;
+        };
         let mut keep = rel.clone();
         for fd in fds.for_relation(&name) {
             let mut seen: std::collections::HashMap<Vec<cq_relation::Value>, cq_relation::Value> =
@@ -135,6 +138,48 @@ pub fn star_query(n: usize, keyed: bool) -> (ConjunctiveQuery, FdSet) {
         }
     }
     (q, fds)
+}
+
+/// A named analysis workload: what the engine benches and experiments
+/// feed to [`BatchAnalyzer`]. All generators below can be collected into
+/// one of these.
+pub type Workload = Vec<(String, ConjunctiveQuery, FdSet)>;
+
+/// `n` random conjunctive queries (seeds `seed0..seed0+n`), as an
+/// engine workload.
+pub fn random_workload(seed0: u64, n: usize, max_vars: usize, max_atoms: usize) -> Workload {
+    (0..n)
+        .map(|i| {
+            let seed = seed0 + i as u64;
+            (
+                format!("random/{seed}"),
+                random_query(seed, max_vars, max_atoms),
+                FdSet::new(),
+            )
+        })
+        .collect()
+}
+
+/// The standard parameterized families (cycles, cliques, stars with and
+/// without keys) up to `max_n`, as an engine workload.
+pub fn family_workload(max_n: usize) -> Workload {
+    let mut items: Workload = Vec::new();
+    for n in 2..=max_n {
+        items.push((format!("cycle/{n}"), cycle_query(n), FdSet::new()));
+        items.push((format!("clique/{n}"), clique_query(n), FdSet::new()));
+        let (star, fds) = star_query(n, false);
+        items.push((format!("star/{n}"), star, fds));
+        let (star_k, fds_k) = star_query(n, true);
+        items.push((format!("star-keyed/{n}"), star_k, fds_k));
+    }
+    items
+}
+
+/// Runs a workload through the engine's batch layer — the single entry
+/// point the benches and experiments use, so every timed number reflects
+/// the same memoized pipeline the CLI serves.
+pub fn analyze_workload(workload: &Workload) -> Vec<AnalysisReport> {
+    BatchAnalyzer::new().analyze_queries(workload, &ReportOptions::default())
 }
 
 /// Simple aligned table printer for the experiment reports.
@@ -233,6 +278,38 @@ mod tests {
             let (q, fds) = star_query(3, true);
             let db = random_database(seed, &q, &fds, 4, 10);
             assert!(db.satisfies(&fds), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn workloads_route_through_the_engine() {
+        let reports = analyze_workload(&family_workload(4));
+        assert_eq!(reports.len(), 12);
+        let by_name = |name: &str| {
+            reports
+                .iter()
+                .find(|r| r.name == name)
+                .unwrap_or_else(|| panic!("missing {name}"))
+        };
+        let exp = |name: &str| {
+            by_name(name)
+                .size_bound
+                .as_ref()
+                .expect("family FDs are simple")
+                .exponent
+                .clone()
+        };
+        // The engine agrees with the known family exponents asserted in
+        // `families_have_known_color_numbers`.
+        assert_eq!(exp("cycle/4"), "2");
+        assert_eq!(exp("clique/3"), "3/2");
+        assert_eq!(exp("star/3"), "3");
+        assert_eq!(exp("star-keyed/3"), "1");
+        // Random workloads analyze cleanly too.
+        let random = analyze_workload(&random_workload(0, 10, 5, 4));
+        assert_eq!(random.len(), 10);
+        for r in &random {
+            assert!(r.size_bound.is_some(), "{}: no dependencies", r.name);
         }
     }
 

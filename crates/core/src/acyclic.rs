@@ -121,8 +121,7 @@ pub fn gyo_join_tree(q: &ConjunctiveQuery) -> Option<JoinTree> {
             if !alive[i] {
                 continue;
             }
-            let lonely: Vec<usize> =
-                s.iter().filter(|v| var_count[v] == 1).collect();
+            let lonely: Vec<usize> = s.iter().filter(|v| var_count[v] == 1).collect();
             for v in lonely {
                 s.remove(v);
                 progressed = true;
@@ -243,12 +242,12 @@ mod tests {
     fn acyclicity_classification() {
         let cases = [
             ("Q(X,Y) :- R(X,Y)", true),
-            ("Q(X,Z) :- R(X,Y), S(Y,Z)", true),                         // path
-            ("Q(X,Y,Z,W) :- R(X,Y), S(X,Z), T(X,W)", true),             // star
-            ("Q(X,Y,Z) :- R(X,Y), S(Y,Z), T(X,Z)", false),              // triangle
-            ("Q(A,B,C,D) :- R(A,B), S(B,C), T(C,D), U(D,A)", false),    // 4-cycle
-            ("Q(X,Y,Z) :- R(X,Y,Z), S(X,Y), T(Y,Z)", true),             // ear-covered
-            ("Q(X,Y) :- R(X), S(Y)", true),                             // disconnected
+            ("Q(X,Z) :- R(X,Y), S(Y,Z)", true),             // path
+            ("Q(X,Y,Z,W) :- R(X,Y), S(X,Z), T(X,W)", true), // star
+            ("Q(X,Y,Z) :- R(X,Y), S(Y,Z), T(X,Z)", false),  // triangle
+            ("Q(A,B,C,D) :- R(A,B), S(B,C), T(C,D), U(D,A)", false), // 4-cycle
+            ("Q(X,Y,Z) :- R(X,Y,Z), S(X,Y), T(Y,Z)", true), // ear-covered
+            ("Q(X,Y) :- R(X), S(Y)", true),                 // disconnected
         ];
         for (text, expect) in cases {
             let q = parse_query(text).unwrap();
@@ -316,9 +315,7 @@ mod tests {
             let len = rng.gen_range(2..5);
             let vars: Vec<String> = (0..=len).map(|i| format!("V{i}")).collect();
             let mut text = format!("Q({}) :- ", vars.join(","));
-            let atoms: Vec<String> = (0..len)
-                .map(|i| format!("E{i}(V{i},V{})", i + 1))
-                .collect();
+            let atoms: Vec<String> = (0..len).map(|i| format!("E{i}(V{i},V{})", i + 1)).collect();
             text.push_str(&atoms.join(", "));
             let q = parse_query(&text).unwrap();
             let mut db = Database::new();

@@ -99,9 +99,9 @@ pub fn chase(q: &ConjunctiveQuery, fds: &FdSet) -> ChaseResult {
     let mut new_index: Vec<Option<VarIdx>> = vec![None; n];
     let mut var_names: Vec<String> = Vec::new();
     let assign = |v: VarIdx,
-                      uf: &mut UnionFind,
-                      new_index: &mut Vec<Option<VarIdx>>,
-                      var_names: &mut Vec<String>|
+                  uf: &mut UnionFind,
+                  new_index: &mut Vec<Option<VarIdx>>,
+                  var_names: &mut Vec<String>|
      -> VarIdx {
         let r = uf.find(v);
         if let Some(i) = new_index[r] {
@@ -160,10 +160,8 @@ mod tests {
 
     #[test]
     fn example_2_2_chase_unifies_w_x_y() {
-        let (q, fds) = parse_program(
-            "R0(W,X,Y,Z) :- R1(W,X,Y), R1(W,W,W), R2(Y,Z)\nkey R1[1]",
-        )
-        .unwrap();
+        let (q, fds) =
+            parse_program("R0(W,X,Y,Z) :- R1(W,X,Y), R1(W,W,W), R2(Y,Z)\nkey R1[1]").unwrap();
         let res = chase(&q, &fds);
         // W, X, Y all unify; atoms R1(W,X,Y) and R1(W,W,W) become equal
         // and deduplicate: chase(Q) = R0(W,W,W,Z) <- R1(W,W,W), R2(W,Z).
@@ -188,10 +186,8 @@ mod tests {
 
     #[test]
     fn chase_is_idempotent() {
-        let (q, fds) = parse_program(
-            "R0(W,X,Y,Z) :- R1(W,X,Y), R1(W,W,W), R2(Y,Z)\nkey R1[1]",
-        )
-        .unwrap();
+        let (q, fds) =
+            parse_program("R0(W,X,Y,Z) :- R1(W,X,Y), R1(W,W,W), R2(Y,Z)\nkey R1[1]").unwrap();
         let once = chase(&q, &fds);
         let twice = chase(&once.query, &fds);
         assert_eq!(once.query, twice.query);
@@ -210,8 +206,7 @@ mod tests {
     #[test]
     fn compound_fd_chase() {
         // R(X,Y,U), R(X,Y,V) with R[1]R[2] -> R[3]: U and V unify.
-        let (q, fds) =
-            parse_program("Q(X,Y,U,V) :- R(X,Y,U), R(X,Y,V)\nR[1,2] -> R[3]").unwrap();
+        let (q, fds) = parse_program("Q(X,Y,U,V) :- R(X,Y,U), R(X,Y,V)\nR[1,2] -> R[3]").unwrap();
         let res = chase(&q, &fds);
         assert_eq!(res.query.num_atoms(), 1);
         assert_eq!(res.query.to_string(), "Q(X,Y,U,U) :- R(X,Y,U)");
@@ -235,8 +230,7 @@ mod tests {
     fn chase_ignores_mismatched_arity_atoms() {
         // Same relation name used at two arities: FDs only apply where
         // positions exist; the pair is skipped (arity mismatch).
-        let (q, fds) =
-            parse_program("Q(X,Y,Z) :- R(X,Y), R(X,Y,Z)\nR[1] -> R[2]").unwrap();
+        let (q, fds) = parse_program("Q(X,Y,Z) :- R(X,Y), R(X,Y,Z)\nR[1] -> R[2]").unwrap();
         let res = chase(&q, &fds);
         assert_eq!(res.query.num_atoms(), 2);
         assert_eq!(res.unifications, 0);
@@ -245,8 +239,7 @@ mod tests {
     #[test]
     fn chase_key_on_triple_self_join() {
         // R(X,A), R(X,B), R(X,C) with key R[1]: A=B=C.
-        let (q, fds) =
-            parse_program("Q(A,B,C) :- R(X,A), R(X,B), R(X,C)\nkey R[1]").unwrap();
+        let (q, fds) = parse_program("Q(A,B,C) :- R(X,A), R(X,B), R(X,C)\nkey R[1]").unwrap();
         let res = chase(&q, &fds);
         assert_eq!(res.query.num_atoms(), 1);
         assert_eq!(res.query.to_string(), "Q(A,A,A) :- R(X,A)");

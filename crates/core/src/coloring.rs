@@ -175,7 +175,10 @@ pub fn color_number_lp(q: &ConjunctiveQuery) -> ColorNumber {
         lp.add_constraint(coeffs, LpRel::Le, Rational::one());
     }
     let sol = lp.solve();
-    assert!(sol.is_optimal(), "color-number LP is always feasible/bounded");
+    assert!(
+        sol.is_optimal(),
+        "color-number LP is always feasible/bounded"
+    );
     let weights: Vec<Rational> = sol.values.clone();
     let coloring = coloring_from_weights(&weights);
     let cn = ColorNumber {
@@ -207,7 +210,8 @@ pub fn coloring_from_weights(weights: &[Rational]) -> Coloring {
             let count_big = (w * &Rational::from(denom.clone())).numer().clone();
             let count = count_big
                 .to_u64()
-                .expect("color counts fit in u64 for the paper's LPs") as usize;
+                .expect("color counts fit in u64 for the paper's LPs")
+                as usize;
             let set = BitSet::from_iter(next_color..next_color + count);
             next_color += count;
             set
@@ -278,12 +282,12 @@ pub fn fractional_cover_weighted(
 /// Propositions 5.9 / Theorem 5.10 / Proposition 7.3. Exponential in
 /// `|var(Q)|` — intended for validation on small queries (deciding this
 /// is NP-complete with compound FDs, Proposition 7.3).
-pub fn find_two_coloring_brute_force(
-    q: &ConjunctiveQuery,
-    var_fds: &[VarFd],
-) -> Option<Coloring> {
+pub fn find_two_coloring_brute_force(q: &ConjunctiveQuery, var_fds: &[VarFd]) -> Option<Coloring> {
     let n = q.num_vars();
-    assert!(n <= 16, "brute-force 2-coloring search capped at 16 variables");
+    assert!(
+        n <= 16,
+        "brute-force 2-coloring search capped at 16 variables"
+    );
     // each variable takes one of 4 labels: {}, {0}, {1}, {0,1}
     let mut assignment = vec![0u8; n];
     loop {
@@ -302,8 +306,7 @@ pub fn find_two_coloring_brute_force(
                 })
                 .collect(),
         );
-        if coloring.validate(var_fds).is_ok()
-            && coloring.color_number(q) == Some(Rational::int(2))
+        if coloring.validate(var_fds).is_ok() && coloring.color_number(q) == Some(Rational::int(2))
         {
             return Some(coloring);
         }
@@ -384,10 +387,8 @@ mod tests {
     #[test]
     fn example_3_4_coloring() {
         // L(W)={1}, L(X)=L(Y)=∅, L(Z)={2} on the un-chased query: C = 2.
-        let (q, fds) = parse_program(
-            "R0(W,X,Y,Z) :- R1(W,X,Y), R1(W,W,W), R2(Y,Z)\nkey R1[1]",
-        )
-        .unwrap();
+        let (q, fds) =
+            parse_program("R0(W,X,Y,Z) :- R1(W,X,Y), R1(W,W,W), R2(Y,Z)\nkey R1[1]").unwrap();
         let vfds = q.variable_fds(&fds);
         let mut c = Coloring::empty(4);
         c.label_mut(0).insert(0); // W

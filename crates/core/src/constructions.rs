@@ -32,11 +32,7 @@ pub const NULL_VALUE: &str = "v∅";
 ///
 /// Relations occurring several times in `q` are populated with the union
 /// of their per-occurrence tuple sets (the `rep(Q)` step of the proof).
-pub fn worst_case_database(
-    q: &ConjunctiveQuery,
-    coloring: &Coloring,
-    m_param: usize,
-) -> Database {
+pub fn worst_case_database(q: &ConjunctiveQuery, coloring: &Coloring, m_param: usize) -> Database {
     assert!(m_param >= 1, "product parameter must be at least 1");
     let mut db = Database::new();
     for atom in q.body() {
@@ -50,9 +46,9 @@ pub fn worst_case_database(
             None => Relation::new(Schema::new(atom.relation.clone(), atom.vars.len())),
         };
         // Enumerate all assignments h : atom_colors -> [0, M).
-        let num_assignments = m_param.checked_pow(atom_colors.len() as u32).expect(
-            "worst-case database size overflows usize; reduce M or the coloring",
-        );
+        let num_assignments = m_param
+            .checked_pow(atom_colors.len() as u32)
+            .expect("worst-case database size overflows usize; reduce M or the coloring");
         let mut h = vec![0usize; atom_colors.len()];
         for _ in 0..num_assignments {
             let row: Vec<_> = atom
@@ -118,8 +114,7 @@ pub fn predicted_rmax(q: &ConjunctiveQuery, coloring: &Coloring, m_param: usize)
     let mut per_relation: std::collections::BTreeMap<&str, usize> = Default::default();
     for atom in q.body() {
         let colors = coloring.union_over(atom.var_set().iter()).len();
-        *per_relation.entry(atom.relation.as_str()).or_insert(0) +=
-            m_param.pow(colors as u32);
+        *per_relation.entry(atom.relation.as_str()).or_insert(0) += m_param.pow(colors as u32);
     }
     per_relation.values().copied().max().unwrap_or(0)
 }
@@ -168,8 +163,7 @@ mod tests {
     fn construction_respects_simple_keys() {
         // Q(X,Y,Z) :- S(X,Y), T(X,Z) with key S[1]: chase does nothing
         // (different relations), C = 2 via coloring Y, Z.
-        let (q, fds) =
-            parse_program("Q(X,Y,Z) :- S(X,Y), T(X,Z)\nkey S[1]").unwrap();
+        let (q, fds) = parse_program("Q(X,Y,Z) :- S(X,Y), T(X,Z)\nkey S[1]").unwrap();
         let chased = chase(&q, &fds).query;
         let vfds = chased.variable_fds(&fds);
         // The key X -> Y forces L(Y) ⊆ L(X); with L(X)=L(Y)={0} and
@@ -219,10 +213,7 @@ mod tests {
     #[test]
     fn m_equals_one_is_single_point() {
         let q = parse_query("Q(X,Y) :- R(X,Y)").unwrap();
-        let coloring = coloring_from_weights(&[
-            Rational::one(),
-            Rational::one(),
-        ]);
+        let coloring = coloring_from_weights(&[Rational::one(), Rational::one()]);
         let db = worst_case_database(&q, &coloring, 1);
         assert_eq!(db.relation("R").unwrap().len(), 1);
         assert_eq!(evaluate(&q, &db).len(), 1);

@@ -27,11 +27,7 @@ pub fn canonical_database(q: &ConjunctiveQuery) -> (Database, Vec<Value>) {
         let tuple: Vec<&str> = atom.vars.iter().map(|&v| frozen[v].as_str()).collect();
         db.insert_named(&atom.relation, &tuple);
     }
-    let head: Vec<Value> = q
-        .head()
-        .iter()
-        .map(|&v| db.intern(&frozen[v]))
-        .collect();
+    let head: Vec<Value> = q.head().iter().map(|&v| db.intern(&frozen[v])).collect();
     (db, head)
 }
 
@@ -110,10 +106,8 @@ mod tests {
     fn chase_is_contained_in_original() {
         // chase(Q) only ever merges variables, so chase(Q) ⊆ Q as plain
         // CQs (the reverse needs the dependencies).
-        let (orig, fds) = parse_program(
-            "R0(W,X,Y,Z) :- R1(W,X,Y), R1(W,W,W), R2(Y,Z)\nkey R1[1]",
-        )
-        .unwrap();
+        let (orig, fds) =
+            parse_program("R0(W,X,Y,Z) :- R1(W,X,Y), R1(W,W,W), R2(Y,Z)\nkey R1[1]").unwrap();
         let chased = chase(&orig, &fds).query;
         assert!(is_contained_in(&chased, &orig));
         assert!(!is_contained_in(&orig, &chased)); // strict without FDs

@@ -46,11 +46,9 @@ impl EntropyVector {
         let mut h = vec![0.0; 1 << k];
         for mask in 1u32..(1 << k) {
             let cols: Vec<usize> = mask_elems(mask).collect();
-            let mut counts: FxHashMap<Box<[cq_relation::Value]>, usize> =
-                FxHashMap::default();
+            let mut counts: FxHashMap<Box<[cq_relation::Value]>, usize> = FxHashMap::default();
             for row in rel.iter() {
-                let key: Box<[cq_relation::Value]> =
-                    cols.iter().map(|&c| row[c]).collect();
+                let key: Box<[cq_relation::Value]> = cols.iter().map(|&c| row[c]).collect();
                 *counts.entry(key).or_insert(0) += 1;
             }
             let mut entropy = 0.0;
@@ -264,11 +262,7 @@ mod tests {
 
     #[test]
     fn atom_specializations() {
-        let r = relation_of(&[
-            &["a", "x", "1"],
-            &["a", "y", "1"],
-            &["b", "x", "2"],
-        ]);
+        let r = relation_of(&[&["a", "x", "1"], &["a", "y", "1"], &["b", "x", "2"]]);
         let e = EntropyVector::from_relation(&r);
         // |S| = 1: atom = H(Xi | rest)
         assert!((e.atom(0b001) - e.cond(0b001, 0b110)).abs() < EPS);

@@ -122,7 +122,10 @@ pub fn entropy_upper_bound(q: &ConjunctiveQuery, var_fds: &[VarFd]) -> Rational 
         }
     }
     let sol = b.lp.solve();
-    assert!(sol.is_optimal(), "Proposition 6.9 LP is feasible and bounded");
+    assert!(
+        sol.is_optimal(),
+        "Proposition 6.9 LP is feasible and bounded"
+    );
     sol.objective
 }
 
@@ -146,7 +149,10 @@ pub fn color_number_entropy_lp(q: &ConjunctiveQuery, var_fds: &[VarFd]) -> Ratio
         b.constraint(&terms, LpRel::Ge, Rational::zero());
     }
     let sol = b.lp.solve();
-    assert!(sol.is_optimal(), "Proposition 6.10 LP is feasible and bounded");
+    assert!(
+        sol.is_optimal(),
+        "Proposition 6.10 LP is feasible and bounded"
+    );
     sol.objective
 }
 
@@ -165,10 +171,7 @@ pub fn color_number_entropy_lp(q: &ConjunctiveQuery, var_fds: &[VarFd]) -> Ratio
 /// satisfies `C(Q) ≤ s_ZY(Q) ≤ s(Q)`; by Matúš (2007) *infinitely many*
 /// further independent inequalities exist, so even this is not tight —
 /// which is precisely the paper's closing observation.
-pub fn entropy_upper_bound_zhang_yeung(
-    q: &ConjunctiveQuery,
-    var_fds: &[VarFd],
-) -> Rational {
+pub fn entropy_upper_bound_zhang_yeung(q: &ConjunctiveQuery, var_fds: &[VarFd]) -> Rational {
     let mut b = EntropyLpBuilder::new(q);
     b.add_query_structure(q, var_fds);
     let k = b.k;
@@ -215,27 +218,16 @@ pub fn entropy_upper_bound_zhang_yeung(
                     if d == a || d == bb {
                         continue;
                     }
-                    let (ma, mb, mc, md) =
-                        (1u32 << a, 1u32 << bb, 1u32 << c, 1u32 << d);
+                    let (ma, mb, mc, md) = (1u32 << a, 1u32 << bb, 1u32 << c, 1u32 << d);
                     let mut terms: Vec<(u32, i64)> = Vec::new();
                     // I(A;B)
                     terms.extend([(ma, 1), (mb, 1), (ma | mb, -1)]);
                     // I(A;CD)
                     terms.extend([(ma, 1), (mc | md, 1), (ma | mc | md, -1)]);
                     // 3 I(C;D|A)
-                    terms.extend([
-                        (mc | ma, 3),
-                        (md | ma, 3),
-                        (ma, -3),
-                        (mc | md | ma, -3),
-                    ]);
+                    terms.extend([(mc | ma, 3), (md | ma, 3), (ma, -3), (mc | md | ma, -3)]);
                     // I(C;D|B)
-                    terms.extend([
-                        (mc | mb, 1),
-                        (md | mb, 1),
-                        (mb, -1),
-                        (mc | md | mb, -1),
-                    ]);
+                    terms.extend([(mc | mb, 1), (md | mb, 1), (mb, -1), (mc | md | mb, -1)]);
                     // −2 I(C;D)
                     terms.extend([(mc, -2), (md, -2), (mc | md, 2)]);
                     b.constraint(&terms, LpRel::Ge, Rational::zero());
@@ -244,7 +236,10 @@ pub fn entropy_upper_bound_zhang_yeung(
         }
     }
     let sol = b.lp.solve();
-    assert!(sol.is_optimal(), "ZY-strengthened LP is feasible and bounded");
+    assert!(
+        sol.is_optimal(),
+        "ZY-strengthened LP is feasible and bounded"
+    );
     sol.objective
 }
 
@@ -318,8 +313,7 @@ mod tests {
     fn simple_fd_entropy_bound() {
         // Q(X,Y,Z) :- S(X,Y), T(Y,Z), key S[1]: X->Y.
         // C = 2 and the Shannon bound agrees here.
-        let (q, fds) =
-            parse_program("Q(X,Y,Z) :- S(X,Y), T(Y,Z)\nkey S[1]").unwrap();
+        let (q, fds) = parse_program("Q(X,Y,Z) :- S(X,Y), T(Y,Z)\nkey S[1]").unwrap();
         let chased = chase(&q, &fds).query;
         let vfds = chased.variable_fds(&fds);
         assert_eq!(entropy_upper_bound(&chased, &vfds), rat("2"));

@@ -37,10 +37,7 @@ use cq_util::FxHashMap;
 /// Panics if a body atom's arity differs from its relation's arity.
 /// A body atom over an absent relation yields an empty result.
 pub fn evaluate(q: &ConjunctiveQuery, db: &Database) -> Relation {
-    let out_schema = Schema::with_attrs(
-        "Q",
-        q.head().iter().map(|&v| q.var_name(v).to_owned()),
-    );
+    let out_schema = Schema::with_attrs("Q", q.head().iter().map(|&v| q.var_name(v).to_owned()));
     let mut out = Relation::new(out_schema);
 
     // Resolve atom relations; any missing relation (or empty) => empty result.
@@ -342,8 +339,14 @@ mod tests {
         let q = parse_query("T(X,Y,Z) :- E(X,Y), E(Y,Z), E(X,Z)").unwrap();
         // K3 as a symmetric edge relation: 6 ordered triangles
         let mut db = Database::new();
-        for (a, b) in [("a", "b"), ("b", "a"), ("b", "c"), ("c", "b"), ("a", "c"), ("c", "a")]
-        {
+        for (a, b) in [
+            ("a", "b"),
+            ("b", "a"),
+            ("b", "c"),
+            ("c", "b"),
+            ("a", "c"),
+            ("c", "a"),
+        ] {
             db.insert_named("E", &[a, b]);
         }
         let out = evaluate(&q, &db);
@@ -400,7 +403,13 @@ mod tests {
     #[test]
     fn disconnected_query_is_product() {
         let q = parse_query("P(X,Y) :- R(X), S(Y)").unwrap();
-        let db = db_from(&[("R", &["a"]), ("R", &["b"]), ("S", &["x"]), ("S", &["y"]), ("S", &["z"])]);
+        let db = db_from(&[
+            ("R", &["a"]),
+            ("R", &["b"]),
+            ("S", &["x"]),
+            ("S", &["y"]),
+            ("S", &["z"]),
+        ]);
         assert_eq!(evaluate(&q, &db).len(), 6);
     }
 
@@ -408,8 +417,14 @@ mod tests {
     fn plan_matches_backtracking_on_join_queries() {
         let q = parse_query("Q(X,Y,Z) :- E(X,Y), E(Y,Z), E(X,Z)").unwrap();
         let mut db = Database::new();
-        for (a, b) in [("a", "b"), ("b", "c"), ("a", "c"), ("b", "a"), ("c", "a"), ("c", "b")]
-        {
+        for (a, b) in [
+            ("a", "b"),
+            ("b", "c"),
+            ("a", "c"),
+            ("b", "a"),
+            ("c", "a"),
+            ("c", "b"),
+        ] {
             db.insert_named("E", &[a, b]);
         }
         let direct = evaluate(&q, &db);
@@ -441,10 +456,8 @@ mod tests {
     /// Fact 2.4: Q(D) = chase(Q)(D) on databases satisfying the FDs.
     #[test]
     fn fact_2_4_worked_example() {
-        let (q, fds) = parse_program(
-            "R0(W,X,Y,Z) :- R1(W,X,Y), R1(W,W,W), R2(Y,Z)\nkey R1[1]",
-        )
-        .unwrap();
+        let (q, fds) =
+            parse_program("R0(W,X,Y,Z) :- R1(W,X,Y), R1(W,W,W), R2(Y,Z)\nkey R1[1]").unwrap();
         let chased = chase(&q, &fds);
         let mut db = Database::new();
         // key-respecting R1; include the all-equal tuple (w,w,w)

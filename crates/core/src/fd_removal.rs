@@ -57,7 +57,9 @@ pub struct RemovalTrace {
 impl RemovalTrace {
     /// The final FD-free query `Q'`.
     pub fn result(&self) -> &ConjunctiveQuery {
-        self.queries.last().expect("trace has at least the input query")
+        self.queries
+            .last()
+            .expect("trace has at least the input query")
     }
 }
 
@@ -173,8 +175,7 @@ pub fn transform_database(trace: &RemovalTrace, db: &Database) -> Result<Databas
             let Some(rel) = db.relation(&atom.relation) else {
                 continue;
             };
-            let pairs: Vec<(Value, Value)> =
-                rel.iter().map(|row| (row[px], row[py])).collect();
+            let pairs: Vec<(Value, Value)> = rel.iter().map(|row| (row[px], row[py])).collect();
             for (x, y) in pairs {
                 match map.get(&x) {
                     Some(&prev) if prev != y => {
@@ -206,8 +207,7 @@ pub fn transform_database(trace: &RemovalTrace, db: &Database) -> Result<Databas
                 continue;
             };
             let old_rows: Vec<Vec<Value>> = rel.iter().map(|r| r.to_vec()).collect();
-            let mut schema_attrs: Vec<String> =
-                rel.schema().attrs().to_vec();
+            let mut schema_attrs: Vec<String> = rel.schema().attrs().to_vec();
             schema_attrs.push(format!("A{}", schema_attrs.len() + 1));
             let mut new_rel =
                 Relation::new(Schema::with_attrs(atom.relation.clone(), schema_attrs));
@@ -267,11 +267,7 @@ mod tests {
         // X1 and everything X1 determines (X2, X3, X4).
         let head = result.head_var_set();
         for name in ["X1", "X2", "X3", "X4"] {
-            let v = result
-                .var_names()
-                .iter()
-                .position(|n| n == name)
-                .unwrap();
+            let v = result.var_names().iter().position(|n| n == name).unwrap();
             assert!(head.contains(v), "{name} should be in the extended head");
         }
         // X5 determines X1 and transitively everything, so the R3 atom
@@ -287,10 +283,8 @@ mod tests {
     #[test]
     fn lemma_4_7_color_number_preserved() {
         // Example 3.4 / 2.2: C(chase(Q)) computed two ways.
-        let (q, fds) = parse_program(
-            "R0(W,X,Y,Z) :- R1(W,X,Y), R1(W,W,W), R2(Y,Z)\nkey R1[1]",
-        )
-        .unwrap();
+        let (q, fds) =
+            parse_program("R0(W,X,Y,Z) :- R1(W,X,Y), R1(W,W,W), R2(Y,Z)\nkey R1[1]").unwrap();
         let chased = chase(&q, &fds);
         // chase(Q) = R0(W,W,W,Z) <- R1(W,W,W), R2(W,Z): no remaining
         // nontrivial variable FDs, C = 1.
@@ -308,10 +302,7 @@ mod tests {
     fn removal_handles_transitive_chains() {
         // X->Y, Y->Z: round for X removes X->Y; later Y's round removes
         // Y->Z; extensions cascade.
-        let (q, fds) = parse_program(
-            "Q(X) :- R(X,Y), S(Y,Z)\nR[1] -> R[2]\nS[1] -> S[2]",
-        )
-        .unwrap();
+        let (q, fds) = parse_program("Q(X) :- R(X,Y), S(Y,Z)\nR[1] -> R[2]\nS[1] -> S[2]").unwrap();
         let vfds = q.variable_fds(&fds);
         let trace = remove_simple_fds(&q, &vfds);
         assert_eq!(trace.steps.len(), 2);
@@ -330,15 +321,12 @@ mod tests {
     #[test]
     fn removal_adds_renamed_dependencies() {
         // X5 -> X1, X1 -> X2: removing X1->X2 must add X5->X2.
-        let (q, fds) = parse_program(
-            "Q(X1,X2,X5) :- R(X1,X2), S(X5,X1)\nR[1] -> R[2]\nS[1] -> S[2]",
-        )
-        .unwrap();
+        let (q, fds) =
+            parse_program("Q(X1,X2,X5) :- R(X1,X2), S(X5,X1)\nR[1] -> R[2]\nS[1] -> S[2]").unwrap();
         let vfds = q.variable_fds(&fds);
         let trace = remove_simple_fds(&q, &vfds);
         // steps: X1->X2 (round of X1), then X5->X1, then X5->X2 (added)
-        let pairs: Vec<(usize, usize)> =
-            trace.steps.iter().map(|s| (s.from, s.to)).collect();
+        let pairs: Vec<(usize, usize)> = trace.steps.iter().map(|s| (s.from, s.to)).collect();
         assert!(pairs.contains(&(0, 1)));
         // S atom (contains X5, X1) must end up containing X2 as well
         let s_atom = trace
@@ -362,8 +350,7 @@ mod tests {
     fn transform_database_preserves_sizes_and_output() {
         // Q(X,Y) :- R(X,Y), S(X,Z) with R[1]->R[2]:
         // removing X->Y extends S and the head.
-        let (q, fds) =
-            parse_program("Q(X,Y) :- R(X,Y), S(X,Z)\nR[1] -> R[2]").unwrap();
+        let (q, fds) = parse_program("Q(X,Y) :- R(X,Y), S(X,Z)\nR[1] -> R[2]").unwrap();
         let vfds = q.variable_fds(&fds);
         let trace = remove_simple_fds(&q, &vfds);
         let mut db = Database::new();
@@ -385,8 +372,7 @@ mod tests {
 
     #[test]
     fn transform_database_detects_fd_violation() {
-        let (q, fds) =
-            parse_program("Q(X,Y) :- R(X,Y), S(X,Z)\nR[1] -> R[2]").unwrap();
+        let (q, fds) = parse_program("Q(X,Y) :- R(X,Y), S(X,Z)\nR[1] -> R[2]").unwrap();
         let vfds = q.variable_fds(&fds);
         let trace = remove_simple_fds(&q, &vfds);
         let mut db = Database::new();

@@ -116,7 +116,10 @@ impl GapConstruction {
 /// # Panics
 /// Panics unless `k` is even, `k ≥ 4`, and `n_prime` is a prime `> k`.
 pub fn gap_construction(k: usize, n_prime: u64) -> GapConstruction {
-    assert!(k >= 4 && k.is_multiple_of(2), "k must be even and at least 4");
+    assert!(
+        k >= 4 && k.is_multiple_of(2),
+        "k must be even and at least 4"
+    );
     assert!(
         gf::is_prime(n_prime) && n_prime > k as u64,
         "N must be a prime greater than k"
@@ -294,7 +297,7 @@ mod tests {
         let g = gap_construction(4, 5);
         assert_eq!(g.query.num_vars(), 8);
         assert_eq!(g.query.num_atoms(), 2 + 4); // R1,R2 + T1..T4
-        // relations: |R_j| = N² = 25, |T_i| = 25
+                                                // relations: |R_j| = N² = 25, |T_i| = 25
         for name in ["R1", "R2", "T1", "T4"] {
             assert_eq!(g.db.relation(name).unwrap().len(), 25, "{name}");
         }
@@ -305,7 +308,10 @@ mod tests {
     #[test]
     fn shamir_fds_hold() {
         let g = gap_construction(4, 5);
-        assert!(g.db.satisfies(&g.fds), "any 2 of 4 shares determine the rest");
+        assert!(
+            g.db.satisfies(&g.fds),
+            "any 2 of 4 shares determine the rest"
+        );
     }
 
     #[test]
@@ -326,10 +332,7 @@ mod tests {
         let out = evaluate(&g.query, &g.db);
         assert_eq!(out.len() as u128, g.predicted_output());
         // exponent: |Q(D)| = rmax^{k/2} exactly
-        assert_eq!(
-            (g.predicted_rmax()).pow(2),
-            g.predicted_output()
-        );
+        assert_eq!((g.predicted_rmax()).pow(2), g.predicted_output());
     }
 
     #[test]

@@ -42,7 +42,10 @@ pub struct Figure1 {
 /// # Panics
 /// Panics unless `1 ≤ m ≤ n − 2`.
 pub fn figure1_construction(n: usize, m: usize) -> Figure1 {
-    assert!(m >= 1 && m + 2 <= n, "Proposition 5.2 requires 1 <= m <= n-2");
+    assert!(
+        m >= 1 && m + 2 <= n,
+        "Proposition 5.2 requires 1 <= m <= n-2"
+    );
     let mut db = Database::new();
     let mut rel = Relation::new(Schema::new("R", m + 2));
     let nm = n * m;
@@ -204,8 +207,8 @@ mod tests {
     use super::*;
     use crate::treewidth::{gaifman_over, keyed_join_decomposition, theorem_5_5_bound};
     use cq_hypergraph::{
-        decomposition_from_ordering, grid_lower_bound, min_fill_ordering,
-        treewidth_exact, treewidth_upper_bound,
+        decomposition_from_ordering, grid_lower_bound, min_fill_ordering, treewidth_exact,
+        treewidth_upper_bound,
     };
 
     #[test]

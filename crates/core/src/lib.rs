@@ -70,13 +70,13 @@ pub use acyclic::{evaluate_yannakakis, gyo_join_tree, is_acyclic, JoinTree};
 pub use chase::{chase, ChaseResult};
 pub use coloring::{
     color_number_lp, coloring_from_weights, find_two_coloring_brute_force,
-    fractional_cover_weighted, fractional_edge_cover, fractional_edge_cover_head,
-    ColorNumber, Coloring,
+    fractional_cover_weighted, fractional_edge_cover, fractional_edge_cover_head, ColorNumber,
+    Coloring,
 };
-pub use containment::{canonical_database, is_contained_in, is_equivalent};
 pub use constructions::{
     example_2_1_database, predicted_output_size, predicted_rmax, worst_case_database,
 };
+pub use containment::{canonical_database, is_contained_in, is_equivalent};
 pub use entropy::EntropyVector;
 pub use entropy_lp::{
     color_number_entropy_lp, entropy_upper_bound, entropy_upper_bound_zhang_yeung,
@@ -88,26 +88,23 @@ pub use fd_removal::{
     per_occurrence_database, pull_back_coloring, remove_simple_fds, transform_database,
     RemovalStep, RemovalTrace,
 };
-pub use gap::{
-    gap_construction, gap_lower_bound_coloring, gap_lower_bound_value, GapConstruction,
-};
+pub use gap::{gap_construction, gap_lower_bound_coloring, gap_lower_bound_value, GapConstruction};
 pub use grid_construction::{figure1_construction, Figure1};
 pub use parser::{parse_dependency, parse_program, parse_query, ParseError};
 pub use query::{Atom, ConjunctiveQuery, QueryBuilder, VarFd, VarIdx};
 pub use sat::{dpll, horn_sat, satisfies, Clause};
-pub use sat_reduction::{
-    coloring_from_assignment, reduce_3sat, two_coloring_sat, Lit, Reduction,
-};
+pub use sat_reduction::{coloring_from_assignment, reduce_3sat, two_coloring_sat, Lit, Reduction};
 pub use size_bounds::{
-    agm_bound, agm_product_bound, agm_product_bound_optimized, check_size_bound, corollary_4_2_witness, pow_le, size_bound_no_fds,
-    size_bound_simple_fds, BoundCheck, ProductBound, SizeBound,
+    agm_bound, agm_product_bound, agm_product_bound_measured, agm_product_bound_optimized,
+    check_size_bound, corollary_4_2_witness, pow_le, size_bound_no_fds, size_bound_simple_fds,
+    BoundCheck, ProductBound, SizeBound,
 };
 pub use size_preserving::{
     decide_size_increase, decide_size_increase_chased, SizeIncreaseDecision,
 };
-pub use wcoj::evaluate_wcoj;
 pub use treewidth::{
-    blowup_witness_database, gaifman_over, keyed_join_decomposition,
-    proposition_5_7_bound, theorem_5_10_bound, theorem_5_5_bound,
-    treewidth_preservation_no_fds, treewidth_preservation_simple_fds, TwPreservation,
+    blowup_witness_database, gaifman_over, keyed_join_decomposition, proposition_5_7_bound,
+    theorem_5_10_bound, theorem_5_5_bound, treewidth_preservation_no_fds,
+    treewidth_preservation_simple_fds, TwPreservation,
 };
+pub use wcoj::evaluate_wcoj;

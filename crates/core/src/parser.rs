@@ -43,7 +43,10 @@ fn parse_atom_text(s: &str) -> Result<(String, Vec<String>, &str), ParseError> {
         None => return err(format!("expected '(' in atom near {s:?}")),
     };
     let name = s[..open].trim();
-    if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '·')
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_alphanumeric() || c == '_' || c == '·')
     {
         return err(format!("bad relation name {name:?}"));
     }
@@ -174,8 +177,8 @@ pub fn parse_dependency(
             Some(a) => a,
             None => {
                 return err(format!(
-                    "cannot determine arity of {name}; add `arity k` or use the relation in the query"
-                ))
+                "cannot determine arity of {name}; add `arity k` or use the relation in the query"
+            ))
             }
         };
         let mut fds = FdSet::new();
@@ -185,7 +188,11 @@ pub fn parse_dependency(
     // `R[1,2] -> R[3]` (right side may list several positions)
     let (lhs_text, rhs_text) = match line.split_once("->") {
         Some(p) => p,
-        None => return err(format!("dependency must contain '->' or start with 'key': {line:?}")),
+        None => {
+            return err(format!(
+                "dependency must contain '->' or start with 'key': {line:?}"
+            ))
+        }
     };
     let (lname, lpos) = parse_attr_list(lhs_text)?;
     let (rname, rpos) = parse_attr_list(rhs_text)?;
@@ -321,7 +328,7 @@ mod tests {
     }
 
     #[test]
-    fn parser_never_panics_on_near_valid_input(){
+    fn parser_never_panics_on_near_valid_input() {
         use proptest::prelude::*;
         let mut runner = proptest::test_runner::TestRunner::default();
         // strings built from datalog-ish fragments

@@ -198,8 +198,7 @@ impl ConjunctiveQuery {
         let mut out: Vec<VarFd> = Vec::new();
         for atom in &self.body {
             for fd in fds.for_relation(&atom.relation) {
-                if fd.lhs.iter().any(|&p| p >= atom.vars.len()) || fd.rhs >= atom.vars.len()
-                {
+                if fd.lhs.iter().any(|&p| p >= atom.vars.len()) || fd.rhs >= atom.vars.len() {
                     continue; // FD declared for a different arity
                 }
                 let lhs: Vec<VarIdx> = fd.lhs.iter().map(|&p| atom.vars[p]).collect();
@@ -234,7 +233,11 @@ impl ConjunctiveQuery {
             .map(|a| {
                 let c = counts.entry(a.relation.as_str()).or_insert(0);
                 *c += 1;
-                let total = self.body.iter().filter(|b| b.relation == a.relation).count();
+                let total = self
+                    .body
+                    .iter()
+                    .filter(|b| b.relation == a.relation)
+                    .count();
                 let name = if total > 1 {
                     format!("{}·{}", a.relation, *c)
                 } else {
@@ -374,10 +377,7 @@ mod tests {
         let mut fds = cq_relation::FdSet::new();
         fds.add_key("R1", &[0], 3);
         let vfds = q.variable_fds(&fds);
-        assert_eq!(
-            vfds,
-            vec![VarFd::new(vec![0], 1), VarFd::new(vec![0], 2)]
-        );
+        assert_eq!(vfds, vec![VarFd::new(vec![0], 1), VarFd::new(vec![0], 2)]);
     }
 
     #[test]

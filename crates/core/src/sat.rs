@@ -36,7 +36,10 @@ impl Clause {
 /// # Panics
 /// Panics if some clause is not Horn.
 pub fn horn_sat(clauses: &[Clause], num_vars: usize) -> Option<Vec<bool>> {
-    assert!(clauses.iter().all(Clause::is_horn), "horn_sat requires Horn clauses");
+    assert!(
+        clauses.iter().all(Clause::is_horn),
+        "horn_sat requires Horn clauses"
+    );
     let mut assignment = vec![false; num_vars];
     // counter of unsatisfied negative literals per clause
     let mut remaining: Vec<usize> = clauses.iter().map(|c| c.neg.len()).collect();
@@ -48,7 +51,7 @@ pub fn horn_sat(clauses: &[Clause], num_vars: usize) -> Option<Vec<bool>> {
         }
     }
     let mut queue: Vec<usize> = Vec::new(); // newly-true variables
-    // unit facts: clauses with no negative literals
+                                            // unit facts: clauses with no negative literals
     for (ci, c) in clauses.iter().enumerate() {
         if c.neg.is_empty() {
             match c.pos.first() {
@@ -171,9 +174,9 @@ pub fn dpll(clauses: &[Clause], num_vars: usize) -> Option<Vec<bool>> {
 
 /// Checks an assignment against a CNF.
 pub fn satisfies(clauses: &[Clause], assignment: &[bool]) -> bool {
-    clauses.iter().all(|c| {
-        c.pos.iter().any(|&v| assignment[v]) || c.neg.iter().any(|&v| !assignment[v])
-    })
+    clauses
+        .iter()
+        .all(|c| c.pos.iter().any(|&v| assignment[v]) || c.neg.iter().any(|&v| !assignment[v]))
 }
 
 #[cfg(test)]

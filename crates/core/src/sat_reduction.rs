@@ -157,10 +157,7 @@ pub fn two_coloring_sat(q: &ConjunctiveQuery, var_fds: &[VarFd]) -> Option<Color
         .collect();
     let coloring = Coloring::from_labels(labels);
     debug_assert!(coloring.validate(var_fds).is_ok());
-    debug_assert_eq!(
-        coloring.color_number(q),
-        Some(cq_arith::Rational::int(2))
-    );
+    debug_assert_eq!(coloring.color_number(q), Some(cq_arith::Rational::int(2)));
     Some(coloring)
 }
 
@@ -214,10 +211,7 @@ mod tests {
         let assignment = sat_clauses(&clauses, 3).unwrap();
         let coloring = coloring_from_assignment(&red, &assignment);
         coloring.validate(&red.var_fds).unwrap();
-        assert_eq!(
-            coloring.color_number(&red.query),
-            Some(Rational::int(2))
-        );
+        assert_eq!(coloring.color_number(&red.query), Some(Rational::int(2)));
         // the DPLL-based decision agrees
         assert!(two_coloring_sat(&red.query, &red.var_fds).is_some());
     }
@@ -239,14 +233,7 @@ mod tests {
             (vec![[1, 1, 1], [-1, -1, -1]], 1),
             (vec![[1, 2, 3], [-1, -2, -3]], 3),
             (vec![[1, -2, 2]], 2),
-            (
-                vec![
-                    [1, 1, 1],
-                    [-1, 2, 2],
-                    [-2, -2, -2],
-                ],
-                2,
-            ),
+            (vec![[1, 1, 1], [-1, 2, 2], [-2, -2, -2]], 2),
         ];
         for (clauses, n) in cases {
             let sat = sat_clauses(&clauses, n).is_some();

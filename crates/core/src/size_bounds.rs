@@ -110,11 +110,7 @@ pub struct BoundCheck {
 
 /// Exactly checks `|Q(D)| ≤ rmax(D)^{p/q}` by comparing
 /// `|Q(D)|^q ≤ rmax^p` in big-integer arithmetic.
-pub fn check_size_bound(
-    q: &ConjunctiveQuery,
-    db: &Database,
-    exponent: &Rational,
-) -> BoundCheck {
+pub fn check_size_bound(q: &ConjunctiveQuery, db: &Database, exponent: &Rational) -> BoundCheck {
     let out = crate::eval::evaluate(q, db);
     let names: Vec<&str> = q.relation_names();
     let rmax = db.rmax(&names);
@@ -159,10 +155,20 @@ pub fn corollary_4_2_witness(q: &ConjunctiveQuery) -> Option<usize> {
 /// (integer comparison `|Q|^L ≤ Π |R_j|^{y_j·L}` with `L` the common
 /// denominator).
 pub fn agm_product_bound(q: &ConjunctiveQuery, db: &Database) -> ProductBound {
-    let (_, weights) = crate::coloring::fractional_edge_cover_head(q);
-    product_bound_with_weights(q, db, weights)
+    agm_product_bound_measured(q, db, crate::eval::evaluate(q, db).len())
 }
 
+/// As [`agm_product_bound`] with an already-measured `|Q(D)|`, so a
+/// caller that has evaluated the query (the engine's data checks)
+/// doesn't pay for a second evaluation.
+pub fn agm_product_bound_measured(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    measured: usize,
+) -> ProductBound {
+    let (_, weights) = crate::coloring::fractional_edge_cover_head(q);
+    product_bound_with_weights(q, db, weights, measured)
+}
 
 /// As [`agm_product_bound`], but choosing the fractional cover that
 /// *minimizes the product bound itself*: the cover LP objective is
@@ -176,22 +182,24 @@ pub fn agm_product_bound_optimized(q: &ConjunctiveQuery, db: &Database) -> Produ
         .body()
         .iter()
         .map(|a| {
-            let size = db.relation(&a.relation).map_or(0, cq_relation::Relation::len);
+            let size = db
+                .relation(&a.relation)
+                .map_or(0, cq_relation::Relation::len);
             let ln = if size > 1 { (size as f64).ln() } else { 0.0 };
             Rational::ratio((ln * 1000.0).round() as i64, 1000)
         })
         .collect();
-    let (_, weights) =
-        crate::coloring::fractional_cover_weighted(q, &q.head_var_set(), &costs);
-    product_bound_with_weights(q, db, weights)
+    let (_, weights) = crate::coloring::fractional_cover_weighted(q, &q.head_var_set(), &costs);
+    let measured = crate::eval::evaluate(q, db).len();
+    product_bound_with_weights(q, db, weights, measured)
 }
 
 fn product_bound_with_weights(
     q: &ConjunctiveQuery,
     db: &Database,
     weights: Vec<Rational>,
+    measured: usize,
 ) -> ProductBound {
-    let out = crate::eval::evaluate(q, db);
     // common denominator L
     let mut l = BigInt::one();
     for w in &weights {
@@ -214,10 +222,10 @@ fn product_bound_with_weights(
             bound_log += w.to_f64() * (size as f64).ln();
         }
     }
-    let holds = BigInt::from(out.len()).pow(l_u32) <= rhs;
+    let holds = BigInt::from(measured).pow(l_u32) <= rhs;
     ProductBound {
         weights,
-        measured: out.len(),
+        measured,
         bound_approx: bound_log.exp(),
         holds,
     }
@@ -284,10 +292,8 @@ mod tests {
     #[test]
     fn theorem_4_4_chased_key_collapse() {
         // Example 3.4: C(Q) = 2 without the chase, but C(chase(Q)) = 1.
-        let (q, fds) = parse_program(
-            "R0(W,X,Y,Z) :- R1(W,X,Y), R1(W,W,W), R2(Y,Z)\nkey R1[1]",
-        )
-        .unwrap();
+        let (q, fds) =
+            parse_program("R0(W,X,Y,Z) :- R1(W,X,Y), R1(W,W,W), R2(Y,Z)\nkey R1[1]").unwrap();
         let (bound, chased, _) = size_bound_simple_fds(&q, &fds);
         assert_eq!(bound.exponent, Rational::one());
         assert_eq!(chased.query.num_atoms(), 2);
@@ -300,8 +306,7 @@ mod tests {
     fn theorem_4_4_key_reduces_star() {
         // Example 2.1's query with a key: R'(X,Y,Z) <- R(X,Y), R(X,Z),
         // key R[1]. Chase unifies Y and Z: C drops from 2 to 1.
-        let (q, fds) =
-            parse_program("R2(X,Y,Z) :- R(X,Y), R(X,Z)\nkey R[1]").unwrap();
+        let (q, fds) = parse_program("R2(X,Y,Z) :- R(X,Y), R(X,Z)\nkey R[1]").unwrap();
         let (bound, chased, _) = size_bound_simple_fds(&q, &fds);
         assert_eq!(chased.query.to_string(), "Q(X,Y,Y) :- R(X,Y)");
         assert_eq!(bound.exponent, Rational::one());
@@ -321,8 +326,7 @@ mod tests {
         // validity needs L(Y) ⊆ L(X); color X&Y jointly 1, Z 1 => atoms
         // S: 1, T: 2 -> ratio 1; or L(X)=1,L(Z)=1,L(Y)=0: atoms S:1, T:1,
         // head: 2 -> C=2).
-        let (q, fds) =
-            parse_program("Q(X,Y,Z) :- S(X,Y), T(Y,Z)\nkey S[1]").unwrap();
+        let (q, fds) = parse_program("Q(X,Y,Z) :- S(X,Y), T(Y,Z)\nkey S[1]").unwrap();
         let (bound, chased, _) = size_bound_simple_fds(&q, &fds);
         assert_eq!(bound.exponent, rat("2"));
         // construction achieves M^2 with rmax = M

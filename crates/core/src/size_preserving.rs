@@ -163,8 +163,7 @@ mod tests {
     #[test]
     fn key_collapse_is_size_preserving() {
         // Example 2.1's query becomes size-preserving with the key.
-        let (q, fds) =
-            parse_program("R2(X,Y,Z) :- R(X,Y), R(X,Z)\nkey R[1]").unwrap();
+        let (q, fds) = parse_program("R2(X,Y,Z) :- R(X,Y), R(X,Z)\nkey R[1]").unwrap();
         let d = decide_size_increase(&q, &fds);
         assert!(!d.increases);
         // without the key it increases
@@ -205,20 +204,14 @@ mod tests {
         // Q(X,Y,Z) :- R(X,Y), S(X,Z), T(Y,Z) with compound FD making Z
         // determined by X,Y via T's positions... use S[1]S[2]->S[3] on a
         // ternary S instead:
-        let (q, fds) = parse_program(
-            "Q(X,Y,Z) :- R(X,Y), S(X,Y,Z)\nS[1,2] -> S[3]",
-        )
-        .unwrap();
+        let (q, fds) = parse_program("Q(X,Y,Z) :- R(X,Y), S(X,Y,Z)\nS[1,2] -> S[3]").unwrap();
         let d = decide_size_increase(&q, &fds);
         // head {X,Y,Z}; atom S contains all of them: SAT_S needs a head
         // var colored that is not in S — impossible. Size-preserving.
         assert!(!d.increases);
         // Dropping the S atom's coverage: Q(X,Y,Z) :- R(X,Y), S2(X,Z)
         // with compound FD XZ -> Y? then coloring Z alone works.
-        let (q2, fds2) = parse_program(
-            "Q(X,Y,Z) :- R(X,Y), S2(X,Z)\nS2[1,2] -> S2[2]",
-        )
-        .unwrap();
+        let (q2, fds2) = parse_program("Q(X,Y,Z) :- R(X,Y), S2(X,Z)\nS2[1,2] -> S2[2]").unwrap();
         let d2 = decide_size_increase(&q2, &fds2);
         assert!(d2.increases);
         let _ = fds2;

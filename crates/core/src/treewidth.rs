@@ -160,10 +160,7 @@ pub fn treewidth_preservation_no_fds(q: &ConjunctiveQuery) -> TwPreservation {
 /// property transfers, so `Preserved` implies the
 /// `2^{m·|var(Q)|²}(1 + max(tw, 2)) − 1` bound of the theorem and
 /// `Blowup` implies unbounded treewidth increase.
-pub fn treewidth_preservation_simple_fds(
-    q: &ConjunctiveQuery,
-    fds: &FdSet,
-) -> TwPreservation {
+pub fn treewidth_preservation_simple_fds(q: &ConjunctiveQuery, fds: &FdSet) -> TwPreservation {
     let (_, _, trace) = size_bound_simple_fds(q, fds);
     treewidth_preservation_no_fds(trace.result())
 }
@@ -196,9 +193,7 @@ mod tests {
     use super::*;
     use crate::eval::evaluate;
     use crate::parser::{parse_program, parse_query};
-    use cq_hypergraph::{
-        decomposition_from_ordering, min_fill_ordering, treewidth_exact,
-    };
+    use cq_hypergraph::{decomposition_from_ordering, min_fill_ordering, treewidth_exact};
     use cq_relation::equi_join;
 
     #[test]
@@ -302,8 +297,7 @@ mod tests {
         // Q(X,Y,Z) :- S(X,Y), T(X,Z) with key S[1] (X -> Y): the pair
         // (Y,Z) co-occurs nowhere, but removal extends T(X,Z) with Y,
         // covering the pair: preserved.
-        let (q, fds) =
-            parse_program("Q(X,Y,Z) :- S(X,Y), T(X,Z)\nkey S[1]").unwrap();
+        let (q, fds) = parse_program("Q(X,Y,Z) :- S(X,Y), T(X,Z)\nkey S[1]").unwrap();
         assert_ne!(treewidth_preservation_no_fds(&q), TwPreservation::Preserved);
         assert_eq!(
             treewidth_preservation_simple_fds(&q, &fds),
@@ -327,8 +321,7 @@ mod tests {
         ] {
             let q = parse_query(text).unwrap();
             let brute = find_two_coloring_brute_force(&q, &[]).is_some();
-            let characterized =
-                treewidth_preservation_no_fds(&q) != TwPreservation::Preserved;
+            let characterized = treewidth_preservation_no_fds(&q) != TwPreservation::Preserved;
             assert_eq!(brute, characterized, "{text}");
         }
     }

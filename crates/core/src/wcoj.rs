@@ -102,10 +102,7 @@ impl Trie {
 /// Panics on atom/relation arity mismatches. Missing relations yield an
 /// empty result.
 pub fn evaluate_wcoj(q: &ConjunctiveQuery, db: &Database) -> Relation {
-    let out_schema = Schema::with_attrs(
-        "Q",
-        q.head().iter().map(|&v| q.var_name(v).to_owned()),
-    );
+    let out_schema = Schema::with_attrs("Q", q.head().iter().map(|&v| q.var_name(v).to_owned()));
     let mut out = Relation::new(out_schema);
     let mut rels: Vec<&Relation> = Vec::with_capacity(q.num_atoms());
     for atom in q.body() {
@@ -142,12 +139,7 @@ pub fn evaluate_wcoj(q: &ConjunctiveQuery, db: &Database) -> Relation {
 fn variable_order(q: &ConjunctiveQuery, rels: &[&Relation]) -> Vec<VarIdx> {
     let used: Vec<VarIdx> = q.used_vars().iter().collect();
     let mut order = used.clone();
-    let occurrence = |v: VarIdx| {
-        q.body()
-            .iter()
-            .filter(|a| a.vars.contains(&v))
-            .count()
-    };
+    let occurrence = |v: VarIdx| q.body().iter().filter(|a| a.vars.contains(&v)).count();
     let min_rel = |v: VarIdx| {
         q.body()
             .iter()
@@ -246,8 +238,14 @@ mod tests {
     fn triangle_matches_backtracking() {
         let q = parse_query("T(X,Y,Z) :- E(X,Y), E(Y,Z), E(X,Z)").unwrap();
         let mut db = Database::new();
-        for (a, b) in [("a", "b"), ("b", "c"), ("a", "c"), ("b", "a"), ("c", "a"), ("c", "b")]
-        {
+        for (a, b) in [
+            ("a", "b"),
+            ("b", "c"),
+            ("a", "c"),
+            ("b", "a"),
+            ("c", "a"),
+            ("c", "b"),
+        ] {
             db.insert_named("E", &[a, b]);
         }
         let direct = evaluate(&q, &db);
@@ -315,8 +313,12 @@ mod tests {
         let q = parse_query("T(X,Y,Z) :- E(X,Y), E(Y,Z), E(X,Z)").unwrap();
         let mut db = Database::new();
         for (a, b) in [
-            ("c", "a1"), ("a1", "b1"), ("c", "b1"),
-            ("c", "a2"), ("a2", "b2"), ("c", "b2"),
+            ("c", "a1"),
+            ("a1", "b1"),
+            ("c", "b1"),
+            ("c", "a2"),
+            ("a2", "b2"),
+            ("c", "b2"),
         ] {
             db.insert_named("E", &[a, b]);
         }

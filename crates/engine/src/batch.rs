@@ -1,0 +1,163 @@
+//! [`BatchAnalyzer`]: N queries, one report sink, scoped threads.
+//!
+//! Sessions are deliberately single-threaded (`Cell`/`OnceCell` slots);
+//! batching parallelizes **across** queries instead: each worker thread
+//! pulls the next input off a shared atomic cursor, runs a full session
+//! to a report, and pushes the result into a shared sink. Reports come
+//! back in input order regardless of which worker finished first.
+
+use crate::report::{AnalysisReport, ReportOptions};
+use crate::session::AnalysisSession;
+use cq_core::{ConjunctiveQuery, ParseError};
+use cq_relation::FdSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs many analyses across threads with a shared report sink.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BatchAnalyzer {
+    /// Worker cap; `None` means `std::thread::available_parallelism()`.
+    threads: Option<usize>,
+}
+
+impl BatchAnalyzer {
+    pub fn new() -> Self {
+        BatchAnalyzer { threads: None }
+    }
+
+    /// Caps the worker count (useful for benchmarks and tests).
+    pub fn with_threads(threads: usize) -> Self {
+        BatchAnalyzer {
+            threads: Some(threads.max(1)),
+        }
+    }
+
+    fn workers_for(&self, items: usize) -> usize {
+        let hw = std::thread::available_parallelism().map_or(4, |n| n.get());
+        self.threads.unwrap_or(hw).min(items).max(1)
+    }
+
+    /// Parses and analyzes `(name, program_text)` pairs. Per-input parse
+    /// errors are reported in place without sinking the batch.
+    pub fn analyze_texts(
+        &self,
+        inputs: &[(String, String)],
+        opts: &ReportOptions<'_>,
+    ) -> Vec<Result<AnalysisReport, ParseError>> {
+        self.run(inputs.len(), |i| {
+            AnalysisSession::parse(&inputs[i].0, &inputs[i].1).map(|s| s.report(opts))
+        })
+    }
+
+    /// Analyzes already-built queries (the bench generators' path —
+    /// no parsing involved).
+    pub fn analyze_queries(
+        &self,
+        items: &[(String, ConjunctiveQuery, FdSet)],
+        opts: &ReportOptions<'_>,
+    ) -> Vec<AnalysisReport> {
+        self.run(items.len(), |i| {
+            let (name, query, fds) = &items[i];
+            Ok::<_, ParseError>(
+                AnalysisSession::from_parts(name, query.clone(), fds.clone()).report(opts),
+            )
+        })
+        .into_iter()
+        .map(|r| r.expect("from_parts cannot fail"))
+        .collect()
+    }
+
+    /// The shared work loop: `produce(i)` runs on some worker thread for
+    /// every `i < n`; results land at index `i` of the returned vec.
+    fn run<T: Send>(&self, n: usize, produce: impl Fn(usize) -> T + Sync) -> Vec<T> {
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = self.workers_for(n);
+        let cursor = AtomicUsize::new(0);
+        let sink: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let result = produce(i);
+                    sink.lock().expect("sink poisoned")[i] = Some(result);
+                });
+            }
+        });
+        sink.into_inner()
+            .expect("sink poisoned")
+            .into_iter()
+            .map(|slot| slot.expect("every index produced"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs() -> Vec<(String, String)> {
+        vec![
+            (
+                "triangle".into(),
+                "S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z)".into(),
+            ),
+            (
+                "keyed".into(),
+                "R2(X,Y,Z) :- R(X,Y), R(X,Z)\nkey R[1]".into(),
+            ),
+            ("bad".into(), "not a query".into()),
+            ("path".into(), "Q(X,Y,Z) :- S(X,Y), T(Y,Z)".into()),
+        ]
+    }
+
+    #[test]
+    fn results_keep_input_order() {
+        let reports = BatchAnalyzer::new().analyze_texts(&inputs(), &ReportOptions::default());
+        assert_eq!(reports.len(), 4);
+        assert_eq!(reports[0].as_ref().unwrap().name, "triangle");
+        assert_eq!(
+            reports[0]
+                .as_ref()
+                .unwrap()
+                .size_bound
+                .as_ref()
+                .unwrap()
+                .exponent,
+            "3/2"
+        );
+        assert_eq!(
+            reports[1]
+                .as_ref()
+                .unwrap()
+                .size_bound
+                .as_ref()
+                .unwrap()
+                .exponent,
+            "1"
+        );
+        assert!(reports[2].is_err());
+        assert_eq!(reports[3].as_ref().unwrap().name, "path");
+    }
+
+    #[test]
+    fn single_thread_agrees_with_parallel() {
+        let opts = ReportOptions {
+            witness_m: Some(2),
+            database: None,
+        };
+        let seq = BatchAnalyzer::with_threads(1).analyze_texts(&inputs(), &opts);
+        let par = BatchAnalyzer::with_threads(8).analyze_texts(&inputs(), &opts);
+        for (a, b) in seq.iter().zip(&par) {
+            match (a, b) {
+                (Ok(a), Ok(b)) => assert_eq!(a.to_json_string(), b.to_json_string()),
+                (Err(a), Err(b)) => assert_eq!(a.to_string(), b.to_string()),
+                _ => panic!("parallel and sequential disagree"),
+            }
+        }
+    }
+}

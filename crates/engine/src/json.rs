@@ -1,0 +1,144 @@
+//! A minimal JSON value and serializer.
+//!
+//! The engine's reports need a stable, machine-readable rendering but the
+//! build runs offline, so this is hand-rolled rather than a `serde`
+//! dependency. Objects keep insertion order, which is what makes the
+//! `cq-analyze --json` schema stable across runs: a report serializes to
+//! byte-identical output for identical analysis results.
+
+use std::fmt::Write as _;
+
+/// A JSON value. Object keys keep insertion order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// Integers stay exact; everything measured in this workspace
+    /// (counts, sizes) is a `usize`.
+    Int(i64),
+    /// Approximate quantities (`rmax^C` style bound values). Non-finite
+    /// values serialize as `null`, which JSON cannot represent otherwise.
+    Float(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    pub fn int(n: usize) -> Json {
+        Json::Int(n as i64)
+    }
+
+    /// `Some(v)` maps through `f`; `None` becomes `null`.
+    pub fn opt<T>(v: Option<T>, f: impl FnOnce(T) -> Json) -> Json {
+        v.map_or(Json::Null, f)
+    }
+
+    /// Serializes compactly (no insignificant whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Float(x) => {
+                if x.is_finite() {
+                    // Rust's shortest-roundtrip Display is valid JSON for
+                    // finite values (no exponent is emitted for the
+                    // magnitudes reports contain; exponents would be
+                    // valid JSON anyway).
+                    let _ = write!(out, "{x}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Builder shorthand for objects with a fixed field order.
+pub fn obj(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+    Json::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::Bool(true).render(), "true");
+        assert_eq!(Json::int(42).render(), "42");
+        assert_eq!(Json::Float(1.5).render(), "1.5");
+        assert_eq!(Json::Float(8.0).render(), "8");
+        assert_eq!(Json::Float(f64::INFINITY).render(), "null");
+        assert_eq!(Json::str("a\"b\\c\nd").render(), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn renders_containers_in_order() {
+        let j = obj([
+            ("b", Json::int(1)),
+            ("a", Json::Arr(vec![Json::Null, Json::Bool(false)])),
+        ]);
+        assert_eq!(j.render(), "{\"b\":1,\"a\":[null,false]}");
+    }
+
+    #[test]
+    fn control_chars_are_escaped() {
+        assert_eq!(Json::str("\u{1}").render(), "\"\\u0001\"");
+    }
+}

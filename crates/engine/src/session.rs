@@ -1,0 +1,407 @@
+//! [`AnalysisSession`]: the memoized per-query analysis pipeline.
+//!
+//! Every consumer of this workspace wants some subset of the same
+//! artifact chain:
+//!
+//! ```text
+//! parse ─► chase (Fact 2.4) ─► variable FDs ─► FD removal (Lemma 4.7)
+//!                │                                   │
+//!                ├─► size-increase decision (Thm 7.2)├─► coloring LP (Prop 3.6)
+//!                │                                   │     └─► size bound (Thm 4.4)
+//!                └─► entropy LPs (Props 6.9/6.10)    └─► treewidth preservation
+//!                     (compound-FD fallback)              (Thm 5.10)
+//! ```
+//!
+//! Before this crate existed the CLI, the examples, the benches and the
+//! pipeline tests each hand-wired that sequence and recomputed shared
+//! prefixes — the CLI alone ran the chase four times per query. A session
+//! computes each artifact **at most once**, on first demand, in lazy
+//! `OnceCell` slots, and counts how often the expensive stages actually
+//! ran ([`SessionStats`]) so tests can assert the memoization instead of
+//! trusting it.
+
+use cq_arith::Rational;
+use cq_core::{
+    chase, check_size_bound, color_number_entropy_lp, color_number_lp, decide_size_increase_chased,
+    entropy_upper_bound, is_acyclic, parse_program, pull_back_coloring, remove_simple_fds,
+    treewidth_preservation_no_fds, worst_case_database, BoundCheck, ChaseResult, ConjunctiveQuery,
+    ParseError, RemovalTrace, SizeBound, SizeIncreaseDecision, TwPreservation, VarFd,
+};
+use cq_relation::{Database, FdSet};
+use std::cell::{Cell, OnceCell};
+
+/// Variable cap for the Proposition 6.10 entropy characterization of the
+/// color number (the LP has `2^k` variables).
+pub const ENTROPY_COLOR_VAR_CAP: usize = 10;
+
+/// Variable cap for the Proposition 6.9 Shannon upper bound.
+pub const ENTROPY_BOUND_VAR_CAP: usize = 6;
+
+/// How many times each expensive pipeline stage actually executed.
+///
+/// `OnceCell` slots make re-execution impossible by construction, but
+/// the engine's contract is load-bearing enough that tests assert it
+/// from the outside: after any number of accessor calls, `chase_runs`
+/// and `color_lp_runs` are each at most 1.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Chase fixpoints computed (Fact 2.4).
+    pub chase_runs: usize,
+    /// FD-removal traces computed (Lemma 4.7).
+    pub removal_runs: usize,
+    /// Coloring LPs solved (Proposition 3.6).
+    pub color_lp_runs: usize,
+    /// Entropy LPs solved (Propositions 6.9 / 6.10).
+    pub entropy_lp_runs: usize,
+    /// Treewidth-preservation analyses (Theorem 5.10).
+    pub treewidth_runs: usize,
+    /// Size-increase decisions (Theorem 7.2).
+    pub decision_runs: usize,
+}
+
+#[derive(Default)]
+struct Counters {
+    chase: Cell<usize>,
+    removal: Cell<usize>,
+    color_lp: Cell<usize>,
+    entropy_lp: Cell<usize>,
+    treewidth: Cell<usize>,
+    decision: Cell<usize>,
+}
+
+fn bump(cell: &Cell<usize>) {
+    cell.set(cell.get() + 1);
+}
+
+/// A per-query memoized artifact store over the whole paper pipeline.
+///
+/// Construction is cheap (parsing only); everything else is computed on
+/// first access and cached for the session's lifetime. Sessions are
+/// intentionally `!Sync` (interior mutability via `Cell`/`OnceCell`);
+/// for parallelism, run one session per thread — see
+/// [`crate::BatchAnalyzer`].
+pub struct AnalysisSession {
+    name: String,
+    query: ConjunctiveQuery,
+    fds: FdSet,
+    chase: OnceCell<ChaseResult>,
+    vfds: OnceCell<Vec<VarFd>>,
+    trace: OnceCell<Option<RemovalTrace>>,
+    bound: OnceCell<Option<SizeBound>>,
+    treewidth: OnceCell<Option<TwPreservation>>,
+    decision: OnceCell<SizeIncreaseDecision>,
+    acyclic: OnceCell<bool>,
+    entropy_color: OnceCell<Option<Rational>>,
+    entropy_bound: OnceCell<Option<Rational>>,
+    counters: Counters,
+}
+
+impl AnalysisSession {
+    /// Parses a program (rule plus dependency lines, see
+    /// `cq_core::parser`) into a fresh session.
+    pub fn parse(name: impl Into<String>, text: &str) -> Result<Self, ParseError> {
+        let (query, fds) = parse_program(text)?;
+        Ok(Self::from_parts(name, query, fds))
+    }
+
+    /// Wraps an already-built query and dependency set.
+    pub fn from_parts(name: impl Into<String>, query: ConjunctiveQuery, fds: FdSet) -> Self {
+        AnalysisSession {
+            name: name.into(),
+            query,
+            fds,
+            chase: OnceCell::new(),
+            vfds: OnceCell::new(),
+            trace: OnceCell::new(),
+            bound: OnceCell::new(),
+            treewidth: OnceCell::new(),
+            decision: OnceCell::new(),
+            acyclic: OnceCell::new(),
+            entropy_color: OnceCell::new(),
+            entropy_bound: OnceCell::new(),
+            counters: Counters::default(),
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn query(&self) -> &ConjunctiveQuery {
+        &self.query
+    }
+
+    pub fn fds(&self) -> &FdSet {
+        &self.fds
+    }
+
+    /// Stage-execution counts so far.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            chase_runs: self.counters.chase.get(),
+            removal_runs: self.counters.removal.get(),
+            color_lp_runs: self.counters.color_lp.get(),
+            entropy_lp_runs: self.counters.entropy_lp.get(),
+            treewidth_runs: self.counters.treewidth.get(),
+            decision_runs: self.counters.decision.get(),
+        }
+    }
+
+    /// The chase of `Q` under the declared dependencies (Fact 2.4).
+    pub fn chase_result(&self) -> &ChaseResult {
+        self.chase.get_or_init(|| {
+            bump(&self.counters.chase);
+            chase(&self.query, &self.fds)
+        })
+    }
+
+    /// Variable-level dependencies of the chased query.
+    pub fn variable_fds(&self) -> &[VarFd] {
+        self.vfds
+            .get_or_init(|| self.chase_result().query.variable_fds(&self.fds))
+    }
+
+    /// `true` when every variable-level dependency is simple, i.e. the
+    /// Theorem 4.4 pipeline applies.
+    pub fn simple_fds(&self) -> bool {
+        self.variable_fds().iter().all(VarFd::is_simple)
+    }
+
+    /// The Lemma 4.7 FD-removal trace; `None` under compound
+    /// dependencies (Theorem 4.4 does not apply).
+    pub fn removal_trace(&self) -> Option<&RemovalTrace> {
+        self.trace
+            .get_or_init(|| {
+                if !self.simple_fds() {
+                    return None;
+                }
+                bump(&self.counters.removal);
+                Some(remove_simple_fds(
+                    &self.chase_result().query,
+                    self.variable_fds(),
+                ))
+            })
+            .as_ref()
+    }
+
+    /// Theorem 4.4: `|Q(D)| ≤ rmax(D)^C(chase(Q))`, exact, with the
+    /// tightness-certificate coloring. `None` under compound
+    /// dependencies.
+    ///
+    /// This recomposes `cq_core::size_bound_simple_fds` from the cached
+    /// chase and removal trace, so a session solves the Proposition 3.6
+    /// LP at most once no matter how many consumers ask.
+    pub fn size_bound(&self) -> Option<&SizeBound> {
+        self.bound
+            .get_or_init(|| {
+                let trace = self.removal_trace()?;
+                bump(&self.counters.color_lp);
+                let cn = color_number_lp(trace.result());
+                let coloring = pull_back_coloring(trace, &cn.coloring);
+                coloring
+                    .validate(self.variable_fds())
+                    .expect("Lemma 4.7 pull-back yields a valid coloring");
+                let chased = &self.chase_result().query;
+                Some(SizeBound {
+                    exponent: cn.value,
+                    coloring,
+                    query: chased.clone(),
+                    rep: chased.rep(),
+                })
+            })
+            .as_ref()
+    }
+
+    /// Theorem 5.10: is the output's treewidth bounded in the input's?
+    /// `None` under compound dependencies.
+    pub fn treewidth_preservation(&self) -> Option<&TwPreservation> {
+        self.treewidth
+            .get_or_init(|| {
+                let trace = self.removal_trace()?;
+                bump(&self.counters.treewidth);
+                Some(treewidth_preservation_no_fds(trace.result()))
+            })
+            .as_ref()
+    }
+
+    /// Theorem 7.2: can any database make `|Q(D)| > rmax(D)`?
+    pub fn size_increase(&self) -> &SizeIncreaseDecision {
+        self.decision.get_or_init(|| {
+            bump(&self.counters.decision);
+            decide_size_increase_chased(&self.chase_result().query, self.variable_fds())
+        })
+    }
+
+    /// GYO acyclicity of the (un-chased) query's hypergraph.
+    pub fn is_acyclic(&self) -> bool {
+        *self.acyclic.get_or_init(|| is_acyclic(&self.query))
+    }
+
+    /// Proposition 6.10: the entropy-LP characterization of the color
+    /// number — a lower bound on the exponent valid under **arbitrary**
+    /// dependencies. `None` above [`ENTROPY_COLOR_VAR_CAP`] variables.
+    pub fn entropy_color_number(&self) -> Option<&Rational> {
+        self.entropy_color
+            .get_or_init(|| {
+                let chased = &self.chase_result().query;
+                if chased.num_vars() > ENTROPY_COLOR_VAR_CAP {
+                    return None;
+                }
+                bump(&self.counters.entropy_lp);
+                Some(color_number_entropy_lp(chased, self.variable_fds()))
+            })
+            .as_ref()
+    }
+
+    /// Proposition 6.9: the Shannon-LP upper bound on the exponent,
+    /// valid under arbitrary dependencies. `None` above
+    /// [`ENTROPY_BOUND_VAR_CAP`] variables.
+    pub fn entropy_exponent(&self) -> Option<&Rational> {
+        self.entropy_bound
+            .get_or_init(|| {
+                let chased = &self.chase_result().query;
+                if chased.num_vars() > ENTROPY_BOUND_VAR_CAP {
+                    return None;
+                }
+                bump(&self.counters.entropy_lp);
+                Some(entropy_upper_bound(chased, self.variable_fds()))
+            })
+            .as_ref()
+    }
+
+    /// Proposition 4.5: builds the `M`-parameterized worst-case database
+    /// from the cached certificate coloring and measures the bound on
+    /// it. `None` under compound dependencies. Parameterized by `m`, so
+    /// not memoized — but it reuses the cached chase/LP artifacts.
+    pub fn witness_check(&self, m: usize) -> Option<BoundCheck> {
+        let bound = self.size_bound()?;
+        let db = worst_case_database(&bound.query, &bound.coloring, m);
+        Some(check_size_bound(&bound.query, &db, &bound.exponent))
+    }
+
+    /// Evaluates the (original) query on a concrete database and checks
+    /// the cached bounds against the measured output. Not memoized (the
+    /// database is caller state), but reuses every cached artifact.
+    pub fn data_check(&self, db: &Database) -> DataCheck {
+        let out = cq_core::evaluate(&self.query, db);
+        let rmax = db.rmax(&self.query.relation_names());
+        let fds_hold = db.satisfies(&self.fds);
+        let exact = self.size_bound().map(|bound| ExactDataBound {
+            bound_approx: (rmax as f64).powf(bound.exponent.to_f64()),
+            holds: cq_core::pow_le(out.len(), rmax, &bound.exponent),
+        });
+        // The head-cover product bound is valid for any query (the cover
+        // LP runs over head variables), not just total join queries.
+        // Passing the measured size avoids a second evaluation — on big
+        // instances the join dominates the whole data check.
+        let p = cq_core::agm_product_bound_measured(&self.query, db, out.len());
+        let product = Some(ProductDataBound {
+            bound_approx: p.bound_approx,
+            holds: p.holds,
+        });
+        DataCheck {
+            rmax,
+            measured: out.len(),
+            fds_hold,
+            exact,
+            product,
+        }
+    }
+}
+
+/// Result of [`AnalysisSession::data_check`].
+#[derive(Clone, Debug)]
+pub struct DataCheck {
+    /// `rmax(D)` over the query's relations.
+    pub rmax: usize,
+    /// `|Q(D)|` measured by evaluation.
+    pub measured: usize,
+    /// Whether the declared dependencies actually hold on the data.
+    pub fds_hold: bool,
+    /// The Theorem 4.4 check (simple-FD path only).
+    pub exact: Option<ExactDataBound>,
+    /// The product-form AGM check (join queries only).
+    pub product: Option<ProductDataBound>,
+}
+
+/// `|Q(D)| ≤ rmax^C`, checked exactly.
+#[derive(Clone, Copy, Debug)]
+pub struct ExactDataBound {
+    pub bound_approx: f64,
+    pub holds: bool,
+}
+
+/// `|Q(D)| ≤ Π|R_j|^{y_j}` for the fractional cover `y`.
+#[derive(Clone, Copy, Debug)]
+pub struct ProductDataBound {
+    pub bound_approx: f64,
+    pub holds: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TRIANGLE: &str = "S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z)";
+
+    #[test]
+    fn artifacts_compute_once() {
+        let s = AnalysisSession::parse("triangle", TRIANGLE).unwrap();
+        for _ in 0..3 {
+            assert_eq!(s.size_bound().unwrap().exponent.to_string(), "3/2");
+            assert!(matches!(
+                s.treewidth_preservation(),
+                Some(TwPreservation::Preserved)
+            ));
+            assert!(s.size_increase().increases);
+            assert!(s.witness_check(2).unwrap().holds);
+        }
+        let stats = s.stats();
+        assert_eq!(stats.chase_runs, 1);
+        assert_eq!(stats.color_lp_runs, 1);
+        assert_eq!(stats.removal_runs, 1);
+        assert_eq!(stats.treewidth_runs, 1);
+        assert_eq!(stats.decision_runs, 1);
+    }
+
+    #[test]
+    fn nothing_runs_until_asked() {
+        let s = AnalysisSession::parse("triangle", TRIANGLE).unwrap();
+        assert_eq!(s.stats(), SessionStats::default());
+    }
+
+    #[test]
+    fn compound_fds_take_the_entropy_path() {
+        let s = AnalysisSession::parse(
+            "compound",
+            "Q(X,Y,Z) :- R(X,Y,Z), S2(X,Z)\nR[1,2] -> R[3]\n",
+        )
+        .unwrap();
+        assert!(!s.simple_fds());
+        assert!(s.size_bound().is_none());
+        assert!(s.treewidth_preservation().is_none());
+        assert!(s.witness_check(2).is_none());
+        assert!(s.entropy_color_number().is_some());
+        assert!(s.entropy_exponent().is_some());
+        // Both entropy LPs memoize independently.
+        let runs = s.stats().entropy_lp_runs;
+        s.entropy_color_number();
+        s.entropy_exponent();
+        assert_eq!(s.stats().entropy_lp_runs, runs);
+    }
+
+    #[test]
+    fn data_check_reuses_cached_bound() {
+        let s = AnalysisSession::parse("triangle", TRIANGLE).unwrap();
+        let mut db = Database::new();
+        for (a, b) in [("a", "b"), ("b", "c"), ("a", "c")] {
+            db.insert_named("R", &[a, b]);
+        }
+        let check = s.data_check(&db);
+        assert_eq!(check.measured, 1);
+        assert!(check.fds_hold);
+        assert!(check.exact.unwrap().holds);
+        assert!(check.product.unwrap().holds);
+        assert_eq!(s.stats().color_lp_runs, 1);
+    }
+}

@@ -20,7 +20,11 @@ use cq_util::BitSet;
 /// the paper's clique phrasing, i.e. it is directly comparable to
 /// treewidth: `tw(G) = min over orderings of this quantity`.)
 pub fn elimination_width(g: &Graph, order: &[usize]) -> usize {
-    assert_eq!(order.len(), g.num_vertices(), "ordering must cover all vertices");
+    assert_eq!(
+        order.len(),
+        g.num_vertices(),
+        "ordering must cover all vertices"
+    );
     let mut adj: Vec<BitSet> = (0..g.num_vertices())
         .map(|v| g.neighbors(v).clone())
         .collect();
@@ -122,10 +126,7 @@ pub fn min_fill_ordering(g: &Graph) -> Vec<usize> {
     })
 }
 
-fn greedy_ordering(
-    g: &Graph,
-    score: impl Fn(&[BitSet], &BitSet, usize) -> usize,
-) -> Vec<usize> {
+fn greedy_ordering(g: &Graph, score: impl Fn(&[BitSet], &BitSet, usize) -> usize) -> Vec<usize> {
     let n = g.num_vertices();
     let mut adj: Vec<BitSet> = (0..n).map(|v| g.neighbors(v).clone()).collect();
     let mut alive = BitSet::full(n);

@@ -196,7 +196,17 @@ mod tests {
         // triangular prism (K3 x K2): treewidth 3.
         let g = Graph::from_edges(
             6,
-            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 3), (1, 4), (2, 5)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (3, 4),
+                (4, 5),
+                (5, 3),
+                (0, 3),
+                (1, 4),
+                (2, 5),
+            ],
         );
         assert_eq!(treewidth_exact(&g), 3);
     }

@@ -110,7 +110,9 @@ impl Graph {
                 return false;
             }
         }
-        other.edges().all(|(a, b)| self.has_edge(embed[a], embed[b]))
+        other
+            .edges()
+            .all(|(a, b)| self.has_edge(embed[a], embed[b]))
     }
 
     /// The complete graph `K_n`.

@@ -41,12 +41,7 @@ pub fn grid_treewidth(rows: usize, cols: usize) -> usize {
 ///
 /// Returns the certified lower bound, or `None` if the embedding is not
 /// valid.
-pub fn grid_lower_bound(
-    g: &Graph,
-    rows: usize,
-    cols: usize,
-    embed: &[usize],
-) -> Option<usize> {
+pub fn grid_lower_bound(g: &Graph, rows: usize, cols: usize, embed: &[usize]) -> Option<usize> {
     let grid = grid_graph(rows, cols);
     if g.contains_embedded(&grid, embed) {
         Some(grid_treewidth(rows, cols))

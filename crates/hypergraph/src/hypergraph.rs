@@ -86,7 +86,9 @@ impl Hypergraph {
         for e in &self.edges {
             covered.union_with(e);
         }
-        (0..self.num_vertices).filter(|&v| !covered.contains(v)).collect()
+        (0..self.num_vertices)
+            .filter(|&v| !covered.contains(v))
+            .collect()
     }
 }
 

@@ -26,8 +26,8 @@ pub mod hypergraph;
 
 pub use decomposition::TreeDecomposition;
 pub use elimination::{
-    decomposition_from_ordering, elimination_width, min_degree_ordering,
-    min_fill_ordering, treewidth_lower_bound, treewidth_upper_bound,
+    decomposition_from_ordering, elimination_width, min_degree_ordering, min_fill_ordering,
+    treewidth_lower_bound, treewidth_upper_bound,
 };
 pub use exact::treewidth_exact;
 pub use graph::Graph;

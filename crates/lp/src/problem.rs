@@ -110,14 +110,12 @@ impl LinearProgram {
     }
 
     /// Adds a constraint from a sparse coefficient list.
-    pub fn add_constraint(
-        &mut self,
-        coeffs: Vec<(VarId, Rational)>,
-        rel: Relation,
-        rhs: Rational,
-    ) {
+    pub fn add_constraint(&mut self, coeffs: Vec<(VarId, Rational)>, rel: Relation, rhs: Rational) {
         for (v, _) in &coeffs {
-            assert!(v.0 < self.var_names.len(), "constraint uses unknown variable");
+            assert!(
+                v.0 < self.var_names.len(),
+                "constraint uses unknown variable"
+            );
         }
         self.constraints.push(Constraint { coeffs, rel, rhs });
     }

@@ -78,33 +78,29 @@ impl Tableau {
 
     /// Pivot on (row, col): scale the pivot row so the pivot entry becomes
     /// 1, then eliminate the column from all other rows and from `obj`.
+    ///
+    /// All updates are in place: the pivot row is moved out (not cloned)
+    /// while the other rows borrow it, each elimination steals its column
+    /// entry as the factor (the entry's final value is exactly 0, so
+    /// nothing is lost), and zero entries of the pivot row are skipped —
+    /// on the sparse tableaus the paper's LPs produce, most are zero.
     fn pivot(&mut self, row: usize, col: usize, objectives: &mut [Vec<Rational>]) {
         let inv = self.a[row][col].recip();
         for x in self.a[row].iter_mut() {
-            *x = &*x * &inv;
+            if !x.is_zero() {
+                *x *= &inv;
+            }
         }
-        let pivot_row = self.a[row].clone();
+        let pivot_row = std::mem::take(&mut self.a[row]);
         for (r, arow) in self.a.iter_mut().enumerate() {
-            if r == row {
-                continue;
-            }
-            let factor = arow[col].clone();
-            if factor.is_zero() {
-                continue;
-            }
-            for (x, p) in arow.iter_mut().zip(&pivot_row) {
-                *x = &*x - &(&factor * p);
+            if r != row {
+                eliminate_col(arow, col, &pivot_row);
             }
         }
         for obj in objectives.iter_mut() {
-            let factor = obj[col].clone();
-            if factor.is_zero() {
-                continue;
-            }
-            for (x, p) in obj.iter_mut().zip(&pivot_row) {
-                *x = &*x - &(&factor * p);
-            }
+            eliminate_col(obj, col, &pivot_row);
         }
+        self.a[row] = pivot_row;
         self.basis[row] = col;
     }
 
@@ -122,12 +118,10 @@ impl Tableau {
     ) -> bool {
         let mut degenerate_streak = 0usize;
         loop {
-            let use_bland =
-                rule == PivotRule::Bland || degenerate_streak >= 64;
+            let use_bland = rule == PivotRule::Bland || degenerate_streak >= 64;
             let entering = if use_bland {
                 // Bland: smallest-index improving column.
-                (0..self.cols)
-                    .find(|&j| allowed[j] && objectives[obj_idx][j].is_negative())
+                (0..self.cols).find(|&j| allowed[j] && objectives[obj_idx][j].is_negative())
             } else {
                 // Dantzig: most-negative reduced cost.
                 (0..self.cols)
@@ -147,8 +141,7 @@ impl Tableau {
                 match &best {
                     None => best = Some((r, ratio)),
                     Some((br, bratio)) => {
-                        if ratio < *bratio
-                            || (ratio == *bratio && self.basis[r] < self.basis[*br])
+                        if ratio < *bratio || (ratio == *bratio && self.basis[r] < self.basis[*br])
                         {
                             best = Some((r, ratio));
                         }
@@ -164,6 +157,22 @@ impl Tableau {
                 degenerate_streak = 0;
             }
             self.pivot(row, col, objectives);
+        }
+    }
+}
+
+/// Subtracts `target[col] · pivot_row` from `target` in place, zeroing
+/// `target[col]`. The column entry is *moved* out as the factor rather
+/// than cloned: its post-elimination value is `factor − factor·1 = 0`,
+/// exactly what `mem::replace` leaves behind.
+fn eliminate_col(target: &mut [Rational], col: usize, pivot_row: &[Rational]) {
+    let factor = std::mem::replace(&mut target[col], Rational::zero());
+    if factor.is_zero() {
+        return;
+    }
+    for (j, p) in pivot_row.iter().enumerate() {
+        if j != col && !p.is_zero() {
+            target[j] -= &(&factor * p);
         }
     }
 }
@@ -289,9 +298,7 @@ pub fn solve_with(lp: &LinearProgram, rule: PivotRule) -> LpSolution {
         for r in 0..m {
             if t.basis[r] >= first_art {
                 // Find a non-artificial column with a nonzero entry.
-                if let Some(col) =
-                    (0..first_art).find(|&j| !t.a[r][j].is_zero())
-                {
+                if let Some(col) = (0..first_art).find(|&j| !t.a[r][j].is_zero()) {
                     t.pivot(r, col, &mut objectives);
                 }
                 // Otherwise the row is all-zero over structurals: redundant;
@@ -473,12 +480,24 @@ mod tests {
         lp.set_objective_coeff(x6, r(-1, 50));
         lp.set_objective_coeff(x7, ri(6));
         lp.add_constraint(
-            vec![(x1, ri(1)), (x4, r(1, 4)), (x5, ri(-60)), (x6, r(-1, 25)), (x7, ri(9))],
+            vec![
+                (x1, ri(1)),
+                (x4, r(1, 4)),
+                (x5, ri(-60)),
+                (x6, r(-1, 25)),
+                (x7, ri(9)),
+            ],
             Relation::Eq,
             ri(0),
         );
         lp.add_constraint(
-            vec![(x2, ri(1)), (x4, r(1, 2)), (x5, ri(-90)), (x6, r(-1, 50)), (x7, ri(3))],
+            vec![
+                (x2, ri(1)),
+                (x4, r(1, 2)),
+                (x5, ri(-90)),
+                (x6, r(-1, 50)),
+                (x7, ri(3)),
+            ],
             Relation::Eq,
             ri(0),
         );
@@ -570,12 +589,24 @@ mod tests {
         lp.set_objective_coeff(x6, r(-1, 50));
         lp.set_objective_coeff(x7, ri(6));
         lp.add_constraint(
-            vec![(x1, ri(1)), (x4, r(1, 4)), (x5, ri(-60)), (x6, r(-1, 25)), (x7, ri(9))],
+            vec![
+                (x1, ri(1)),
+                (x4, r(1, 4)),
+                (x5, ri(-60)),
+                (x6, r(-1, 25)),
+                (x7, ri(9)),
+            ],
             Relation::Eq,
             ri(0),
         );
         lp.add_constraint(
-            vec![(x2, ri(1)), (x4, r(1, 2)), (x5, ri(-90)), (x6, r(-1, 50)), (x7, ri(3))],
+            vec![
+                (x2, ri(1)),
+                (x4, r(1, 2)),
+                (x5, ri(-90)),
+                (x6, r(-1, 50)),
+                (x7, ri(3)),
+            ],
             Relation::Eq,
             ri(0),
         );
@@ -618,10 +649,8 @@ mod tests {
         (1usize..4, 1usize..5).prop_flat_map(|(nv, nc)| {
             let coeff = -3i64..4;
             let obj = proptest::collection::vec(0i64..4, nv);
-            let rows = proptest::collection::vec(
-                (proptest::collection::vec(coeff, nv), 0i64..6),
-                nc,
-            );
+            let rows =
+                proptest::collection::vec((proptest::collection::vec(coeff, nv), 0i64..6), nc);
             (obj, rows).prop_map(move |(obj, rows)| {
                 let mut lp = LinearProgram::maximize();
                 let vars: Vec<_> = (0..nv).map(|i| lp.add_var(format!("x{i}"))).collect();

@@ -75,7 +75,11 @@ impl Database {
     /// over all relations.
     pub fn rmax(&self, names: &[&str]) -> usize {
         if names.is_empty() {
-            self.relations.values().map(Relation::len).max().unwrap_or(0)
+            self.relations
+                .values()
+                .map(Relation::len)
+                .max()
+                .unwrap_or(0)
         } else {
             names
                 .iter()

@@ -71,12 +71,17 @@ impl Fd {
 
 impl fmt::Display for Fd {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let lhs: Vec<String> = self
-            .lhs
-            .iter()
-            .map(|i| format!("{}[{}]", self.relation, i + 1))
-            .collect();
-        write!(f, "{} -> {}[{}]", lhs.join(""), self.relation, self.rhs + 1)
+        // `R[1,2] -> R[3]`: the exact dependency syntax `cq_core`'s
+        // parser reads back, so Display → parse round-trips.
+        let lhs: Vec<String> = self.lhs.iter().map(|i| (i + 1).to_string()).collect();
+        write!(
+            f,
+            "{}[{}] -> {}[{}]",
+            self.relation,
+            lhs.join(","),
+            self.relation,
+            self.rhs + 1
+        )
     }
 }
 
@@ -219,11 +224,7 @@ mod tests {
 
     #[test]
     fn compound_fd_on_instance() {
-        let (_, r) = rel_with(&[
-            &["a", "b", "1"],
-            &["a", "c", "2"],
-            &["a", "b", "1"],
-        ]);
+        let (_, r) = rel_with(&[&["a", "b", "1"], &["a", "c", "2"], &["a", "b", "1"]]);
         assert!(Fd::new("R", vec![0, 1], 2).holds_on(&r));
         let (_, bad) = rel_with(&[&["a", "b", "1"], &["a", "b", "2"]]);
         assert!(!Fd::new("R", vec![0, 1], 2).holds_on(&bad));
@@ -283,6 +284,8 @@ mod tests {
     #[test]
     fn display_is_one_based() {
         let fd = Fd::new("S", vec![0, 1], 2);
-        assert_eq!(fd.to_string(), "S[1]S[2] -> S[3]");
+        assert_eq!(fd.to_string(), "S[1,2] -> S[3]");
+        let simple = Fd::new("R", vec![0], 1);
+        assert_eq!(simple.to_string(), "R[1] -> R[2]");
     }
 }

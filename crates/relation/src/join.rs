@@ -111,11 +111,11 @@ pub fn natural_join(left: &Relation, right: &Relation, name: impl Into<String>) 
         .collect();
     let schema = Schema::with_attrs(
         name,
-        left.schema()
-            .attrs()
-            .iter()
-            .cloned()
-            .chain(right_extra.iter().map(|&ri| right.schema().attr(ri).to_owned())),
+        left.schema().attrs().iter().cloned().chain(
+            right_extra
+                .iter()
+                .map(|&ri| right.schema().attr(ri).to_owned()),
+        ),
     );
     let mut out = Relation::new(schema);
     let build_cols: Vec<usize> = shared.iter().map(|&(_, r)| r).collect();

@@ -87,10 +87,7 @@ impl Relation {
 
     /// Projection onto the 0-based positions `cols` (duplicates removed).
     pub fn project(&self, cols: &[usize], name: impl Into<String>) -> Relation {
-        let schema = Schema::with_attrs(
-            name,
-            cols.iter().map(|&c| self.schema.attr(c).to_owned()),
-        );
+        let schema = Schema::with_attrs(name, cols.iter().map(|&c| self.schema.attr(c).to_owned()));
         let mut out = Relation::new(schema);
         for row in self.iter() {
             let proj: Row = cols.iter().map(|&c| row[c]).collect();

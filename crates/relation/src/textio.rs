@@ -144,8 +144,7 @@ mod tests {
 
     #[test]
     fn relation_blocks_can_be_split() {
-        let db = parse_database("relation R\na b\nrelation S\nx y\nrelation R\nc d\n")
-            .unwrap();
+        let db = parse_database("relation R\na b\nrelation S\nx y\nrelation R\nc d\n").unwrap();
         assert_eq!(db.relation("R").unwrap().len(), 2);
     }
 

@@ -1,0 +1,162 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no crates.io access, so the workspace ships
+//! this minimal harness implementing the `criterion` API subset its
+//! benches use: `criterion_group!`/`criterion_main!`, `Criterion::
+//! benchmark_group`, `BenchmarkGroup::{sample_size, bench_function,
+//! bench_with_input, finish}`, `BenchmarkId::new`, `Bencher::iter` and
+//! `black_box`. There is no statistics engine: each benchmark runs a
+//! warmup pass plus `sample_size` timed samples and reports the mean
+//! time per iteration, which is enough for the before/after comparisons
+//! the workspace's perf work relies on.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, re-exported for bench code.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group: `function/parameter`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+/// Runs the closure under timing. Handed to bench closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` runs of `f` (after one untimed warmup call).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        hint::black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: u64,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// In real criterion this sets the statistical sample count; here it
+    /// sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1) as u64;
+        self
+    }
+
+    fn run_one(&mut self, label: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            iters: self.samples,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let mean = if b.iters == 0 {
+            Duration::ZERO
+        } else {
+            b.elapsed / b.iters as u32
+        };
+        println!("{}/{label}: {mean:?}/iter ({} iters)", self.name, b.iters);
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        self.run_one(name, |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run_one(&id.label, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 10,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let mut g = self.benchmark_group(name.to_owned());
+        g.samples = 10;
+        let mut f = f;
+        g.run_one("base", |b| f(b));
+        self
+    }
+}
+
+/// Declares a bench group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wave(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.bench_with_input(BenchmarkId::new("square", 4), &4u64, |b, &n| {
+            b.iter(|| n * n)
+        });
+        g.bench_function("noop", |b| b.iter(|| black_box(1)));
+        g.finish();
+    }
+
+    #[test]
+    fn group_runs_to_completion() {
+        let mut c = Criterion::default();
+        wave(&mut c);
+    }
+}

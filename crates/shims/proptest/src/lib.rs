@@ -1,0 +1,197 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no crates.io access, so the workspace ships
+//! this minimal property-testing harness implementing the `proptest` API
+//! subset its tests use: the [`Strategy`] trait with `prop_map` /
+//! `prop_flat_map`, range and tuple strategies, `any::<T>()`,
+//! [`collection::vec`], [`option::of`], [`sample::select`], string
+//! strategies from `.{lo,hi}`-shaped patterns, [`test_runner::TestRunner`]
+//! and the [`proptest!`] / `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from upstream, none of which the workspace's tests rely
+//! on: cases are generated from a fixed seed (fully deterministic runs),
+//! failures are **not shrunk**, and rejected cases (`prop_assume!`) are
+//! skipped rather than retried.
+
+pub mod strategy;
+
+pub mod collection {
+    pub use crate::strategy::{vec, SizeRange, VecStrategy};
+}
+
+pub mod option {
+    pub use crate::strategy::of;
+}
+
+pub mod sample {
+    pub use crate::strategy::select;
+}
+
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Runs each `#[test] fn name(pattern in strategy, ...) { body }` item
+/// against `ProptestConfig::cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr); $($(#[$attr:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let mut runner = $crate::test_runner::TestRunner::new($config);
+                runner
+                    .run(&($($strat,)+), |($($pat,)+)| {
+                        $body
+                        Ok(())
+                    })
+                    .unwrap();
+            }
+        )*
+    };
+}
+
+/// `assert!` that reports failure to the runner instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// `assert_eq!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let lhs = $lhs;
+        let rhs = $rhs;
+        $crate::prop_assert!(
+            lhs == rhs,
+            concat!(
+                "assertion failed: ",
+                stringify!($lhs),
+                " == ",
+                stringify!($rhs)
+            )
+        );
+    }};
+}
+
+/// `assert_ne!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let lhs = $lhs;
+        let rhs = $rhs;
+        $crate::prop_assert!(
+            lhs != rhs,
+            concat!(
+                "assertion failed: ",
+                stringify!($lhs),
+                " != ",
+                stringify!($rhs)
+            )
+        );
+    }};
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn ranges_and_tuples(a in 0usize..10, (b, c) in (0i64..5, crate::option::of(1u64..3))) {
+            prop_assert!(a < 10);
+            prop_assert!((0..5).contains(&b));
+            if let Some(c) = c {
+                prop_assert!((1..3).contains(&c));
+            }
+        }
+
+        #[test]
+        fn maps_and_vecs(v in crate::collection::vec(0u64..100, 0..8)) {
+            prop_assume!(!v.is_empty());
+            let doubled = v.iter().map(|x| x * 2).collect::<Vec<_>>();
+            prop_assert_eq!(doubled.len(), v.len());
+        }
+    }
+
+    #[test]
+    fn flat_map_and_select() {
+        let strategy = (1usize..4).prop_flat_map(|n| crate::collection::vec(0usize..n, n..n + 1));
+        let mut runner = TestRunner::default();
+        runner
+            .run(&strategy, |v| {
+                prop_assert!(!v.is_empty());
+                for &x in &v {
+                    prop_assert!(x < v.len());
+                }
+                Ok(())
+            })
+            .unwrap();
+        let sel = crate::sample::select(vec!["a", "b", "c"]);
+        runner
+            .run(&sel, |s| {
+                prop_assert!(["a", "b", "c"].contains(&s));
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn string_pattern_strategy() {
+        let mut runner = TestRunner::default();
+        runner
+            .run(&".{0,12}", |s: String| {
+                prop_assert!(s.chars().count() <= 12);
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn failures_are_reported() {
+        let mut runner = TestRunner::default();
+        let r = runner.run(&(0usize..10,), |(x,)| {
+            prop_assert!(x < 5, "x was {x}");
+            Ok(())
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,203 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container has no crates.io access, so the workspace ships
+//! this minimal, dependency-free implementation of the `rand` API subset
+//! it actually uses: `StdRng::seed_from_u64`, `Rng::gen_range` over
+//! integer and float ranges, `Rng::gen_bool`, and `SliceRandom::shuffle`.
+//! The generator is deterministic per seed (xoshiro256** seeded via
+//! SplitMix64); it does not reproduce upstream `rand`'s exact streams,
+//! which no test in this workspace relies on — they only need seeded
+//! determinism.
+
+pub mod rngs {
+    /// A seeded pseudo-random generator (xoshiro256**).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+}
+
+use rngs::StdRng;
+
+/// Seedable generators (the `seed_from_u64` subset).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed, as recommended by the
+        // xoshiro authors for initializing the full state.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        StdRng { s }
+    }
+}
+
+impl StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// A type that can be drawn uniformly from a half-open `[low, high)`
+/// interval.
+pub trait UniformSample: Copy + PartialOrd {
+    fn sample(rng: &mut StdRng, low: Self, high: Self) -> Self;
+    /// The successor of `v`, for converting inclusive to exclusive
+    /// bounds; saturates at the maximum.
+    fn successor(v: Self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformSample for $t {
+            fn sample(rng: &mut StdRng, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                let span = (high as i128 - low as i128) as u128;
+                // Multiply-shift rejection-free mapping is fine here: the
+                // spans in this workspace are tiny relative to 2^64, so
+                // modulo bias is negligible for test generation.
+                let r = rng.next_u64() as u128 % span;
+                (low as i128 + r as i128) as $t
+            }
+            fn successor(v: Self) -> Self {
+                v.checked_add(1).unwrap_or(v)
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl UniformSample for f64 {
+    fn sample(rng: &mut StdRng, low: Self, high: Self) -> Self {
+        assert!(low < high, "gen_range: empty range");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        low + unit * (high - low)
+    }
+    fn successor(v: Self) -> Self {
+        v
+    }
+}
+
+/// A range argument accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn bounds(self) -> (T, T);
+}
+
+impl<T: UniformSample> SampleRange<T> for std::ops::Range<T> {
+    fn bounds(self) -> (T, T) {
+        (self.start, self.end)
+    }
+}
+
+impl<T: UniformSample> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn bounds(self) -> (T, T) {
+        let (lo, hi) = self.into_inner();
+        (lo, T::successor(hi))
+    }
+}
+
+/// The generator trait (the `gen_range`/`gen_bool` subset).
+pub trait Rng {
+    fn next_u64_impl(&mut self) -> u64;
+
+    fn gen_range<T: UniformSample, R: SampleRange<T>>(&mut self, range: R) -> T;
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        let unit = (self.next_u64_impl() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64_impl(&mut self) -> u64 {
+        self.next_u64()
+    }
+
+    fn gen_range<T: UniformSample, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let (low, high) = range.bounds();
+        T::sample(self, low, high)
+    }
+}
+
+pub mod seq {
+    use super::{StdRng, UniformSample};
+
+    /// Slice helpers (the `shuffle` subset).
+    pub trait SliceRandom {
+        fn shuffle(&mut self, rng: &mut StdRng);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle(&mut self, rng: &mut StdRng) {
+            // Fisher–Yates.
+            for i in (1..self.len()).rev() {
+                let j = usize::sample(rng, 0, i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::*;
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1000usize), b.gen_range(0..1000usize));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..7usize);
+            assert!((3..7).contains(&v));
+            let w = rng.gen_range(1..=3i64);
+            assert!((1..=3).contains(&w));
+            let f = rng.gen_range(0.25..0.75f64);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<usize> = (0..20).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+    }
+}

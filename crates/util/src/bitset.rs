@@ -229,10 +229,7 @@ mod tests {
     fn set_algebra() {
         let a = BitSet::from_iter([1, 2, 3, 64]);
         let b = BitSet::from_iter([2, 3, 4, 128]);
-        assert_eq!(
-            a.union(&b),
-            BitSet::from_iter([1, 2, 3, 4, 64, 128])
-        );
+        assert_eq!(a.union(&b), BitSet::from_iter([1, 2, 3, 4, 64, 128]));
         assert_eq!(a.intersection(&b), BitSet::from_iter([2, 3]));
         assert_eq!(a.difference(&b), BitSet::from_iter([1, 64]));
         assert!(BitSet::from_iter([2, 3]).is_subset(&a));

@@ -81,7 +81,11 @@ fn main() {
                 .filter(|i| mask & (1 << i) != 0)
                 .map(|i| format!("X{}_1", i + 1))
                 .collect();
-            println!("  I({{{}}} | rest) = {:+.2}", members.join(","), atom / log_n);
+            println!(
+                "  I({{{}}} | rest) = {:+.2}",
+                members.join(","),
+                atom / log_n
+            );
         }
     }
     println!(

@@ -6,36 +6,40 @@
 //! backtracking engine and the Corollary 4.8 natural-join plan — on
 //! AGM-worst-case databases of growing size, reporting intermediate
 //! sizes (which stay within `rmax^C`, the crux of the corollary) and
-//! wall-clock times.
+//! wall-clock times. The analysis side (exponent, certificate coloring,
+//! worst-case databases) comes from one memoized `AnalysisSession`.
 //!
 //! Run with: `cargo run --release --example query_planner`
 
-use cqbounds::core::{
-    evaluate, evaluate_by_plan, parse_query, pow_le, size_bound_no_fds,
-    worst_case_database,
-};
+use cq_engine::AnalysisSession;
+use cqbounds::core::{evaluate, evaluate_by_plan, pow_le, worst_case_database};
 use std::time::Instant;
 
 fn main() {
-    let q = parse_query("S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z)").unwrap();
-    let bound = size_bound_no_fds(&q);
-    println!("query: {q}");
-    println!("C(Q) = {} (join-project plan applies: all vars in head)\n", bound.exponent);
+    let session = AnalysisSession::parse("triangle", "S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z)").unwrap();
+    let bound = session.size_bound().expect("no dependencies");
+    println!("query: {}", session.query());
+    println!(
+        "C(Q) = {} (join-project plan applies: all vars in head)\n",
+        bound.exponent
+    );
 
     println!(
         "{:>4} {:>8} {:>10} {:>22} {:>12} {:>12}",
         "M", "rmax", "|Q(D)|", "intermediates", "plan", "backtrack"
     );
     for m in [2usize, 4, 8, 12, 16] {
-        let db = worst_case_database(&q, &bound.coloring, m);
+        // Every iteration reuses the session's cached coloring; the LP
+        // was solved exactly once, before the loop.
+        let db = worst_case_database(&bound.query, &bound.coloring, m);
         let rmax = db.rmax(&["R"]);
 
         let t0 = Instant::now();
-        let (planned, intermediates) = evaluate_by_plan(&q, &db);
+        let (planned, intermediates) = evaluate_by_plan(session.query(), &db);
         let plan_time = t0.elapsed();
 
         let t1 = Instant::now();
-        let direct = evaluate(&q, &db);
+        let direct = evaluate(session.query(), &db);
         let direct_time = t1.elapsed();
 
         assert_eq!(planned.len(), direct.len());
@@ -57,6 +61,7 @@ fn main() {
             direct_time
         );
     }
+    assert_eq!(session.stats().color_lp_runs, 1, "LP solved once for all M");
 
     println!(
         "\nEvery intermediate stayed within rmax^C — the join-project plan\n\

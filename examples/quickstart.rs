@@ -1,70 +1,50 @@
 //! Quickstart: parse a conjunctive query, compute its exact size bound,
 //! build the worst-case database certifying tightness, and analyze
-//! treewidth preservation.
+//! treewidth preservation — all through one `AnalysisSession` per query,
+//! so the chase and the coloring LP each run exactly once.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use cqbounds::core::{
-    check_size_bound, decide_size_increase, parse_program, size_bound_simple_fds,
-    treewidth_preservation_simple_fds, worst_case_database, TwPreservation,
-};
+use cq_engine::{AnalysisSession, ReportOptions};
 
 fn main() {
     // The triangle query of Example 3.3, plus a keyed variant.
     let programs = [
-        ("triangle (Example 3.3)", "S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z)"),
+        (
+            "triangle (Example 3.3)",
+            "S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z)",
+        ),
         (
             "keyed star (Example 2.1 + key)",
             "R2(X,Y,Z) :- R(X,Y), R(X,Z)\nkey R[1]",
         ),
-        (
-            "path join with key",
-            "Q(X,Y,Z) :- S(X,Y), T(Y,Z)\nkey S[1]",
-        ),
+        ("path join with key", "Q(X,Y,Z) :- S(X,Y), T(Y,Z)\nkey S[1]"),
     ];
 
     for (name, text) in programs {
         println!("=== {name} ===");
-        let (q, fds) = parse_program(text).expect("parse");
-        println!("query: {q}");
-        for fd in fds.iter() {
-            println!("dependency: {fd}");
-        }
+        let session = AnalysisSession::parse(name, text).expect("parse");
 
-        // Theorem 4.4: |Q(D)| <= rmax(D)^{C(chase(Q))}, computed exactly.
-        let (bound, chased, _) = size_bound_simple_fds(&q, &fds);
-        println!("chase(Q): {}", chased.query);
-        println!("size bound exponent C(chase(Q)) = {}", bound.exponent);
+        // One report drives the whole pipeline: Theorem 4.4 size bound,
+        // Theorem 7.2 growth decision, the Proposition 4.5 worst-case
+        // witness (M = 4) and Theorem 5.10 treewidth preservation.
+        let report = session.report(&ReportOptions {
+            witness_m: Some(4),
+            database: None,
+        });
+        print!("{}", report.render_text());
 
-        // Theorem 6.1 / Theorem 7.2: can the output exceed the input?
-        let decision = decide_size_increase(&q, &fds);
+        let witness = report.witness.as_ref().expect("simple-FD programs");
+        assert!(witness.holds, "Proposition 4.5: the bound is tight");
+
+        // The memoization contract: however many artifacts the report
+        // touched, each expensive stage ran at most once.
+        let stats = session.stats();
+        assert_eq!(stats.chase_runs, 1);
+        assert_eq!(stats.color_lp_runs, 1);
         println!(
-            "admits size increase: {} (lower bound on C: {})",
-            decision.increases, decision.lower_bound
+            "(engine: {} chase fixpoint, {} coloring-LP solve)\n",
+            stats.chase_runs, stats.color_lp_runs
         );
-
-        // Proposition 4.5: the bound is tight — construct and measure.
-        let m = 4;
-        let db = worst_case_database(&chased.query, &bound.coloring, m);
-        assert!(db.satisfies(&fds), "construction respects the keys");
-        let check = check_size_bound(&chased.query, &db, &bound.exponent);
-        println!(
-            "worst-case database (M={m}): rmax = {}, |Q(D)| = {}, bound rmax^C ≈ {:.1}, holds = {}",
-            check.rmax, check.measured, check.bound_approx, check.holds
-        );
-        assert!(check.holds);
-
-        // Proposition 5.9 / Theorem 5.10: treewidth preservation.
-        match treewidth_preservation_simple_fds(&q, &fds) {
-            TwPreservation::Preserved => {
-                println!("treewidth: preserved (bounded blowup)")
-            }
-            TwPreservation::Blowup { x, y } => println!(
-                "treewidth: UNBOUNDED blowup witnessed by variables {} and {}",
-                q.var_name(x),
-                q.var_name(y)
-            ),
-        }
-        println!();
     }
 }

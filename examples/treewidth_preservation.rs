@@ -56,7 +56,12 @@ fn main() {
     for k in 0..4 {
         db.insert_named(
             "S",
-            &[&format!("k{k}"), &format!("b{k}"), &format!("c{k}"), &format!("d{k}")],
+            &[
+                &format!("k{k}"),
+                &format!("b{k}"),
+                &format!("c{k}"),
+                &format!("d{k}"),
+            ],
         );
     }
     let mut fds = cqbounds::relation::FdSet::new();

@@ -4,13 +4,13 @@
 //! a source database. Before shipping any data we want a worst-case
 //! bound on how large each view can get — the paper's bound
 //! `rmax^{C(chase(Q))}` — and we compare it against the actual
-//! materialized sizes on a generated company database.
+//! materialized sizes on a generated company database. The whole view
+//! catalog goes through `BatchAnalyzer`: one engine call analyzes and
+//! measures every view across threads.
 //!
 //! Run with: `cargo run --example view_size_estimation`
 
-use cqbounds::core::{
-    agm_product_bound, evaluate, parse_program, pow_le, size_bound_simple_fds,
-};
+use cq_engine::{BatchAnalyzer, ReportOptions};
 use cqbounds::relation::Database;
 
 /// Generates a small company database:
@@ -24,14 +24,20 @@ fn company_db(num_emps: usize, num_depts: usize, num_projects: usize) -> Databas
         db.insert_named("emp", &[&format!("e{e}"), &format!("d{}", e % num_depts)]);
     }
     for d in 0..num_depts {
-        db.insert_named("dept", &[&format!("d{d}"), &format!("e{}", d * 3 % num_emps)]);
+        db.insert_named(
+            "dept",
+            &[&format!("d{d}"), &format!("e{}", d * 3 % num_emps)],
+        );
     }
     for e in 0..num_emps {
         // each employee on ~3 projects
         for k in 0..3 {
             db.insert_named(
                 "assign",
-                &[&format!("e{e}"), &format!("p{}", (e * 7 + k * 11) % num_projects)],
+                &[
+                    &format!("e{e}"),
+                    &format!("p{}", (e * 7 + k * 11) % num_projects),
+                ],
             );
         }
     }
@@ -46,7 +52,7 @@ fn main() {
     let keys = "key emp[1] arity 2\nkey dept[1] arity 2\nkey proj[1] arity 2";
 
     // Views a data-exchange mapping might materialize at the target.
-    let views = [
+    let views: Vec<(String, String)> = [
         (
             "colleagues: pairs sharing a department",
             format!("V(E1,E2) :- emp(E1,D), emp(E2,D)\n{keys}"),
@@ -67,32 +73,41 @@ fn main() {
             "triangle: colleagues on a common project",
             format!("V(E1,E2,P) :- emp(E1,D), emp(E2,D), assign(E1,P), assign(E2,P)\n{keys}"),
         ),
-    ];
+    ]
+    .into_iter()
+    .map(|(name, text)| (name.to_owned(), text))
+    .collect();
+
+    // One batch call: parse, chase, solve the LPs, evaluate on the data
+    // and check every bound — in parallel across views.
+    let opts = ReportOptions {
+        witness_m: None,
+        database: Some(&db),
+    };
+    let reports = BatchAnalyzer::new().analyze_texts(&views, &opts);
 
     println!(
         "{:<44} {:>6} {:>10} {:>14} {:>16}",
         "view", "C", "measured", "bound rmax^C", "product bound"
     );
-    for (name, text) in &views {
-        let (q, fds) = parse_program(text).expect("parse");
-        let (bound, _, _) = size_bound_simple_fds(&q, &fds);
-        let names = q.relation_names();
-        let rmax = db.rmax(&names);
-        let out = evaluate(&q, &db);
-        let holds = pow_le(out.len(), rmax, &bound.exponent);
-        assert!(holds, "the worst-case bound must hold on any instance");
-        let bound_value = (rmax as f64).powf(bound.exponent.to_f64());
+    for result in &reports {
+        let report = result.as_ref().expect("views parse");
+        let bound = report.size_bound.as_ref().expect("keys are simple FDs");
+        let data = report.data.as_ref().expect("database supplied");
+        assert!(
+            data.exact_holds.unwrap(),
+            "the worst-case bound must hold on any instance"
+        );
         // The product-form AGM bound uses per-relation sizes and is
         // usually much sharper than rmax^C on skewed schemas.
-        let product = agm_product_bound(&q, &db);
-        assert!(product.holds);
+        assert!(data.product_holds.unwrap());
         println!(
             "{:<44} {:>6} {:>10} {:>14.0} {:>16.0}",
-            name,
-            bound.exponent.to_string(),
-            out.len(),
-            bound_value,
-            product.bound_approx,
+            report.name,
+            bound.exponent,
+            data.measured,
+            data.exact_bound_approx.unwrap(),
+            data.product_bound_approx.unwrap(),
         );
     }
 

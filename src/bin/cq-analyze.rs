@@ -1,173 +1,160 @@
 //! `cq-analyze` — command-line analyzer for conjunctive queries.
 //!
-//! Reads a program (one datalog rule plus dependency lines — see
-//! `cq_core::parser`) from a file or stdin and prints the full analysis:
-//! chase, size-bound exponent, size-increase decision, treewidth
-//! preservation, acyclicity, and (optionally) a worst-case witness
-//! database.
+//! Reads one or more programs (one datalog rule plus dependency lines —
+//! see `cq_core::parser`) from files or stdin and prints the full
+//! analysis: chase, size-bound exponent, size-increase decision,
+//! treewidth preservation, acyclicity, and (optionally) a worst-case
+//! witness database. All analysis and rendering run through
+//! `cq_engine::AnalysisSession`; with several inputs the batch is
+//! analyzed across threads.
 //!
 //! ```text
 //! cq-analyze query.cq              # analyze a file
 //! echo '...' | cq-analyze -        # analyze stdin
+//! cq-analyze a.cq b.cq c.cq        # batch mode, one report per input
+//! cq-analyze query.cq --json       # one JSON object per query (schema: README)
 //! cq-analyze query.cq --witness 4  # also build & measure the M=4 worst case
 //! cq-analyze query.cq --db data.db # evaluate + check bounds on real data
 //! ```
 
-use cqbounds::core::*;
+use cq_engine::{BatchAnalyzer, ReportOptions};
 use std::io::Read;
 use std::process::ExitCode;
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let (path, witness_m, db_path) = match parse_args(&args) {
-        Ok(p) => p,
-        Err(msg) => {
-            eprintln!("{msg}");
-            eprintln!("usage: cq-analyze <file|-> [--witness M] [--db FILE]");
-            return ExitCode::FAILURE;
-        }
-    };
-    let text = match read_input(&path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("cannot read {path}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let (q, fds) = match parse_program(&text) {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
-    };
-
-    println!("query       : {q}");
-    println!("variables   : {}", q.num_vars());
-    println!("atoms       : {} (rep = {})", q.num_atoms(), q.rep());
-    println!("join query  : {}", q.is_join_query());
-    println!("acyclic     : {}", is_acyclic(&q));
-    for fd in fds.iter() {
-        println!("dependency  : {fd}");
-    }
-
-    let vfds_simple = {
-        let chased = chase(&q, &fds);
-        chased.query.variable_fds(&fds).iter().all(VarFd::is_simple)
-    };
-
-    if vfds_simple {
-        let (bound, chased, _) = size_bound_simple_fds(&q, &fds);
-        println!("chase(Q)    : {}", chased.query);
-        println!("size bound  : |Q(D)| <= rmax(D)^{}", bound.exponent);
-        match treewidth_preservation_simple_fds(&q, &fds) {
-            TwPreservation::Preserved => println!("treewidth   : preserved"),
-            TwPreservation::Blowup { x, y } => println!(
-                "treewidth   : UNBOUNDED blowup (witness pair {}, {})",
-                bound.query.var_name(x),
-                bound.query.var_name(y)
-            ),
-        }
-        if let Some(m) = witness_m {
-            let db = worst_case_database(&chased.query, &bound.coloring, m);
-            let check = check_size_bound(&chased.query, &db, &bound.exponent);
-            println!(
-                "witness M={m}: rmax = {}, |Q(D)| = {} (bound ~ {:.1}, holds: {})",
-                check.rmax, check.measured, check.bound_approx, check.holds
-            );
-        }
-    } else {
-        println!("chase(Q)    : (compound dependencies; Theorem 4.4 does not apply)");
-        let chased = chase(&q, &fds);
-        let vfds = chased.query.variable_fds(&fds);
-        if chased.query.num_vars() <= 10 {
-            let c = color_number_entropy_lp(&chased.query, &vfds);
-            println!("color number: C(chase(Q)) = {c} (Prop 6.10 LP; lower bound on the exponent)");
-        }
-        if chased.query.num_vars() <= 6 {
-            let s = entropy_upper_bound(&chased.query, &vfds);
-            println!("size bound  : |Q(D)| <= rmax(D)^{s} (Prop 6.9 Shannon LP)");
-        }
-    }
-
-    if let Some(db_path) = db_path {
-        let db_text = match std::fs::read_to_string(&db_path) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("cannot read {db_path}: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        let db = match cqbounds::relation::parse_database(&db_text) {
-            Ok(d) => d,
-            Err(e) => {
-                eprintln!("{db_path}: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        if !db.satisfies(&fds) {
-            println!("data        : WARNING — the declared dependencies do not hold");
-        }
-        let out = evaluate(&q, &db);
-        let rmax = db.rmax(&q.relation_names());
-        println!("data        : rmax = {rmax}, |Q(D)| = {}", out.len());
-        if vfds_simple {
-            let (bound, _, _) = size_bound_simple_fds(&q, &fds);
-            let holds = pow_le(out.len(), rmax, &bound.exponent);
-            println!(
-                "data bound  : |Q(D)| <= rmax^{} -> {} (exact check: {})",
-                bound.exponent,
-                (rmax as f64).powf(bound.exponent.to_f64()),
-                holds
-            );
-        }
-        if q.is_join_query() {
-            let product = agm_product_bound(&q, &db);
-            println!(
-                "data bound  : product form Π|R_j|^y_j ~ {:.1} (holds: {})",
-                product.bound_approx, product.holds
-            );
-        }
-    }
-
-    let decision = decide_size_increase(&q, &fds);
-    if decision.increases {
-        println!(
-            "growth      : some database makes |Q(D)| > rmax(D)  (C >= {})",
-            decision.lower_bound
-        );
-    } else {
-        println!("growth      : size-preserving (|Q(D)| <= rmax(D) always)");
-    }
-    ExitCode::SUCCESS
+struct Args {
+    paths: Vec<String>,
+    json: bool,
+    witness_m: Option<usize>,
+    db_path: Option<String>,
 }
 
-fn parse_args(args: &[String]) -> Result<(String, Option<usize>, Option<String>), String> {
-    let mut path = None;
-    let mut witness = None;
-    let mut db = None;
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            eprintln!("usage: cq-analyze <file|-> [<file>...] [--json] [--witness M] [--db FILE]");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut inputs: Vec<(String, String)> = Vec::with_capacity(args.paths.len());
+    for path in &args.paths {
+        match read_input(path) {
+            Ok(text) => inputs.push((path.clone(), text)),
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let database = match &args.db_path {
+        None => None,
+        Some(db_path) => match load_database(db_path) {
+            Ok(db) => Some(db),
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+
+    let opts = ReportOptions {
+        witness_m: args.witness_m,
+        database: database.as_ref(),
+    };
+    let results = BatchAnalyzer::new().analyze_texts(&inputs, &opts);
+
+    let mut failed = false;
+    let many = results.len() > 1;
+    for ((path, _), result) in inputs.iter().zip(&results) {
+        match result {
+            Ok(report) => {
+                if args.json {
+                    println!("{}", report.to_json_string());
+                } else {
+                    if many {
+                        println!("=== {path} ===");
+                    }
+                    print!("{}", report.render_text());
+                    if many {
+                        println!();
+                    }
+                }
+            }
+            Err(e) => {
+                if args.json {
+                    // Keep the one-line-per-input contract: a consumer
+                    // zipping stdout lines to its input list must not
+                    // see reports shift position on a parse error.
+                    println!(
+                        "{}",
+                        cq_engine::json::obj([
+                            ("name", cq_engine::Json::str(path)),
+                            ("error", cq_engine::Json::str(e.to_string())),
+                        ])
+                        .render()
+                    );
+                }
+                if many {
+                    eprintln!("{path}: {e}");
+                } else {
+                    eprintln!("{e}");
+                }
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut paths = Vec::new();
+    let mut json = false;
+    let mut witness_m = None;
+    let mut db_path = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--json" => json = true,
             "--witness" => {
                 i += 1;
-                let m = args
+                let m: usize = args
                     .get(i)
                     .ok_or("--witness needs a value")?
                     .parse()
                     .map_err(|_| "--witness needs an integer".to_string())?;
-                witness = Some(m);
+                if m == 0 {
+                    return Err("--witness needs M >= 1 (the product parameter)".to_string());
+                }
+                witness_m = Some(m);
             }
             "--db" => {
                 i += 1;
-                db = Some(args.get(i).ok_or("--db needs a file")?.to_string());
+                db_path = Some(args.get(i).ok_or("--db needs a file")?.to_string());
             }
-            other if path.is_none() => path = Some(other.to_string()),
-            other => return Err(format!("unexpected argument {other}")),
+            flag if flag.starts_with("--") => {
+                return Err(format!("unexpected argument {flag}"));
+            }
+            path => paths.push(path.to_string()),
         }
         i += 1;
     }
-    Ok((path.ok_or("missing input file")?, witness, db))
+    if paths.is_empty() {
+        return Err("missing input file".to_string());
+    }
+    Ok(Args {
+        paths,
+        json,
+        witness_m,
+        db_path,
+    })
 }
 
 fn read_input(path: &str) -> std::io::Result<String> {
@@ -178,4 +165,9 @@ fn read_input(path: &str) -> std::io::Result<String> {
     } else {
         std::fs::read_to_string(path)
     }
+}
+
+fn load_database(path: &str) -> Result<cqbounds::relation::Database, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    cqbounds::relation::parse_database(&text).map_err(|e| format!("{path}: {e}"))
 }

@@ -2,6 +2,9 @@
 //!
 //! Umbrella crate re-exporting the whole workspace:
 //!
+//! - [`engine`] — the unified analysis layer: memoized
+//!   [`engine::AnalysisSession`]s, serializable reports and batch
+//!   analysis (what the CLI, examples and benches run on);
 //! - [`core`] — the paper's contribution: colorings, the chase,
 //!   exact LP size bounds, treewidth-preservation analysis, entropy
 //!   bounds, tightness constructions and decision procedures;
@@ -17,6 +20,7 @@
 
 pub use cq_arith as arith;
 pub use cq_core as core;
+pub use cq_engine as engine;
 pub use cq_hypergraph as hypergraph;
 pub use cq_lp as lp;
 pub use cq_relation as relation;

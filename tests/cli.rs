@@ -46,7 +46,10 @@ fn analyzes_keyed_query_from_file() {
     std::fs::write(&path, "R2(X,Y,Z) :- R(X,Y), R(X,Z)\nkey R[1]\n").unwrap();
     let (stdout, _, ok) = run_cli(&[path.to_str().unwrap()], None);
     assert!(ok);
-    assert!(stdout.contains("chase(Q)    : Q(X,Y,Y) :- R(X,Y)"), "{stdout}");
+    assert!(
+        stdout.contains("chase(Q)    : Q(X,Y,Y) :- R(X,Y)"),
+        "{stdout}"
+    );
     assert!(stdout.contains("rmax(D)^1"), "{stdout}");
     assert!(stdout.contains("size-preserving"), "{stdout}");
 }
@@ -77,11 +80,7 @@ fn evaluates_against_supplied_database() {
     let qpath = dir.join("cq_analyze_db_test.cq");
     let dpath = dir.join("cq_analyze_db_test.db");
     std::fs::write(&qpath, "T(X,Y,Z) :- E(X,Y), E(Y,Z), E(X,Z)\n").unwrap();
-    std::fs::write(
-        &dpath,
-        "relation E\na b\nb c\na c\n",
-    )
-    .unwrap();
+    std::fs::write(&dpath, "relation E\na b\nb c\na c\n").unwrap();
     let (stdout, _, ok) = run_cli(
         &[qpath.to_str().unwrap(), "--db", dpath.to_str().unwrap()],
         None,
@@ -105,6 +104,38 @@ fn warns_on_violated_dependencies() {
     );
     assert!(ok);
     assert!(stdout.contains("WARNING"), "{stdout}");
+}
+
+#[test]
+fn json_batch_mode_keeps_one_line_per_input() {
+    let dir = std::env::temp_dir();
+    let good = dir.join("cq_json_good.cq");
+    let bad = dir.join("cq_json_bad.cq");
+    std::fs::write(&good, "Q(X,Y) :- R(X,Y)\n").unwrap();
+    std::fs::write(&bad, "not a query\n").unwrap();
+    let (stdout, stderr, ok) = run_cli(
+        &[
+            good.to_str().unwrap(),
+            bad.to_str().unwrap(),
+            good.to_str().unwrap(),
+            "--json",
+        ],
+        None,
+    );
+    assert!(!ok, "parse errors must fail the batch");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 3, "one JSON line per input: {stdout}");
+    assert!(lines[0].contains("\"query\":"), "{stdout}");
+    assert!(lines[1].contains("\"error\":\"parse error"), "{stdout}");
+    assert!(lines[2].contains("\"query\":"), "{stdout}");
+    assert!(stderr.contains("parse error"), "{stderr}");
+}
+
+#[test]
+fn witness_zero_is_rejected_cleanly() {
+    let (_, stderr, ok) = run_cli(&["-", "--witness", "0"], Some("Q(X,Y) :- R(X,Y)\n"));
+    assert!(!ok);
+    assert!(stderr.contains("M >= 1"), "{stderr}");
 }
 
 #[test]

@@ -72,17 +72,17 @@ pub fn random_database(
         }
     }
     // repair FDs: keep the first tuple per LHS value
-    let names: Vec<String> = q
-        .relation_names()
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let names: Vec<String> = q.relation_names().iter().map(|s| s.to_string()).collect();
     for name in names {
-        let Some(rel) = db.relation(&name) else { continue };
+        let Some(rel) = db.relation(&name) else {
+            continue;
+        };
         let mut keep = rel.clone();
         for fd in fds.for_relation(&name) {
-            let mut seen: std::collections::HashMap<Vec<cqbounds::relation::Value>, cqbounds::relation::Value> =
-                Default::default();
+            let mut seen: std::collections::HashMap<
+                Vec<cqbounds::relation::Value>,
+                cqbounds::relation::Value,
+            > = Default::default();
             keep = keep.select(|row| {
                 let key: Vec<_> = fd.lhs.iter().map(|&i| row[i]).collect();
                 match seen.get(&key) {

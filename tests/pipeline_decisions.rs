@@ -5,8 +5,8 @@ mod common;
 
 use common::{random_database, random_query};
 use cqbounds::core::{
-    color_number_entropy_lp, decide_size_increase, dpll, evaluate, parse_program,
-    reduce_3sat, satisfies, two_coloring_sat, Clause,
+    color_number_entropy_lp, decide_size_increase, dpll, evaluate, parse_program, reduce_3sat,
+    satisfies, two_coloring_sat, Clause,
 };
 use cqbounds::relation::FdSet;
 use rand::rngs::StdRng;
@@ -66,7 +66,10 @@ fn size_preserving_queries_never_exceed_rmax() {
             );
         }
     }
-    assert!(preserved >= 10, "too few size-preserving queries: {preserved}");
+    assert!(
+        preserved >= 10,
+        "too few size-preserving queries: {preserved}"
+    );
 }
 
 /// When the decision says "increases", the certificate coloring's
@@ -109,9 +112,9 @@ fn np_hardness_reduction_equivalence() {
     let mut unsat_count = 0;
     // deterministic instances covering both outcomes, then random ones
     let mut batteries: Vec<(Vec<[i32; 3]>, usize)> = vec![
-        (vec![[1, 1, 1], [-1, -1, -1]], 1),                       // unsat
+        (vec![[1, 1, 1], [-1, -1, -1]], 1), // unsat
         (vec![[1, 2, 2], [-1, -2, -2], [1, -2, -2], [-1, 2, 2]], 2), // unsat
-        (vec![[1, 2, 3]], 3),                                     // sat
+        (vec![[1, 2, 3]], 3),               // sat
     ];
     for _ in 0..22 {
         let n_vars = rng.gen_range(1..=3usize);

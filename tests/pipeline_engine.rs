@@ -1,0 +1,233 @@
+//! The engine contract: memoization (each expensive stage runs exactly
+//! once per session, proven by call counters) and parity (engine results
+//! agree with direct `cq_core` calls) on every pipeline fixture — the
+//! checked-in `tests/fixtures/*.cq` programs, the parameterized
+//! families, and the same random-query population the other pipeline
+//! suites draw from.
+
+mod common;
+
+use common::random_query;
+use cqbounds::core::{
+    chase, decide_size_increase, is_acyclic, size_bound_simple_fds,
+    treewidth_preservation_simple_fds, TwPreservation, VarFd,
+};
+use cqbounds::engine::{AnalysisSession, BatchAnalyzer, ReportOptions};
+use cqbounds::relation::FdSet;
+
+/// Every checked-in program fixture, as `(name, text)`.
+fn file_fixtures() -> Vec<(String, String)> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures");
+    let mut fixtures: Vec<(String, String)> = std::fs::read_dir(dir)
+        .expect("fixtures directory")
+        .map(|entry| entry.expect("read fixture").path())
+        .filter(|path| path.extension().is_some_and(|e| e == "cq"))
+        .map(|path| {
+            let name = path.file_stem().unwrap().to_string_lossy().into_owned();
+            let text = std::fs::read_to_string(&path).expect("read fixture");
+            (name, text)
+        })
+        .collect();
+    fixtures.sort();
+    assert!(fixtures.len() >= 9, "fixture set went missing");
+    fixtures
+}
+
+/// The random population the other pipeline suites use, plus fixtures.
+fn all_sessions() -> Vec<AnalysisSession> {
+    let mut sessions: Vec<AnalysisSession> = file_fixtures()
+        .into_iter()
+        .map(|(name, text)| AnalysisSession::parse(name, &text).expect("fixtures parse"))
+        .collect();
+    for seed in 0..30 {
+        sessions.push(AnalysisSession::from_parts(
+            format!("random/{seed}"),
+            random_query(seed, 5, 4),
+            FdSet::new(),
+        ));
+    }
+    sessions
+}
+
+#[test]
+fn chase_and_lp_run_exactly_once_per_session() {
+    for session in all_sessions() {
+        // Drive the full pipeline several times over, mixing accessors.
+        for _ in 0..3 {
+            let _ = session.size_bound();
+            let _ = session.treewidth_preservation();
+            let _ = session.size_increase();
+            let _ = session.report(&ReportOptions::default());
+        }
+        let stats = session.stats();
+        assert_eq!(
+            stats.chase_runs,
+            1,
+            "{}: chase must run once",
+            session.name()
+        );
+        if session.simple_fds() {
+            assert_eq!(
+                stats.color_lp_runs,
+                1,
+                "{}: coloring LP must run once",
+                session.name()
+            );
+            assert_eq!(stats.removal_runs, 1, "{}", session.name());
+            assert_eq!(stats.treewidth_runs, 1, "{}", session.name());
+        } else {
+            assert_eq!(
+                stats.color_lp_runs,
+                0,
+                "{}: no coloring LP on the compound path",
+                session.name()
+            );
+        }
+        assert_eq!(stats.decision_runs, 1, "{}", session.name());
+    }
+}
+
+#[test]
+fn engine_agrees_with_direct_core_calls() {
+    for session in all_sessions() {
+        let name = session.name().to_owned();
+        let q = session.query().clone();
+        let fds = session.fds().clone();
+
+        let direct_chase = chase(&q, &fds);
+        assert_eq!(
+            session.chase_result().query,
+            direct_chase.query,
+            "{name}: chased query"
+        );
+        assert_eq!(
+            session.chase_result().unifications,
+            direct_chase.unifications,
+            "{name}: unification count"
+        );
+        assert_eq!(session.is_acyclic(), is_acyclic(&q), "{name}: acyclicity");
+
+        let simple = direct_chase
+            .query
+            .variable_fds(&fds)
+            .iter()
+            .all(VarFd::is_simple);
+        assert_eq!(session.simple_fds(), simple, "{name}: simplicity");
+
+        let decision = decide_size_increase(&q, &fds);
+        assert_eq!(
+            session.size_increase().increases,
+            decision.increases,
+            "{name}: growth decision"
+        );
+        assert_eq!(
+            session.size_increase().lower_bound,
+            decision.lower_bound,
+            "{name}: growth lower bound"
+        );
+
+        if !simple {
+            assert!(session.size_bound().is_none(), "{name}");
+            assert!(session.treewidth_preservation().is_none(), "{name}");
+            continue;
+        }
+
+        let (direct_bound, _, direct_trace) = size_bound_simple_fds(&q, &fds);
+        let bound = session.size_bound().expect(&name);
+        assert_eq!(bound.exponent, direct_bound.exponent, "{name}: exponent");
+        assert_eq!(bound.query, direct_bound.query, "{name}: bound query");
+        assert_eq!(bound.rep, direct_bound.rep, "{name}: rep");
+        assert_eq!(
+            session.removal_trace().expect(&name).steps.len(),
+            direct_trace.steps.len(),
+            "{name}: removal steps"
+        );
+        // The certificate colorings may differ (alternative optima), but
+        // both must achieve the same exponent on the chased query.
+        assert_eq!(
+            bound.coloring.color_number(&bound.query),
+            Some(bound.exponent.clone()),
+            "{name}: engine coloring certifies the exponent"
+        );
+
+        let direct_tw = treewidth_preservation_simple_fds(&q, &fds);
+        let engine_tw = session.treewidth_preservation().expect(&name);
+        match (engine_tw, &direct_tw) {
+            (TwPreservation::Preserved, TwPreservation::Preserved) => {}
+            (TwPreservation::Blowup { .. }, TwPreservation::Blowup { .. }) => {}
+            _ => panic!("{name}: treewidth preservation disagrees"),
+        }
+
+        // The Proposition 4.5 witness measured through the engine
+        // certifies the engine's own exponent.
+        let check = session.witness_check(2).expect(&name);
+        assert!(check.holds, "{name}: witness bound must hold");
+    }
+}
+
+#[test]
+fn batch_agrees_with_sequential_sessions() {
+    let inputs: Vec<(String, String)> = file_fixtures();
+    let opts = ReportOptions {
+        witness_m: Some(2),
+        database: None,
+    };
+    let batch = BatchAnalyzer::new().analyze_texts(&inputs, &opts);
+    assert_eq!(batch.len(), inputs.len());
+    for ((name, text), result) in inputs.iter().zip(&batch) {
+        let sequential = AnalysisSession::parse(name, text)
+            .expect("fixtures parse")
+            .report(&opts);
+        let report = result.as_ref().expect("fixtures parse");
+        assert_eq!(
+            report.to_json_string(),
+            sequential.to_json_string(),
+            "{name}: batch and sequential reports must be identical"
+        );
+    }
+}
+
+#[test]
+fn json_reports_are_deterministic_across_sessions() {
+    for (name, text) in file_fixtures() {
+        let a = AnalysisSession::parse(&name, &text)
+            .unwrap()
+            .report(&ReportOptions::default())
+            .to_json_string();
+        let b = AnalysisSession::parse(&name, &text)
+            .unwrap()
+            .report(&ReportOptions::default())
+            .to_json_string();
+        assert_eq!(a, b, "{name}");
+        assert!(
+            a.starts_with(&format!("{{\"name\":\"{name}\"")),
+            "{name}: {a}"
+        );
+    }
+}
+
+#[test]
+fn known_fixture_exponents() {
+    let expect = [
+        ("triangle", "3/2"),
+        ("cycle5", "5/2"),
+        ("clique4", "2"),
+        ("star3", "3"),
+        ("keyed_star", "1"),
+        ("path_keyed", "2"),
+        ("blowup", "2"),
+    ];
+    let fixtures = file_fixtures();
+    for (name, exponent) in expect {
+        let (_, text) = fixtures
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("missing fixture {name}"));
+        let session = AnalysisSession::parse(name, text).unwrap();
+        assert_eq!(
+            session.size_bound().expect(name).exponent.to_string(),
+            exponent,
+            "{name}"
+        );
+    }
+}

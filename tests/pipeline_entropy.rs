@@ -5,9 +5,9 @@ mod common;
 
 use common::{random_database, random_query};
 use cqbounds::core::{
-    color_number_entropy_lp, color_number_lp, entropy_upper_bound, evaluate,
-    gap_construction, gap_lower_bound_coloring, normalize_fd_arity, parse_query,
-    size_bound_no_fds, worst_case_database, EntropyVector, VarFd,
+    color_number_entropy_lp, color_number_lp, entropy_upper_bound, evaluate, gap_construction,
+    gap_lower_bound_coloring, normalize_fd_arity, parse_query, size_bound_no_fds,
+    worst_case_database, EntropyVector, VarFd,
 };
 use cqbounds::relation::FdSet;
 
@@ -124,7 +124,10 @@ fn group_subquery_entropy_bound() {
             }
         }
     }
-    assert_eq!(entropy_upper_bound(&q, &vfds), cqbounds::arith::Rational::one());
+    assert_eq!(
+        entropy_upper_bound(&q, &vfds),
+        cqbounds::arith::Rational::one()
+    );
     assert_eq!(
         color_number_entropy_lp(&q, &vfds),
         cqbounds::arith::Rational::one()

@@ -94,7 +94,10 @@ fn evaluation_is_monotone() {
         let out_small = evaluate(&q, &small);
         let out_large = evaluate(&q, &large);
         for row in out_small.iter() {
-            assert!(out_large.contains(row), "seed {seed}: monotonicity violated");
+            assert!(
+                out_large.contains(row),
+                "seed {seed}: monotonicity violated"
+            );
         }
     }
 }

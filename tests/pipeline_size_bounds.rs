@@ -6,8 +6,8 @@ mod common;
 
 use common::{random_database, random_query};
 use cqbounds::core::{
-    check_size_bound, color_number_entropy_lp, evaluate, parse_program, pow_le,
-    size_bound_no_fds, size_bound_simple_fds, worst_case_database,
+    check_size_bound, color_number_entropy_lp, evaluate, parse_program, pow_le, size_bound_no_fds,
+    size_bound_simple_fds, worst_case_database,
 };
 use cqbounds::relation::FdSet;
 
@@ -34,11 +34,8 @@ fn battery_of_keyed_queries() {
             assert!(check.holds, "{text}: bound violated at M={m}");
             if chased.query.rep() == 1 {
                 // tightness: |Q(D)| = M^{head colors} and rmax = M^{max atom colors}
-                let expected = cqbounds::core::predicted_output_size(
-                    &chased.query,
-                    &bound.coloring,
-                    m,
-                );
+                let expected =
+                    cqbounds::core::predicted_output_size(&chased.query, &bound.coloring, m);
                 assert_eq!(check.measured, expected, "{text}: tightness at M={m}");
             }
         }

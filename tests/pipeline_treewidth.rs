@@ -6,9 +6,9 @@ mod common;
 
 use common::random_query;
 use cqbounds::core::{
-    blowup_witness_database, evaluate, find_two_coloring_brute_force,
-    gaifman_over, keyed_join_decomposition, parse_query, theorem_5_5_bound,
-    treewidth_preservation_no_fds, two_coloring_sat, TwPreservation,
+    blowup_witness_database, evaluate, find_two_coloring_brute_force, gaifman_over,
+    keyed_join_decomposition, parse_query, theorem_5_5_bound, treewidth_preservation_no_fds,
+    two_coloring_sat, TwPreservation,
 };
 use cqbounds::hypergraph::{
     decomposition_from_ordering, min_fill_ordering, treewidth_exact, Graph,
@@ -88,7 +88,10 @@ fn iterated_keyed_joins() {
         db.insert_named("S1", &[&format!("k{k}"), &format!("m{}", k % 2)]);
     }
     for m in 0..2 {
-        db.insert_named("S2", &[&format!("m{m}"), &format!("x{m}"), &format!("y{m}")]);
+        db.insert_named(
+            "S2",
+            &[&format!("m{m}"), &format!("x{m}"), &format!("y{m}")],
+        );
     }
     let mut fds = FdSet::new();
     fds.add_key("S1", &[0], 2);
@@ -118,9 +121,7 @@ fn iterated_keyed_joins() {
 
     // final decomposition covers the final join's Gaifman graph
     let g_final = gaifman_over(&[&j2], &mut vertex_of.clone());
-    let mut padded = Graph::new(
-        g_all.num_vertices().max(g_final.num_vertices()),
-    );
+    let mut padded = Graph::new(g_all.num_vertices().max(g_final.num_vertices()));
     for (a, b) in g_final.edges() {
         padded.add_edge(a, b);
     }

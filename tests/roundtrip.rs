@@ -1,0 +1,119 @@
+//! Text round-trips: `parse_program → Display → re-parse` is a fixed
+//! point for every checked-in fixture (and the random population), and
+//! `relation::textio` load → save → load is lossless.
+
+mod common;
+
+use common::random_query;
+use cqbounds::core::{parse_program, parse_query};
+use cqbounds::relation::{parse_database, render_database};
+
+fn fixture_paths(extension: &str) -> Vec<std::path::PathBuf> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures");
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .expect("fixtures directory")
+        .map(|entry| entry.expect("read fixture").path())
+        .filter(|path| path.extension().is_some_and(|e| e == extension))
+        .collect();
+    paths.sort();
+    paths
+}
+
+/// Renders a parsed program the way its `Display` impls do: the rule,
+/// then one dependency per line.
+fn render_program(q: &cqbounds::core::ConjunctiveQuery, fds: &cqbounds::relation::FdSet) -> String {
+    let mut text = q.to_string();
+    for fd in fds.iter() {
+        text.push('\n');
+        text.push_str(&fd.to_string());
+    }
+    text
+}
+
+fn sorted_fd_strings(fds: &cqbounds::relation::FdSet) -> Vec<String> {
+    let mut rendered: Vec<String> = fds.iter().map(|fd| fd.to_string()).collect();
+    rendered.sort();
+    rendered
+}
+
+#[test]
+fn program_display_reparse_is_a_fixed_point_on_fixtures() {
+    let paths = fixture_paths("cq");
+    assert!(paths.len() >= 9, "fixture set went missing");
+    for path in paths {
+        let name = path.display();
+        let text = std::fs::read_to_string(&path).expect("read fixture");
+        let (q, fds) = parse_program(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+
+        let rendered = render_program(&q, &fds);
+        let (q2, fds2) = parse_program(&rendered).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(q, q2, "{name}: query must survive Display → parse");
+        assert_eq!(
+            sorted_fd_strings(&fds),
+            sorted_fd_strings(&fds2),
+            "{name}: dependencies must survive Display → parse"
+        );
+
+        // And the rendering itself is now stable.
+        assert_eq!(
+            rendered,
+            render_program(&q2, &fds2),
+            "{name}: second render must be identical"
+        );
+    }
+}
+
+#[test]
+fn query_display_reparse_is_a_fixed_point_on_random_queries() {
+    for seed in 0..50 {
+        // Generated queries may carry unused variables, which parsing
+        // compacts away; the *rendering* survives that canonicalization
+        // unchanged, and from then on the query itself is a fixed point.
+        let q = random_query(seed, 5, 4);
+        let q2 = parse_query(&q.to_string()).unwrap_or_else(|e| panic!("seed {seed}: {e} in {q}"));
+        assert_eq!(q.to_string(), q2.to_string(), "seed {seed}");
+        let q3 =
+            parse_query(&q2.to_string()).unwrap_or_else(|e| panic!("seed {seed}: {e} in {q2}"));
+        assert_eq!(q2, q3, "seed {seed}: canonical form must be stable");
+    }
+}
+
+#[test]
+fn textio_load_save_load_is_lossless_on_fixtures() {
+    let paths = fixture_paths("db");
+    assert!(paths.len() >= 2, "database fixture set went missing");
+    for path in paths {
+        let name = path.display();
+        let text = std::fs::read_to_string(&path).expect("read fixture");
+        let db = parse_database(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+
+        let saved = render_database(&db);
+        let db2 = parse_database(&saved).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(
+            saved,
+            render_database(&db2),
+            "{name}: save → load → save must be identical"
+        );
+
+        // Relation-level losslessness: same names, arities and rows.
+        assert_eq!(db.num_relations(), db2.num_relations(), "{name}");
+        for rel in db.relations() {
+            let rendered = db.render(rel.schema().name());
+            let rendered2 = db2.render(rel.schema().name());
+            assert_eq!(rendered, rendered2, "{name}: relation content");
+        }
+    }
+}
+
+#[test]
+fn textio_roundtrips_generated_databases() {
+    // Worst-case constructions exercise interned values the fixtures
+    // don't (generated symbols, tuple products).
+    let (q, fds) = parse_program("S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z)").unwrap();
+    let (bound, chased, _) = cqbounds::core::size_bound_simple_fds(&q, &fds);
+    let db = cqbounds::core::worst_case_database(&chased.query, &bound.coloring, 3);
+    let saved = render_database(&db);
+    let db2 = parse_database(&saved).expect("rendered database re-parses");
+    assert_eq!(saved, render_database(&db2));
+    assert_eq!(db.rmax(&["R"]), db2.rmax(&["R"]));
+}
