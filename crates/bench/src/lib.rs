@@ -160,6 +160,63 @@ pub fn random_workload(seed0: u64, n: usize, max_vars: usize, max_atoms: usize) 
         .collect()
 }
 
+/// A structurally isomorphic copy of `q`: variables renamed through a
+/// random bijection (fresh names) and atoms shuffled; relation names
+/// are kept so any `FdSet` applies verbatim. Copies solve the same
+/// structure-only LPs as the original, which is exactly what the
+/// engine's canonical-key cache exploits.
+pub fn permuted_query(seed: u64, q: &ConjunctiveQuery) -> ConjunctiveQuery {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+    let n = q.num_vars();
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    // Names simply follow the new index (`W0..`): the permutation
+    // reindexes head/body below; fresh names just make the renaming
+    // visible in the Display form.
+    let var_names: Vec<String> = (0..n).map(|i| format!("W{i}")).collect();
+    let head: Vec<usize> = q.head().iter().map(|&v| perm[v]).collect();
+    let mut body: Vec<Atom> = q
+        .body()
+        .iter()
+        .map(|a| {
+            Atom::new(
+                a.relation.clone(),
+                a.vars.iter().map(|&v| perm[v]).collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    for i in (1..body.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        body.swap(i, j);
+    }
+    ConjunctiveQuery::new(var_names, head, body)
+}
+
+/// An isomorphic-heavy workload: `copies` independently permuted copies
+/// of each base query — the cross-query cache's best case, and the
+/// batch/serving story's common case (application queries are generated
+/// from templates, differing only in naming).
+pub fn isomorphic_workload(
+    seed0: u64,
+    bases: &[(String, ConjunctiveQuery, FdSet)],
+    copies: usize,
+) -> Workload {
+    let mut items = Vec::with_capacity(bases.len() * copies);
+    for (b, (name, q, fds)) in bases.iter().enumerate() {
+        for c in 0..copies {
+            items.push((
+                format!("{name}/copy{c}"),
+                permuted_query(seed0 + (b * copies + c) as u64, q),
+                fds.clone(),
+            ));
+        }
+    }
+    items
+}
+
 /// The standard parameterized families (cycles, cliques, stars with and
 /// without keys) up to `max_n`, as an engine workload.
 pub fn family_workload(max_n: usize) -> Workload {
@@ -311,6 +368,30 @@ mod tests {
         for r in &random {
             assert!(r.size_bound.is_some(), "{}: no dependencies", r.name);
         }
+    }
+
+    #[test]
+    fn permuted_copies_are_isomorphic_and_cache_hit() {
+        use cq_engine::LpCache;
+        let base = cycle_query(5);
+        let cache = LpCache::new();
+        let (original, _) = cache.color_number(&base);
+        for seed in 0..10 {
+            let copy = permuted_query(seed, &base);
+            assert_eq!(copy.num_atoms(), base.num_atoms());
+            let (translated, hit) = cache.color_number(&copy);
+            assert!(hit, "seed {seed}");
+            assert_eq!(original.value, translated.value);
+        }
+    }
+
+    #[test]
+    fn isomorphic_workload_shapes() {
+        let bases = family_workload(4);
+        let w = isomorphic_workload(7, &bases, 3);
+        assert_eq!(w.len(), bases.len() * 3);
+        let reports = analyze_workload(&w);
+        assert_eq!(reports.len(), w.len());
     }
 
     #[test]

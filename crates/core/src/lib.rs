@@ -96,8 +96,8 @@ pub use sat::{dpll, horn_sat, satisfies, Clause};
 pub use sat_reduction::{coloring_from_assignment, reduce_3sat, two_coloring_sat, Lit, Reduction};
 pub use size_bounds::{
     agm_bound, agm_product_bound, agm_product_bound_measured, agm_product_bound_optimized,
-    check_size_bound, corollary_4_2_witness, pow_le, size_bound_no_fds, size_bound_simple_fds,
-    BoundCheck, ProductBound, SizeBound,
+    agm_product_bound_with_cover, check_size_bound, corollary_4_2_witness, pow_le,
+    size_bound_no_fds, size_bound_simple_fds, BoundCheck, ProductBound, SizeBound,
 };
 pub use size_preserving::{
     decide_size_increase, decide_size_increase_chased, SizeIncreaseDecision,

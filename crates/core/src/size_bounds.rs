@@ -170,6 +170,21 @@ pub fn agm_product_bound_measured(
     product_bound_with_weights(q, db, weights, measured)
 }
 
+/// As [`agm_product_bound_measured`] with an externally-supplied
+/// fractional cover of the head variables (one weight per body atom).
+/// Any *feasible* cover yields a valid bound, so callers holding a
+/// cached cover — e.g. the engine's cross-query LP cache translating a
+/// solution from an isomorphic query — can skip the cover LP entirely.
+pub fn agm_product_bound_with_cover(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    weights: Vec<Rational>,
+    measured: usize,
+) -> ProductBound {
+    assert_eq!(weights.len(), q.num_atoms(), "one cover weight per atom");
+    product_bound_with_weights(q, db, weights, measured)
+}
+
 /// As [`agm_product_bound`], but choosing the fractional cover that
 /// *minimizes the product bound itself*: the cover LP objective is
 /// `Σ y_j · ln|R_j(D)|` (rational-approximated; any feasible cover gives

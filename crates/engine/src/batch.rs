@@ -6,29 +6,50 @@
 //! to a report, and pushes the result into a shared sink. Reports come
 //! back in input order regardless of which worker finished first.
 
+use crate::cache::LpCache;
 use crate::report::{AnalysisReport, ReportOptions};
 use crate::session::AnalysisSession;
 use cq_core::{ConjunctiveQuery, ParseError};
 use cq_relation::FdSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Runs many analyses across threads with a shared report sink.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct BatchAnalyzer {
     /// Worker cap; `None` means `std::thread::available_parallelism()`.
     threads: Option<usize>,
+    /// Shared cross-query LP cache handed to every worker session.
+    cache: Option<Arc<LpCache>>,
 }
 
 impl BatchAnalyzer {
     pub fn new() -> Self {
-        BatchAnalyzer { threads: None }
+        BatchAnalyzer::default()
     }
 
     /// Caps the worker count (useful for benchmarks and tests).
     pub fn with_threads(threads: usize) -> Self {
         BatchAnalyzer {
             threads: Some(threads.max(1)),
+            cache: None,
+        }
+    }
+
+    /// Attaches a shared [`LpCache`]: every session the batch spawns
+    /// gets a handle, so structurally isomorphic queries anywhere in the
+    /// workload (and across successive batches reusing the same cache)
+    /// solve their coloring/cover LPs once.
+    pub fn with_cache(mut self, cache: Arc<LpCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    fn session(&self, name: &str, query: ConjunctiveQuery, fds: FdSet) -> AnalysisSession {
+        let session = AnalysisSession::from_parts(name, query, fds);
+        match &self.cache {
+            Some(cache) => session.with_cache(Arc::clone(cache)),
+            None => session,
         }
     }
 
@@ -45,7 +66,8 @@ impl BatchAnalyzer {
         opts: &ReportOptions<'_>,
     ) -> Vec<Result<AnalysisReport, ParseError>> {
         self.run(inputs.len(), |i| {
-            AnalysisSession::parse(&inputs[i].0, &inputs[i].1).map(|s| s.report(opts))
+            let (query, fds) = cq_core::parse_program(&inputs[i].1)?;
+            Ok(self.session(&inputs[i].0, query, fds).report(opts))
         })
     }
 
@@ -58,9 +80,7 @@ impl BatchAnalyzer {
     ) -> Vec<AnalysisReport> {
         self.run(items.len(), |i| {
             let (name, query, fds) = &items[i];
-            Ok::<_, ParseError>(
-                AnalysisSession::from_parts(name, query.clone(), fds.clone()).report(opts),
-            )
+            Ok::<_, ParseError>(self.session(name, query.clone(), fds.clone()).report(opts))
         })
         .into_iter()
         .map(|r| r.expect("from_parts cannot fail"))
@@ -142,6 +162,44 @@ mod tests {
         );
         assert!(reports[2].is_err());
         assert_eq!(reports[3].as_ref().unwrap().name, "path");
+    }
+
+    #[test]
+    fn shared_cache_hits_across_the_batch() {
+        use crate::cache::LpCache;
+        use std::sync::Arc;
+        let cache = Arc::new(LpCache::new());
+        // Three pairwise-isomorphic triangles under different labelings.
+        let inputs: Vec<(String, String)> = [
+            "S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z)",
+            "S(C,A,B) :- E(B,C), E(A,B), E(A,C)",
+            "T(P,Q,W) :- F(Q,W), F(P,W), F(P,Q)",
+        ]
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (format!("tri{i}"), t.to_string()))
+        .collect();
+        // Single worker so the hit count is deterministic (concurrent
+        // workers can race the first lookup and all miss before any
+        // insert lands — the cache has no miss coalescing).
+        let reports = BatchAnalyzer::with_threads(1)
+            .with_cache(Arc::clone(&cache))
+            .analyze_texts(&inputs, &ReportOptions::default());
+        for r in &reports {
+            assert_eq!(
+                r.as_ref().unwrap().size_bound.as_ref().unwrap().exponent,
+                "3/2"
+            );
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 2, "{stats:?}");
+        assert_eq!(stats.misses, 1, "{stats:?}");
+        // A second batch over the same warm cache is all hits — now
+        // safely parallel, since no worker needs to insert.
+        BatchAnalyzer::new()
+            .with_cache(Arc::clone(&cache))
+            .analyze_texts(&inputs, &ReportOptions::default());
+        assert_eq!(cache.stats().hits, stats.hits + 3);
     }
 
     #[test]

@@ -1,0 +1,349 @@
+//! [`LpCache`]: a cross-query cache for structure-only LP solutions.
+//!
+//! The Proposition 3.6 coloring LP and the §3.1 head edge-cover LP
+//! depend only on the query's hypergraph and head-variable set, so
+//! structurally isomorphic queries (same hypergraph up to variable and
+//! atom renaming) solve literally the same LP. Sessions memoize within
+//! one query; this cache memoizes **across** queries: it keys solved LPs
+//! by the renaming-invariant [`CanonicalKey`] of
+//! [`cq_hypergraph::canonical_form`] and, on a hit, translates the
+//! stored solution back through the canonical renaming into the
+//! namespace of the query at hand.
+//!
+//! Layout: the key space is split over [`SHARDS`] independent
+//! `RwLock`-guarded maps (concurrent batch workers rarely contend), and
+//! each shard is LRU-bounded — recency is tracked with a relaxed global
+//! tick so lookups only ever take the read lock.
+//!
+//! Translation is sound because both LPs are permutation-equivariant: an
+//! isomorphism maps feasible points to feasible points with the same
+//! objective, so an optimal solution for the cached representative pulls
+//! back to an optimal solution here. The translated certificate may
+//! differ from what a fresh solve would have produced (alternative
+//! optima), but the *value* — the exponent the paper's theorems care
+//! about — is the unique LP optimum either way.
+
+use cq_arith::Rational;
+use cq_core::ConjunctiveQuery;
+use cq_core::{color_number_lp, coloring_from_weights, fractional_edge_cover_head, ColorNumber};
+use cq_hypergraph::{canonical_form, CanonicalKey};
+use cq_util::FxHashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+/// Number of independent shards (a power of two; the shard index is the
+/// low bits of the canonical hash).
+const SHARDS: usize = 16;
+
+/// Default total entry capacity across all shards.
+pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
+
+/// Which structure-only LP an entry solves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum LpKind {
+    /// Proposition 3.6 coloring LP (per-vertex weights).
+    Coloring,
+    /// §3.1 minimal fractional edge cover of the head (per-edge weights).
+    HeadCover,
+}
+
+/// One cached solution, stored in canonical vertex/edge order.
+struct Entry {
+    value: Rational,
+    weights: Vec<Rational>,
+    /// Relaxed LRU stamp; updated under the shard *read* lock.
+    last_used: AtomicU64,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: FxHashMap<(LpKind, CanonicalKey), Entry>,
+}
+
+/// Counter snapshot of a cache's lifetime activity.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from a stored solution.
+    pub hits: u64,
+    /// Lookups that had to solve the LP.
+    pub misses: u64,
+    /// Entries evicted to respect the capacity bound.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+}
+
+/// A sharded, LRU-bounded, renaming-invariant LP solution cache.
+///
+/// Shareable across threads behind an `Arc`: [`crate::BatchAnalyzer`]
+/// hands one clone of the handle to every worker so isomorphic queries
+/// anywhere in the batch hit each other's solutions.
+pub struct LpCache {
+    shards: Vec<RwLock<Shard>>,
+    capacity_per_shard: usize,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for LpCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for LpCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LpCache")
+            .field("capacity", &(self.capacity_per_shard * SHARDS))
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl LpCache {
+    /// A cache with the default capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// A cache bounded to roughly `capacity` entries (rounded up to a
+    /// multiple of the shard count; at least one entry per shard).
+    pub fn with_capacity(capacity: usize) -> Self {
+        LpCache {
+            shards: (0..SHARDS).map(|_| RwLock::new(Shard::default())).collect(),
+            capacity_per_shard: capacity.div_ceil(SHARDS).max(1),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Lifetime hit/miss/eviction counters and current residency.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.read().expect("cache lock").map.len() as u64)
+                .sum(),
+        }
+    }
+
+    /// The Proposition 3.6 color number of `q`, served from the cache
+    /// when a structurally isomorphic query has been solved before.
+    /// Returns the result plus whether it was a hit.
+    ///
+    /// `q` must be FD-free in the Theorem 4.4 sense — i.e. already
+    /// chased and FD-removed — exactly the precondition of
+    /// [`cq_core::color_number_lp`] itself.
+    pub fn color_number(&self, q: &ConjunctiveQuery) -> (ColorNumber, bool) {
+        let form = canonical_form(&q.hypergraph(), &q.head_var_set());
+        if let Some(canonical_weights) = self.lookup(LpKind::Coloring, &form.key) {
+            let (value, weights) = canonical_weights;
+            let weights = form.vertex_data_from_canonical(&weights);
+            let coloring = coloring_from_weights(&weights);
+            let cn = ColorNumber {
+                value,
+                coloring,
+                weights,
+            };
+            debug_assert_eq!(
+                cn.coloring.color_number(q).as_ref(),
+                Some(&cn.value),
+                "translated cached solution must certify the optimum"
+            );
+            return (cn, true);
+        }
+        let cn = color_number_lp(q);
+        self.insert(
+            LpKind::Coloring,
+            form.key,
+            cn.value.clone(),
+            form.vertex_data_to_canonical(&cn.weights),
+        );
+        (cn, false)
+    }
+
+    /// The §3.1 minimal fractional edge cover of the head variables
+    /// (value, one weight per body atom), cache-translated as above.
+    pub fn edge_cover_head(&self, q: &ConjunctiveQuery) -> ((Rational, Vec<Rational>), bool) {
+        let form = canonical_form(&q.hypergraph(), &q.head_var_set());
+        if let Some((value, canonical_weights)) = self.lookup(LpKind::HeadCover, &form.key) {
+            let weights = form.edge_data_from_canonical(&canonical_weights);
+            return ((value, weights), true);
+        }
+        let (value, weights) = fractional_edge_cover_head(q);
+        self.insert(
+            LpKind::HeadCover,
+            form.key,
+            value.clone(),
+            form.edge_data_to_canonical(&weights),
+        );
+        ((value, weights), false)
+    }
+
+    fn shard_of(&self, key: &CanonicalKey) -> &RwLock<Shard> {
+        &self.shards[(key.hash as usize) & (SHARDS - 1)]
+    }
+
+    fn lookup(&self, kind: LpKind, key: &CanonicalKey) -> Option<(Rational, Vec<Rational>)> {
+        let shard = self.shard_of(key).read().expect("cache lock");
+        match shard.map.get(&(kind, *key)) {
+            Some(entry) => {
+                entry
+                    .last_used
+                    .store(self.tick.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some((entry.value.clone(), entry.weights.clone()))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn insert(&self, kind: LpKind, key: CanonicalKey, value: Rational, weights: Vec<Rational>) {
+        let mut shard = self.shard_of(&key).write().expect("cache lock");
+        if shard.map.len() >= self.capacity_per_shard && !shard.map.contains_key(&(kind, key)) {
+            // Evict the least-recently-used entry of this shard. A
+            // linear scan is fine: shards are small (capacity/SHARDS)
+            // and eviction only happens once the shard is full.
+            if let Some(old) = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                .map(|(k, _)| *k)
+            {
+                shard.map.remove(&old);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.map.insert(
+            (kind, key),
+            Entry {
+                value,
+                weights,
+                last_used: AtomicU64::new(self.tick.fetch_add(1, Ordering::Relaxed)),
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq_core::parse_query;
+    use std::sync::Arc;
+
+    fn q(text: &str) -> ConjunctiveQuery {
+        parse_query(text).unwrap()
+    }
+
+    #[test]
+    fn isomorphic_queries_hit() {
+        let cache = LpCache::new();
+        let (a, hit_a) = cache.color_number(&q("S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z)"));
+        assert!(!hit_a);
+        // renamed variables, shuffled atoms, different relation names
+        let (b, hit_b) = cache.color_number(&q("S(C,A,B) :- E(B,C), E(A,B), E(A,C)"));
+        assert!(hit_b);
+        assert_eq!(a.value, b.value);
+        assert_eq!(b.value.to_string(), "3/2");
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn translated_solution_is_valid_for_the_new_labeling() {
+        let cache = LpCache::new();
+        // asymmetric query so the translation actually permutes: a path
+        // with the head on one end.
+        cache.color_number(&q("Q(A) :- R(A,B), S(B,C)"));
+        let (cn, hit) = cache.color_number(&q("Q(C) :- T(B,A), U(C,B)"));
+        assert!(hit);
+        cn.coloring.validate(&[]).unwrap();
+        assert_eq!(
+            cn.coloring
+                .color_number(&q("Q(C) :- T(B,A), U(C,B)"))
+                .unwrap(),
+            cn.value
+        );
+    }
+
+    #[test]
+    fn structurally_distinct_queries_miss() {
+        let cache = LpCache::new();
+        cache.color_number(&q("S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z)"));
+        let (_, hit) = cache.color_number(&q("S(X,Y,Z) :- R(X,Y), R(Y,Z)"));
+        assert!(!hit);
+        // same hypergraph, different head set: also a miss
+        let (_, hit) = cache.color_number(&q("S(X,Y) :- R(X,Y), R(X,Z), R(Y,Z)"));
+        assert!(!hit);
+        assert_eq!(cache.stats().entries, 3);
+    }
+
+    #[test]
+    fn cover_and_coloring_namespaces_are_separate() {
+        let cache = LpCache::new();
+        let tri = q("S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z)");
+        let (_, hit) = cache.color_number(&tri);
+        assert!(!hit);
+        // same canonical key, different LP kind: must not alias
+        let ((value, weights), hit) = cache.edge_cover_head(&tri);
+        assert!(!hit);
+        assert_eq!(value.to_string(), "3/2");
+        assert_eq!(weights.len(), 3);
+        let ((_, w2), hit2) = cache.edge_cover_head(&q("S(B,C,A) :- E(A,B), E(B,C), E(A,C)"));
+        assert!(hit2);
+        assert_eq!(w2.len(), 3);
+    }
+
+    #[test]
+    fn lru_eviction_respects_capacity() {
+        let cache = LpCache::with_capacity(SHARDS); // one entry per shard
+                                                    // Chains of distinct lengths are pairwise non-isomorphic.
+        let chain = |n: usize| {
+            let atoms: Vec<String> = (0..n).map(|i| format!("R{i}(V{i},V{})", i + 1)).collect();
+            q(&format!("Q(V0) :- {}", atoms.join(", ")))
+        };
+        for n in 1..=40 {
+            cache.color_number(&chain(n));
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 40);
+        assert!(stats.evictions > 0, "{stats:?}");
+        assert!(stats.entries <= SHARDS as u64, "{stats:?}");
+        assert_eq!(stats.entries + stats.evictions, 40, "{stats:?}");
+    }
+
+    #[test]
+    fn shared_handle_across_threads() {
+        let cache = Arc::new(LpCache::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    for _ in 0..8 {
+                        let (cn, _) = cache.color_number(&q("S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z)"));
+                        assert_eq!(cn.value.to_string(), "3/2");
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 32);
+        // The first lookups may race (each thread can miss once before
+        // any insert lands), but never more than one miss per thread.
+        assert!(stats.hits >= 28, "{stats:?}");
+        assert_eq!(stats.entries, 1);
+    }
+}

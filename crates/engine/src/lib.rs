@@ -15,6 +15,9 @@
 //!   human text rendering and a stable, hand-rolled JSON rendering.
 //! - [`BatchAnalyzer`] — N queries across scoped threads into one
 //!   ordered report sink.
+//! - [`LpCache`] — a shared cross-query cache for the structure-only
+//!   LPs, keyed by canonical hypergraph hashing, so isomorphic queries
+//!   anywhere in a batch (or a long-lived process) solve each LP once.
 //!
 //! ```
 //! use cq_engine::{AnalysisSession, ReportOptions};
@@ -31,11 +34,13 @@
 //! ```
 
 pub mod batch;
+pub mod cache;
 pub mod json;
 pub mod report;
 pub mod session;
 
 pub use batch::BatchAnalyzer;
+pub use cache::{CacheStats, LpCache, DEFAULT_CACHE_CAPACITY};
 pub use json::Json;
 pub use report::{
     AnalysisReport, ChaseReport, DataReport, EntropyReport, GrowthReport, ReportOptions,

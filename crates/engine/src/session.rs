@@ -20,6 +20,7 @@
 //! ran ([`SessionStats`]) so tests can assert the memoization instead of
 //! trusting it.
 
+use crate::cache::LpCache;
 use cq_arith::Rational;
 use cq_core::{
     chase, check_size_bound, color_number_entropy_lp, color_number_lp, decide_size_increase_chased,
@@ -29,6 +30,7 @@ use cq_core::{
 };
 use cq_relation::{Database, FdSet};
 use std::cell::{Cell, OnceCell};
+use std::sync::Arc;
 
 /// Variable cap for the Proposition 6.10 entropy characterization of the
 /// color number (the LP has `2^k` variables).
@@ -57,6 +59,12 @@ pub struct SessionStats {
     pub treewidth_runs: usize,
     /// Size-increase decisions (Theorem 7.2).
     pub decision_runs: usize,
+    /// LPs answered by the shared [`LpCache`] (no solve happened).
+    pub cache_hits: usize,
+    /// LPs the shared cache had to solve and store. Always 0 without an
+    /// attached cache — uncached solves count only in the `_runs`
+    /// fields.
+    pub cache_misses: usize,
 }
 
 #[derive(Default)]
@@ -67,6 +75,8 @@ struct Counters {
     entropy_lp: Cell<usize>,
     treewidth: Cell<usize>,
     decision: Cell<usize>,
+    cache_hits: Cell<usize>,
+    cache_misses: Cell<usize>,
 }
 
 fn bump(cell: &Cell<usize>) {
@@ -84,6 +94,7 @@ pub struct AnalysisSession {
     name: String,
     query: ConjunctiveQuery,
     fds: FdSet,
+    cache: Option<Arc<LpCache>>,
     chase: OnceCell<ChaseResult>,
     vfds: OnceCell<Vec<VarFd>>,
     trace: OnceCell<Option<RemovalTrace>>,
@@ -110,6 +121,7 @@ impl AnalysisSession {
             name: name.into(),
             query,
             fds,
+            cache: None,
             chase: OnceCell::new(),
             vfds: OnceCell::new(),
             trace: OnceCell::new(),
@@ -121,6 +133,22 @@ impl AnalysisSession {
             entropy_bound: OnceCell::new(),
             counters: Counters::default(),
         }
+    }
+
+    /// Attaches a shared cross-query LP cache (see [`LpCache`]): the
+    /// Proposition 3.6 coloring LP and the §3.1 head-cover LP are then
+    /// answered from solutions of structurally isomorphic queries when
+    /// available. Must be called before the first `size_bound()` /
+    /// `data_check()` access to have any effect (the artifact slots are
+    /// write-once).
+    pub fn with_cache(mut self, cache: Arc<LpCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached shared LP cache, if any.
+    pub fn cache(&self) -> Option<&Arc<LpCache>> {
+        self.cache.as_ref()
     }
 
     pub fn name(&self) -> &str {
@@ -144,6 +172,8 @@ impl AnalysisSession {
             entropy_lp_runs: self.counters.entropy_lp.get(),
             treewidth_runs: self.counters.treewidth.get(),
             decision_runs: self.counters.decision.get(),
+            cache_hits: self.counters.cache_hits.get(),
+            cache_misses: self.counters.cache_misses.get(),
         }
     }
 
@@ -195,8 +225,22 @@ impl AnalysisSession {
         self.bound
             .get_or_init(|| {
                 let trace = self.removal_trace()?;
-                bump(&self.counters.color_lp);
-                let cn = color_number_lp(trace.result());
+                let cn = match &self.cache {
+                    Some(cache) => {
+                        let (cn, hit) = cache.color_number(trace.result());
+                        if hit {
+                            bump(&self.counters.cache_hits);
+                        } else {
+                            bump(&self.counters.cache_misses);
+                            bump(&self.counters.color_lp);
+                        }
+                        cn
+                    }
+                    None => {
+                        bump(&self.counters.color_lp);
+                        color_number_lp(trace.result())
+                    }
+                };
                 let coloring = pull_back_coloring(trace, &cn.coloring);
                 coloring
                     .validate(self.variable_fds())
@@ -293,8 +337,22 @@ impl AnalysisSession {
         // The head-cover product bound is valid for any query (the cover
         // LP runs over head variables), not just total join queries.
         // Passing the measured size avoids a second evaluation — on big
-        // instances the join dominates the whole data check.
-        let p = cq_core::agm_product_bound_measured(&self.query, db, out.len());
+        // instances the join dominates the whole data check. The cover
+        // LP is structure-only, so a shared cache can answer it; any
+        // feasible cover yields a valid bound, so a translated cover
+        // from an isomorphic query is sound here.
+        let p = match &self.cache {
+            Some(cache) => {
+                let ((_, weights), hit) = cache.edge_cover_head(&self.query);
+                if hit {
+                    bump(&self.counters.cache_hits);
+                } else {
+                    bump(&self.counters.cache_misses);
+                }
+                cq_core::agm_product_bound_with_cover(&self.query, db, weights, out.len())
+            }
+            None => cq_core::agm_product_bound_measured(&self.query, db, out.len()),
+        };
         let product = Some(ProductDataBound {
             bound_approx: p.bound_approx,
             holds: p.holds,
@@ -388,6 +446,54 @@ mod tests {
         s.entropy_color_number();
         s.entropy_exponent();
         assert_eq!(s.stats().entropy_lp_runs, runs);
+    }
+
+    #[test]
+    fn shared_cache_replaces_the_second_solve() {
+        let cache = Arc::new(LpCache::new());
+        let first = AnalysisSession::parse("t1", TRIANGLE)
+            .unwrap()
+            .with_cache(Arc::clone(&cache));
+        assert_eq!(first.size_bound().unwrap().exponent.to_string(), "3/2");
+        assert_eq!(first.stats().cache_misses, 1);
+        assert_eq!(first.stats().color_lp_runs, 1);
+
+        // Isomorphic relabeling: served from the cache, no LP solve.
+        let second = AnalysisSession::parse("t2", "S(C,A,B) :- E(B,C), E(A,B), E(A,C)")
+            .unwrap()
+            .with_cache(Arc::clone(&cache));
+        assert_eq!(second.size_bound().unwrap().exponent.to_string(), "3/2");
+        assert_eq!(second.stats().cache_hits, 1);
+        assert_eq!(second.stats().color_lp_runs, 0);
+        // The translated certificate still validates and certifies.
+        let bound = second.size_bound().unwrap();
+        assert_eq!(
+            bound.coloring.color_number(&bound.query),
+            Some(bound.exponent.clone())
+        );
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn cached_data_check_uses_cached_cover() {
+        let cache = Arc::new(LpCache::new());
+        let mut db = Database::new();
+        for (a, b) in [("a", "b"), ("b", "c"), ("a", "c")] {
+            db.insert_named("R", &[a, b]);
+        }
+        let s1 = AnalysisSession::parse("t1", TRIANGLE)
+            .unwrap()
+            .with_cache(Arc::clone(&cache));
+        let c1 = s1.data_check(&db);
+        let s2 = AnalysisSession::parse("t2", TRIANGLE)
+            .unwrap()
+            .with_cache(Arc::clone(&cache));
+        let c2 = s2.data_check(&db);
+        // Both structure-only LPs (coloring for the exact bound, head
+        // cover for the product bound) come back from the cache.
+        assert_eq!(s2.stats().cache_hits, 2, "coloring + cover LP hits");
+        assert_eq!(c1.measured, c2.measured);
+        assert!(c1.product.unwrap().holds && c2.product.unwrap().holds);
     }
 
     #[test]

@@ -1,0 +1,649 @@
+//! Canonical forms for hypergraphs: renaming-invariant keys.
+//!
+//! The paper's size-bound LPs (the Proposition 3.6 coloring LP and the
+//! Definition 3.5 fractional edge cover) depend only on the query's
+//! hypergraph *structure* plus the set of head variables — not on how
+//! variables or atoms happen to be named or ordered. Two structurally
+//! isomorphic queries therefore solve literally the same LP, and a
+//! cross-query cache can key on a canonical form of the (hypergraph,
+//! marked-vertex-set) pair.
+//!
+//! [`canonical_form`] computes such a form by iterative WL-style color
+//! refinement (vertices and hyperedges refine each other) with
+//! backtracking individualization on tie-breaks, exactly the
+//! individualization-refinement scheme of practical graph-canonization
+//! tools, specialized to the multiset-of-hyperedges setting:
+//!
+//! 1. vertices start colored by `(marked?, degree)`, edges by size;
+//! 2. each round recolors vertices by the multiset of their incident
+//!    edge colors and edges by the multiset of their member vertex
+//!    colors, until the partition stabilizes;
+//! 3. if some vertex color class has ≥ 2 members, each member is
+//!    individualized in turn and the branch producing the
+//!    lexicographically least canonical code wins.
+//!
+//! The resulting [`CanonicalKey`] is a degree-sequence-prefixed 128-bit
+//! digest (via [`cq_util::hash128`]); the full [`CanonicalForm`] also
+//! carries the vertex and edge renamings so cached LP solutions can be
+//! translated back into the namespace of the query at hand.
+//!
+//! Worst-case cost is exponential (graph canonization has no known
+//! polynomial algorithm) but refinement discretizes almost every
+//! query-sized instance after one or two individualizations; highly
+//! symmetric inputs (cycles, cliques, grids) branch once per symmetry
+//! class, which is cheap at query scale.
+
+use crate::hypergraph::Hypergraph;
+use cq_util::{hash128, BitSet, Hasher128};
+
+/// A renaming-invariant key for a `(hypergraph, marked vertices)` pair.
+///
+/// Two pairs receive equal keys **iff** they are isomorphic (equal
+/// canonical codes), up to 128-bit hash collisions. The coarse counts
+/// and the degree-sequence digest are stored alongside the full digest
+/// so that almost all unequal pairs are rejected without comparing the
+/// refined hash, and a collision would have to align all four fields.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CanonicalKey {
+    /// Number of vertices.
+    pub num_vertices: u32,
+    /// Number of hyperedges (multiset).
+    pub num_edges: u32,
+    /// Digest of the sorted degree sequence, sorted edge-size sequence,
+    /// and marked-vertex count — the cheap invariant prefix.
+    pub degree_hash: u64,
+    /// Digest of the full canonical code.
+    pub hash: u128,
+}
+
+/// A canonical form: the key plus the renamings that produced it.
+#[derive(Clone, Debug)]
+pub struct CanonicalForm {
+    /// The renaming-invariant key.
+    pub key: CanonicalKey,
+    /// `vertex_to_canonical[v]` = canonical index of original vertex `v`.
+    pub vertex_to_canonical: Vec<usize>,
+    /// `edge_to_canonical[e]` = canonical position of original edge `e`.
+    pub edge_to_canonical: Vec<usize>,
+}
+
+impl CanonicalForm {
+    /// Permutes per-vertex data into canonical order:
+    /// `out[vertex_to_canonical[v]] = data[v]`.
+    pub fn vertex_data_to_canonical<T: Clone>(&self, data: &[T]) -> Vec<T> {
+        permute(data, &self.vertex_to_canonical)
+    }
+
+    /// Translates per-vertex data stored in canonical order back to the
+    /// original vertex numbering: `out[v] = canonical[vertex_to_canonical[v]]`.
+    pub fn vertex_data_from_canonical<T: Clone>(&self, canonical: &[T]) -> Vec<T> {
+        unpermute(canonical, &self.vertex_to_canonical)
+    }
+
+    /// Permutes per-edge data into canonical order.
+    pub fn edge_data_to_canonical<T: Clone>(&self, data: &[T]) -> Vec<T> {
+        permute(data, &self.edge_to_canonical)
+    }
+
+    /// Translates per-edge data from canonical order back to the
+    /// original edge numbering.
+    pub fn edge_data_from_canonical<T: Clone>(&self, canonical: &[T]) -> Vec<T> {
+        unpermute(canonical, &self.edge_to_canonical)
+    }
+}
+
+fn permute<T: Clone>(data: &[T], to_canonical: &[usize]) -> Vec<T> {
+    assert_eq!(data.len(), to_canonical.len());
+    let mut out: Vec<Option<T>> = vec![None; data.len()];
+    for (i, &c) in to_canonical.iter().enumerate() {
+        out[c] = Some(data[i].clone());
+    }
+    out.into_iter().map(|x| x.expect("permutation")).collect()
+}
+
+fn unpermute<T: Clone>(canonical: &[T], to_canonical: &[usize]) -> Vec<T> {
+    assert_eq!(canonical.len(), to_canonical.len());
+    to_canonical.iter().map(|&c| canonical[c].clone()).collect()
+}
+
+/// The canonical key alone (see [`canonical_form`]).
+pub fn canonical_key(h: &Hypergraph, marked: &BitSet) -> CanonicalKey {
+    canonical_form(h, marked).key
+}
+
+/// Computes the canonical form of `(h, marked)`.
+///
+/// `marked` distinguishes a vertex subset (for query LPs: the head
+/// variables); isomorphisms must map marked vertices to marked vertices.
+/// Marked indices beyond the vertex count are ignored.
+pub fn canonical_form(h: &Hypergraph, marked: &BitSet) -> CanonicalForm {
+    let n = h.num_vertices();
+    let m = h.num_edges();
+    let incidence: Vec<Vec<usize>> = {
+        let mut inc = vec![Vec::new(); n];
+        for (e, verts) in h.edges().iter().enumerate() {
+            for v in verts.iter() {
+                inc[v].push(e);
+            }
+        }
+        inc
+    };
+
+    // Initial colors: vertices by (marked?, degree), edges by size —
+    // ranked over the sorted distinct values so the ids themselves are
+    // label-invariant.
+    let vertex_colors: Vec<u64> = rank_values(
+        &(0..n)
+            .map(|v| (u64::from(marked.contains(v)) << 48) | incidence[v].len() as u64)
+            .collect::<Vec<_>>(),
+    );
+    let edge_colors: Vec<u64> =
+        rank_values(&h.edges().iter().map(|e| e.len() as u64).collect::<Vec<_>>());
+
+    let degree_hash = {
+        let mut degrees: Vec<u64> = incidence.iter().map(|i| i.len() as u64).collect();
+        degrees.sort_unstable();
+        let mut sizes: Vec<u64> = h.edges().iter().map(|e| e.len() as u64).collect();
+        sizes.sort_unstable();
+        let mut hasher = Hasher128::new();
+        for d in degrees.iter().chain(&sizes) {
+            hasher.write_u64(*d);
+        }
+        hasher.write_u64(marked.iter().filter(|&v| v < n).count() as u64);
+        hasher.finish128() as u64
+    };
+
+    let mut search = Search {
+        h,
+        marked,
+        incidence,
+        best: None,
+        automorphisms: Vec::new(),
+        path: Vec::new(),
+        leaves: 0,
+    };
+    search.refine_and_branch(vertex_colors, edge_colors);
+    let (code, vertex_to_canonical, edge_to_canonical) = search.best.expect("search ran");
+
+    CanonicalForm {
+        key: CanonicalKey {
+            num_vertices: n as u32,
+            num_edges: m as u32,
+            degree_hash,
+            hash: hash128(code),
+        },
+        vertex_to_canonical,
+        edge_to_canonical,
+    }
+}
+
+/// `true` iff the `new` coloring refines `old`: every `new` class lies
+/// inside one `old` class. Signatures embed the old color, so this
+/// holds automatically *unless* a hash collision merged classes —
+/// exactly the case the refinement loop must refuse to adopt (a
+/// coarsened partition could unwind an individualization split and
+/// make the branch search non-terminating).
+fn refines(old: &[u64], new: &[u64]) -> bool {
+    let classes = new.iter().max().map_or(0, |&c| c + 1) as usize;
+    let mut owner = vec![u64::MAX; classes];
+    old.iter().zip(new).all(|(&o, &c)| {
+        let slot = &mut owner[c as usize];
+        if *slot == u64::MAX {
+            *slot = o;
+            true
+        } else {
+            *slot == o
+        }
+    })
+}
+
+/// Assigns dense, label-invariant color ids: distinct values are sorted
+/// and each gets its rank. Returns one rank per input position.
+fn rank_values(values: &[u64]) -> Vec<u64> {
+    let mut order: Vec<u32> = (0..values.len() as u32).collect();
+    order.sort_unstable_by_key(|&i| values[i as usize]);
+    let mut ranks = vec![0u64; values.len()];
+    let mut rank = 0u64;
+    let mut prev: Option<u64> = None;
+    for &i in &order {
+        let v = values[i as usize];
+        if prev.is_some_and(|p| p != v) {
+            rank += 1;
+        }
+        prev = Some(v);
+        ranks[i as usize] = rank;
+    }
+    ranks
+}
+
+/// Cap on emitted leaf candidates. Refinement discretizes realistic
+/// query hypergraphs after a couple of individualizations; inputs
+/// symmetric enough to exhaust this budget (large cliques, say) get a
+/// *truncated* search instead of a factorial one. Truncation stays
+/// sound for caching — every emitted code faithfully encodes the
+/// structure, so equal keys still imply isomorphism; only key equality
+/// *between* isomorphic copies (i.e. the hit rate) can degrade (for
+/// fully symmetric inputs like cliques it does not: every leaf carries
+/// the same code, so exploration order is irrelevant).
+const LEAF_BUDGET: usize = 256;
+
+struct Search<'a> {
+    h: &'a Hypergraph,
+    marked: &'a BitSet,
+    incidence: Vec<Vec<usize>>,
+    /// Lexicographically least canonical code found so far, with its
+    /// vertex and edge renamings.
+    best: Option<(Vec<u64>, Vec<usize>, Vec<usize>)>,
+    /// Automorphisms discovered when two leaves carry identical codes
+    /// (`π[v]` = image of vertex `v`). Used for orbit pruning.
+    automorphisms: Vec<Vec<usize>>,
+    /// Individualized vertices on the current search path.
+    path: Vec<usize>,
+    leaves: usize,
+}
+
+impl Search<'_> {
+    /// Refines the coloring to a fixpoint, then either emits a candidate
+    /// code (discrete partition) or branches on the first smallest
+    /// non-singleton vertex class.
+    ///
+    /// Branch targets are pruned by discovered automorphisms: if some
+    /// recorded `π` fixes every vertex individualized so far and maps an
+    /// already-explored target to this one, the subtree is a mirror
+    /// image of an explored subtree (same leaf codes), so it is skipped.
+    /// This is the standard orbit pruning of canonical-labeling search —
+    /// exact, not heuristic — and it is what keeps vertex-transitive
+    /// inputs (cycles, cliques) near-linear instead of factorial.
+    fn refine_and_branch(&mut self, mut vertex_colors: Vec<u64>, mut edge_colors: Vec<u64>) {
+        if self.leaves >= LEAF_BUDGET {
+            return;
+        }
+        self.refine(&mut vertex_colors, &mut edge_colors);
+
+        match first_non_singleton_class(&vertex_colors) {
+            None => self.emit_candidate(&vertex_colors),
+            Some(class) => {
+                let mut tried: Vec<usize> = Vec::new();
+                for &target in &class {
+                    if self.leaves >= LEAF_BUDGET {
+                        break;
+                    }
+                    if self.orbit_covered(target, &tried) {
+                        continue;
+                    }
+                    tried.push(target);
+                    // Individualize: double all colors so a fresh even
+                    // color can slot in below the class's peers.
+                    let mut branched: Vec<u64> = vertex_colors.iter().map(|&c| 2 * c + 1).collect();
+                    branched[target] -= 1;
+                    self.path.push(target);
+                    self.refine_and_branch(rank_values(&branched), edge_colors.clone());
+                    self.path.pop();
+                }
+            }
+        }
+    }
+
+    /// `true` when an automorphism that fixes the current path pointwise
+    /// puts `target` in the same orbit as an already-tried sibling.
+    fn orbit_covered(&self, target: usize, tried: &[usize]) -> bool {
+        if tried.is_empty() || self.automorphisms.is_empty() {
+            return false;
+        }
+        let n = self.incidence.len();
+        let mut orbits = cq_util::UnionFind::new(n);
+        for aut in &self.automorphisms {
+            if self.path.iter().any(|&p| aut[p] != p) {
+                continue; // does not stabilize the current path
+            }
+            for (v, &w) in aut.iter().enumerate() {
+                orbits.union(v, w);
+            }
+        }
+        tried.iter().any(|&t| orbits.same(t, target))
+    }
+
+    /// WL refinement to a fixpoint. Signatures are 64-bit hashes of
+    /// `(length, own color, sorted multiset of neighbor colors)` rather
+    /// than materialized vectors — hashes of invariant inputs are
+    /// themselves invariant, so ranking by hash value stays
+    /// label-independent.
+    ///
+    /// Two collision defenses, both load-bearing:
+    /// - the stream is length-prefixed with a nonzero salt, because
+    ///   `FxHasher` starts at state 0 and absorbs leading zero words, so
+    ///   unprefixed streams like `[0,0,1,2]` and `[0,1,2]` would collide
+    ///   *by construction*, not cosmically rarely;
+    /// - a round that fails to strictly grow the class count is never
+    ///   adopted, so a residual collision can stall refinement early
+    ///   (hurting only the individualization depth) but can never
+    ///   *coarsen* the partition — which would unwind individualization
+    ///   splits and make the search tree infinite.
+    fn refine(&self, vertex_colors: &mut Vec<u64>, edge_colors: &mut Vec<u64>) {
+        use std::hash::Hasher as _;
+        let n = vertex_colors.len();
+        let m = edge_colors.len();
+        let mut vsig = vec![0u64; n];
+        let mut esig = vec![0u64; m];
+        let mut buf: Vec<u64> = Vec::new();
+        let mut vertex_classes = vertex_colors.iter().max().map_or(0, |&c| c + 1);
+        let mut edge_classes = edge_colors.iter().max().map_or(0, |&c| c + 1);
+        // Each adopted round splits at least one class, so n + m rounds
+        // bound the loop.
+        for _ in 0..=n + m {
+            for v in 0..n {
+                let mut h = cq_util::FxHasher::default();
+                h.write_u64(0x9e37_79b9_7f4a_7c15 ^ self.incidence[v].len() as u64);
+                h.write_u64(vertex_colors[v]);
+                buf.clear();
+                buf.extend(self.incidence[v].iter().map(|&e| edge_colors[e]));
+                buf.sort_unstable();
+                for &c in &buf {
+                    h.write_u64(c);
+                }
+                vsig[v] = h.finish();
+            }
+            let new_vertex = rank_values(&vsig);
+            for (e, verts) in self.h.edges().iter().enumerate() {
+                let mut h = cq_util::FxHasher::default();
+                h.write_u64(0x517c_c1b7_2722_0a95 ^ edge_colors[e]);
+                buf.clear();
+                buf.extend(verts.iter().map(|v| new_vertex[v]));
+                buf.sort_unstable();
+                for &c in &buf {
+                    h.write_u64(c);
+                }
+                esig[e] = h.finish();
+            }
+            let new_edge = rank_values(&esig);
+            let vc_now = new_vertex.iter().max().map_or(0, |&c| c + 1);
+            let ec_now = new_edge.iter().max().map_or(0, |&c| c + 1);
+            // Adopt only a round that strictly split something AND
+            // whose new colorings genuinely refine the old ones. The
+            // refinement check is what makes a collision merge
+            // impossible to adopt even when masked by a simultaneous
+            // split (counts alone can't tell merge+split from split).
+            if vc_now + ec_now <= vertex_classes + edge_classes
+                || !refines(vertex_colors, &new_vertex)
+                || !refines(edge_colors, &new_edge)
+            {
+                break; // fixpoint (or a collision stall)
+            }
+            *vertex_colors = new_vertex;
+            *edge_colors = new_edge;
+            vertex_classes = vc_now;
+            edge_classes = ec_now;
+        }
+    }
+
+    /// Discrete partition: build the canonical code and keep it if it is
+    /// the least seen so far.
+    fn emit_candidate(&mut self, vertex_colors: &[u64]) {
+        self.leaves += 1;
+        let n = vertex_colors.len();
+        // vertex_to_canonical[v] = rank of v's (distinct) color
+        let vertex_to_canonical: Vec<usize> = vertex_colors.iter().map(|&c| c as usize).collect();
+        debug_assert!({
+            let mut seen = vec![false; n];
+            vertex_to_canonical.iter().all(|&c| {
+                let fresh = c < n && !seen[c];
+                if c < n {
+                    seen[c] = true;
+                }
+                fresh
+            })
+        });
+
+        // Edges encoded as sorted canonical member lists, sorted
+        // lexicographically (ties between duplicate edges are harmless:
+        // the code is identical either way).
+        let mut encoded: Vec<(Vec<usize>, usize)> = self
+            .h
+            .edges()
+            .iter()
+            .enumerate()
+            .map(|(e, verts)| {
+                let mut members: Vec<usize> =
+                    verts.iter().map(|v| vertex_to_canonical[v]).collect();
+                members.sort_unstable();
+                (members, e)
+            })
+            .collect();
+        encoded.sort();
+        let mut edge_to_canonical = vec![0usize; encoded.len()];
+        for (pos, (_, e)) in encoded.iter().enumerate() {
+            edge_to_canonical[*e] = pos;
+        }
+
+        let mut code: Vec<u64> = Vec::with_capacity(2 + n + 4 * encoded.len());
+        code.push(n as u64);
+        code.push(encoded.len() as u64);
+        let mut marked_canonical: Vec<u64> = self
+            .marked
+            .iter()
+            .filter(|&v| v < n)
+            .map(|v| vertex_to_canonical[v] as u64)
+            .collect();
+        marked_canonical.sort_unstable();
+        code.push(marked_canonical.len() as u64);
+        code.extend(marked_canonical);
+        for (members, _) in &encoded {
+            code.push(members.len() as u64);
+            code.extend(members.iter().map(|&v| v as u64));
+        }
+
+        match &self.best {
+            Some((best_code, best_v2c, _)) if *best_code == code => {
+                // Two distinct labelings reaching the same code compose
+                // into an automorphism: π = current⁻¹ ∘ best maps the
+                // structure onto itself. Feed it to the orbit pruner.
+                let mut inv = vec![0usize; n];
+                for v in 0..n {
+                    inv[vertex_to_canonical[v]] = v;
+                }
+                let aut: Vec<usize> = (0..n).map(|v| inv[best_v2c[v]]).collect();
+                if aut.iter().enumerate().any(|(v, &w)| v != w) {
+                    self.automorphisms.push(aut);
+                }
+            }
+            Some((best_code, _, _)) if *best_code < code => {}
+            _ => self.best = Some((code, vertex_to_canonical, edge_to_canonical)),
+        }
+    }
+}
+
+/// The members of the branch cell: the smallest vertex class with ≥ 2
+/// members, ties broken by color id. Both criteria are label-invariant
+/// (color ids are ranks of sorted signatures), which canonicity
+/// requires — isomorphic inputs must individualize the same cell.
+fn first_non_singleton_class(colors: &[u64]) -> Option<Vec<usize>> {
+    let mut classes: std::collections::BTreeMap<u64, Vec<usize>> = Default::default();
+    for (v, &c) in colors.iter().enumerate() {
+        classes.entry(c).or_default().push(v);
+    }
+    classes
+        .into_iter()
+        .filter(|(_, members)| members.len() >= 2)
+        .min_by_key(|(color, members)| (members.len(), *color))
+        .map(|(_, members)| members)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(n: usize, edges: &[&[usize]]) -> Hypergraph {
+        let mut hg = Hypergraph::new(n);
+        for e in edges {
+            hg.add_edge_from(e.iter().copied());
+        }
+        hg
+    }
+
+    fn key(hg: &Hypergraph, marked: &[usize]) -> CanonicalKey {
+        canonical_key(hg, &BitSet::from_iter(marked.iter().copied()))
+    }
+
+    #[test]
+    fn renaming_invariance_triangle() {
+        let a = h(3, &[&[0, 1], &[0, 2], &[1, 2]]);
+        // vertex renaming 0->2, 1->0, 2->1 and shuffled edge order
+        let b = h(3, &[&[1, 2], &[0, 1], &[0, 2]]);
+        assert_eq!(key(&a, &[0, 1, 2]), key(&b, &[0, 1, 2]));
+        assert_eq!(key(&a, &[]), key(&b, &[]));
+    }
+
+    #[test]
+    fn structure_is_distinguished() {
+        let triangle = h(3, &[&[0, 1], &[0, 2], &[1, 2]]);
+        let path = h(3, &[&[0, 1], &[1, 2], &[0, 1]]);
+        let star = h(4, &[&[0, 1], &[0, 2], &[0, 3]]);
+        let all = [&triangle, &path, &star];
+        for (i, x) in all.iter().enumerate() {
+            for (j, y) in all.iter().enumerate() {
+                assert_eq!(i == j, key(x, &[]) == key(y, &[]), "{i} vs {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn marked_set_participates() {
+        let hg = h(2, &[&[0], &[1]]);
+        // 2 symmetric vertices: marking one vs the other is isomorphic,
+        // marking none or both is a different structure.
+        assert_eq!(key(&hg, &[0]), key(&hg, &[1]));
+        assert_ne!(key(&hg, &[0]), key(&hg, &[]));
+        assert_ne!(key(&hg, &[0]), key(&hg, &[0, 1]));
+    }
+
+    #[test]
+    fn cycles_of_different_length_differ() {
+        let c4 = h(4, &[&[0, 1], &[1, 2], &[2, 3], &[3, 0]]);
+        let c5 = h(5, &[&[0, 1], &[1, 2], &[2, 3], &[3, 4], &[4, 0]]);
+        assert_ne!(key(&c4, &[]), key(&c5, &[]));
+    }
+
+    #[test]
+    fn cycle_vs_disjoint_edges() {
+        // Both 4 vertices, 4 edges... no: C4 vs two doubled edges — a
+        // degree-regular pair refinement alone cannot split.
+        let c4 = h(4, &[&[0, 1], &[1, 2], &[2, 3], &[3, 0]]);
+        let pairs = h(4, &[&[0, 1], &[0, 1], &[2, 3], &[2, 3]]);
+        assert_ne!(key(&c4, &[]), key(&pairs, &[]));
+    }
+
+    #[test]
+    fn c6_vs_two_triangles() {
+        // The classic WL-1 indistinguishable pair: 2-regular, 6 vertices.
+        // Individualization-refinement must separate them.
+        let c6 = h(6, &[&[0, 1], &[1, 2], &[2, 3], &[3, 4], &[4, 5], &[5, 0]]);
+        let tt = h(6, &[&[0, 1], &[1, 2], &[2, 0], &[3, 4], &[4, 5], &[5, 3]]);
+        assert_ne!(key(&c6, &[]), key(&tt, &[]));
+    }
+
+    #[test]
+    fn duplicate_edge_multiplicity_counts() {
+        let single = h(2, &[&[0, 1]]);
+        let double = h(2, &[&[0, 1], &[0, 1]]);
+        assert_ne!(key(&single, &[]), key(&double, &[]));
+    }
+
+    #[test]
+    fn renaming_invariance_under_random_permutations() {
+        // A mixed-arity hypergraph, permuted a few ways by hand-rolled
+        // LCG shuffles.
+        let base_edges: Vec<Vec<usize>> = vec![
+            vec![0, 1, 2],
+            vec![2, 3],
+            vec![3, 4, 5],
+            vec![5, 0],
+            vec![1, 4],
+            vec![2, 3],
+        ];
+        let n = 6;
+        let base = {
+            let mut hg = Hypergraph::new(n);
+            for e in &base_edges {
+                hg.add_edge_from(e.iter().copied());
+            }
+            hg
+        };
+        let marked = [0usize, 3];
+        let base_key = key(&base, &marked);
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        for _ in 0..20 {
+            // random permutation of 0..n via sort-by-random-key
+            let mut perm: Vec<usize> = (0..n).collect();
+            perm.sort_by_key(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                state
+            });
+            let mut edges: Vec<Vec<usize>> = base_edges
+                .iter()
+                .map(|e| e.iter().map(|&v| perm[v]).collect())
+                .collect();
+            edges.sort_by_key(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                state
+            });
+            let mut hg = Hypergraph::new(n);
+            for e in &edges {
+                hg.add_edge_from(e.iter().copied());
+            }
+            let marked_p: Vec<usize> = marked.iter().map(|&v| perm[v]).collect();
+            assert_eq!(base_key, key(&hg, &marked_p));
+        }
+    }
+
+    #[test]
+    fn form_translates_vertex_data_roundtrip() {
+        let hg = h(4, &[&[0, 1], &[1, 2], &[2, 3]]);
+        let form = canonical_form(&hg, &BitSet::new());
+        let data = vec!["a", "b", "c", "d"];
+        let canonical = form.vertex_data_to_canonical(&data);
+        assert_eq!(form.vertex_data_from_canonical(&canonical), data);
+        let edata = vec![10, 20, 30];
+        let ecanon = form.edge_data_to_canonical(&edata);
+        assert_eq!(form.edge_data_from_canonical(&ecanon), edata);
+    }
+
+    #[test]
+    fn isomorphic_forms_translate_consistently() {
+        // Path 0-1-2 vs relabeled path 2-0-1: the canonical index of the
+        // *middle* vertex must agree.
+        let a = h(3, &[&[0, 1], &[1, 2]]);
+        let b = h(3, &[&[2, 0], &[0, 1]]);
+        let fa = canonical_form(&a, &BitSet::new());
+        let fb = canonical_form(&b, &BitSet::new());
+        assert_eq!(fa.key, fb.key);
+        // middle vertex: 1 in a, 0 in b
+        assert_eq!(fa.vertex_to_canonical[1], fb.vertex_to_canonical[0]);
+    }
+
+    #[test]
+    fn isolated_vertices_count() {
+        let a = h(2, &[&[0, 1]]);
+        let b = h(3, &[&[0, 1]]); // one isolated vertex extra
+        assert_ne!(key(&a, &[]), key(&b, &[]));
+    }
+
+    #[test]
+    fn refines_detects_collision_merges() {
+        assert!(refines(&[0, 1, 1], &[0, 1, 2])); // genuine split
+        assert!(refines(&[0, 1, 1], &[0, 1, 1])); // unchanged
+        assert!(!refines(&[0, 1, 1], &[0, 0, 1])); // plain merge
+
+        // A merge of old classes 1,2 masked by a split of old class 0:
+        // class counts stay equal; only the refinement check sees it.
+        assert!(!refines(&[0, 0, 1, 2], &[0, 1, 2, 2]));
+    }
+
+    #[test]
+    fn empty_hypergraph_is_stable() {
+        let a = Hypergraph::new(0);
+        let b = Hypergraph::new(0);
+        assert_eq!(key(&a, &[]), key(&b, &[]));
+        let c = Hypergraph::new(2);
+        assert_ne!(key(&a, &[]), key(&c, &[]));
+    }
+}

@@ -14,8 +14,11 @@
 //!   and the MMD lower bound;
 //! - an exact branch-and-bound treewidth solver for small graphs;
 //! - rectangular grids and the Fact 5.1 certificate machinery used by the
-//!   Proposition 5.2 construction.
+//!   Proposition 5.2 construction;
+//! - canonical hypergraph forms ([`canonical_form`]) — renaming-invariant
+//!   keys for the cross-query LP cache.
 
+pub mod canonical;
 pub mod decomposition;
 pub mod elimination;
 pub mod exact;
@@ -24,6 +27,7 @@ pub mod grid;
 #[allow(clippy::module_inception)]
 pub mod hypergraph;
 
+pub use canonical::{canonical_form, canonical_key, CanonicalForm, CanonicalKey};
 pub use decomposition::TreeDecomposition;
 pub use elimination::{
     decomposition_from_ordering, elimination_width, min_degree_ordering, min_fill_ordering,

@@ -58,8 +58,37 @@ impl ProptestConfig {
 }
 
 impl Default for ProptestConfig {
+    /// 256 cases, overridable with the `PROPTEST_CASES` environment
+    /// variable (mirroring upstream proptest) — CI's scheduled deep run
+    /// bumps it without touching any test source.
     fn default() -> Self {
-        ProptestConfig { cases: 256 }
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| parse_cases(&v))
+            .unwrap_or(256);
+        ProptestConfig { cases }
+    }
+}
+
+fn parse_cases(v: &str) -> Option<u32> {
+    v.trim().parse().ok().filter(|&c| c > 0)
+}
+
+/// The default RNG seed: fixed, overridable with `PROPTEST_SEED`
+/// (decimal or `0x`-prefixed hex). CI pins it explicitly so a property
+/// failure reproduces locally with the same one-line environment.
+fn default_seed() -> u64 {
+    match std::env::var("PROPTEST_SEED") {
+        Ok(v) => parse_seed(&v).unwrap_or_else(|| panic!("PROPTEST_SEED must be a u64, got {v:?}")),
+        Err(_) => 0x00c0_ffee_d00d,
+    }
+}
+
+fn parse_seed(v: &str) -> Option<u64> {
+    let v = v.trim();
+    match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => v.parse().ok(),
     }
 }
 
@@ -111,7 +140,7 @@ impl TestRunner {
     pub fn new(config: ProptestConfig) -> Self {
         TestRunner {
             config,
-            rng: TestRng::from_seed(0x00c0_ffee_d00d),
+            rng: TestRng::from_seed(default_seed()),
         }
     }
 
@@ -133,5 +162,31 @@ impl TestRunner {
             }
         }
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod env_tests {
+    // The pure parsers are tested directly: mutating PROPTEST_* with
+    // set_var would race sibling tests reading the environment from
+    // other threads (concurrent setenv/getenv is UB on glibc) and would
+    // strip a CI-pinned seed for tests scheduled afterward.
+    use super::{parse_cases, parse_seed};
+
+    #[test]
+    fn seed_parsing_accepts_decimal_and_hex() {
+        assert_eq!(parse_seed("0xDEAD"), Some(0xDEAD));
+        assert_eq!(parse_seed("0XdEaD"), Some(0xDEAD));
+        assert_eq!(parse_seed(" 12345 "), Some(12345));
+        assert_eq!(parse_seed("not a number"), None);
+        assert_eq!(parse_seed("0x"), None);
+    }
+
+    #[test]
+    fn cases_parsing_rejects_junk_and_zero() {
+        assert_eq!(parse_cases("17"), Some(17));
+        assert_eq!(parse_cases(" 4096 "), Some(4096));
+        assert_eq!(parse_cases("0"), None);
+        assert_eq!(parse_cases("not a number"), None);
     }
 }

@@ -70,6 +70,66 @@ impl Hasher for FxHasher {
     }
 }
 
+/// A 128-bit hash accumulator built from two independently-salted
+/// [`FxHasher`] streams.
+///
+/// 64 bits are too narrow for a cache key that must never alias two
+/// distinct canonical hypergraph forms (a false hit would silently serve
+/// the wrong LP solution); 128 bits push the collision probability below
+/// any realistic workload size. The two lanes see the same word stream
+/// but start from different salts, so they are not simple rotations of
+/// one another.
+#[derive(Clone)]
+pub struct Hasher128 {
+    lo: FxHasher,
+    hi: FxHasher,
+}
+
+impl Default for Hasher128 {
+    fn default() -> Self {
+        let mut hi = FxHasher::default();
+        hi.write_u64(0x9e37_79b9_7f4a_7c15); // golden-ratio salt
+        Hasher128 {
+            lo: FxHasher::default(),
+            hi,
+        }
+    }
+}
+
+impl Hasher128 {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one word into both lanes.
+    #[inline]
+    pub fn write_u64(&mut self, w: u64) {
+        self.lo.write_u64(w);
+        self.hi.write_u64(w);
+    }
+
+    /// Feeds a `usize` into both lanes.
+    #[inline]
+    pub fn write_usize(&mut self, w: usize) {
+        self.write_u64(w as u64);
+    }
+
+    /// The accumulated 128-bit digest.
+    pub fn finish128(&self) -> u128 {
+        ((self.hi.finish() as u128) << 64) | self.lo.finish() as u128
+    }
+}
+
+/// Hashes a word sequence to 128 bits (see [`Hasher128`]).
+pub fn hash128<I: IntoIterator<Item = u64>>(words: I) -> u128 {
+    let mut h = Hasher128::new();
+    for w in words {
+        h.write_u64(w);
+    }
+    h.finish128()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,6 +160,19 @@ mod tests {
         }
         assert_eq!(m.len(), 1000);
         assert_eq!(m[&(7, 14)], 7);
+    }
+
+    #[test]
+    fn hash128_lanes_are_independent() {
+        let a = hash128([1, 2, 3]);
+        let b = hash128([1, 2, 4]);
+        assert_ne!(a, b);
+        assert_ne!((a >> 64) as u64, a as u64, "lanes must not coincide");
+        assert_eq!(a, hash128([1, 2, 3]), "deterministic");
+        // order matters
+        assert_ne!(hash128([1, 2]), hash128([2, 1]));
+        // empty input still yields a stable digest
+        assert_eq!(hash128([]), hash128([]));
     }
 
     #[test]

@@ -13,6 +13,6 @@ pub mod subsets;
 pub mod unionfind;
 
 pub use bitset::BitSet;
-pub use hash::{FxHashMap, FxHashSet, FxHasher};
+pub use hash::{hash128, FxHashMap, FxHashSet, FxHasher, Hasher128};
 pub use subsets::{full_mask, mask_elems, mask_from, popcount, subsets_of, SubsetIter};
 pub use unionfind::UnionFind;

@@ -10,11 +10,17 @@
 //! 4. Definition 8.1 — knitted complexity of the constructions.
 //!
 //! Run with: `cargo run --release --example entropy_gap`
+//!
+//! Section 2 routes through [`cqbounds::engine::AnalysisSession`]'s
+//! entropy slots — the same memoized pipeline the CLI serves — and
+//! asserts parity against the direct `cq_core` LP calls it used to
+//! hand-wire.
 
 use cqbounds::core::{
     color_number_entropy_lp, entropy_upper_bound, evaluate, gap_construction,
-    gap_lower_bound_coloring, gap_lower_bound_value, parse_query, EntropyVector,
+    gap_lower_bound_coloring, gap_lower_bound_value, EntropyVector,
 };
+use cqbounds::engine::AnalysisSession;
 
 fn main() {
     // --- Figure 2: a generic 3-variable information diagram ---------------
@@ -33,15 +39,20 @@ fn main() {
 
     // --- entropy LPs on the triangle query --------------------------------
     println!("=== Propositions 6.9 / 6.10 on the triangle query ===");
-    let tri = parse_query("S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z)").unwrap();
-    println!(
-        "s(Q) (Shannon bound, Prop 6.9)  = {}",
-        entropy_upper_bound(&tri, &[])
-    );
-    println!(
-        "C(Q) (atom-nonneg LP, Prop 6.10) = {}\n",
-        color_number_entropy_lp(&tri, &[])
-    );
+    let session = AnalysisSession::parse("triangle", "S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z)").unwrap();
+    let shannon = session
+        .entropy_exponent()
+        .expect("3 variables is under the entropy cap");
+    let color = session
+        .entropy_color_number()
+        .expect("3 variables is under the entropy cap");
+    // engine parity: the session slots are the direct Prop 6.9/6.10 LPs
+    assert_eq!(shannon, &entropy_upper_bound(session.query(), &[]));
+    assert_eq!(color, &color_number_entropy_lp(session.query(), &[]));
+    // and on an FD-free query the Prop 6.10 LP equals the Prop 3.6 LP
+    assert_eq!(color, &session.size_bound().unwrap().exponent);
+    println!("s(Q) (Shannon bound, Prop 6.9)  = {shannon}");
+    println!("C(Q) (atom-nonneg LP, Prop 6.10) = {color}\n");
 
     // --- Proposition 6.11: the gap construction ---------------------------
     println!("=== Proposition 6.11: Shamir gap construction ===");

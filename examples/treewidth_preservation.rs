@@ -8,12 +8,17 @@
 //!    squares the treewidth.
 //!
 //! Run with: `cargo run --example treewidth_preservation`
+//!
+//! Sections 1 and 2 route through [`cqbounds::engine::AnalysisSession`]
+//! — the same memoized pipeline the CLI serves — and assert parity
+//! against the direct `cq_core` calls they used to hand-wire.
 
 use cqbounds::core::{
     blowup_witness_database, evaluate, figure1_construction, gaifman_over,
-    keyed_join_decomposition, parse_program, parse_query, theorem_5_5_bound,
-    treewidth_preservation_no_fds, treewidth_preservation_simple_fds, TwPreservation,
+    keyed_join_decomposition, theorem_5_5_bound, treewidth_preservation_no_fds,
+    treewidth_preservation_simple_fds, TwPreservation,
 };
+use cqbounds::engine::AnalysisSession;
 use cqbounds::hypergraph::{
     decomposition_from_ordering, grid_lower_bound, min_fill_ordering, treewidth_exact,
 };
@@ -21,15 +26,20 @@ use cqbounds::util::FxHashMap;
 
 fn main() {
     // --- 1. Example 2.1: blowup without keys -----------------------------
-    let q = parse_query("R2(X,Y,Z) :- R(X,Y), R(X,Z)").unwrap();
+    let session = AnalysisSession::parse("blowup", "R2(X,Y,Z) :- R(X,Y), R(X,Z)").unwrap();
+    let q = session.query();
     println!("query: {q}");
-    let verdict = treewidth_preservation_no_fds(&q);
+    let verdict = session
+        .treewidth_preservation()
+        .expect("no dependencies: the simple-FD path applies");
+    // engine parity: the session verdict is the direct Theorem 5.10 call
+    assert_eq!(verdict, &treewidth_preservation_no_fds(q));
     println!("no keys: {verdict:?}");
-    if let TwPreservation::Blowup { x, y } = verdict {
+    if let TwPreservation::Blowup { x, y } = *verdict {
         let m = 6;
-        let db = blowup_witness_database(&q, x, y, m);
+        let db = blowup_witness_database(q, x, y, m);
         let (g_in, _) = db.gaifman_graph(&[]);
-        let out = evaluate(&q, &db);
+        let out = evaluate(q, &db);
         let mut map = FxHashMap::default();
         let g_out = gaifman_over(&[&out], &mut map);
         println!(
@@ -41,10 +51,17 @@ fn main() {
     }
 
     // --- 2. the key rescues preservation ---------------------------------
-    let (qk, fds) = parse_program("R2(X,Y,Z) :- R(X,Y), R(X,Z)\nkey R[1]").unwrap();
+    let keyed = AnalysisSession::parse("keyed", "R2(X,Y,Z) :- R(X,Y), R(X,Z)\nkey R[1]").unwrap();
+    let keyed_verdict = keyed
+        .treewidth_preservation()
+        .expect("keys are simple dependencies");
+    assert_eq!(
+        keyed_verdict,
+        &treewidth_preservation_simple_fds(keyed.query(), keyed.fds())
+    );
     println!(
-        "\nwith key R[1]: {:?} (the chase unifies Y and Z)",
-        treewidth_preservation_simple_fds(&qk, &fds)
+        "\nwith key R[1]: {keyed_verdict:?} (the chase unifies Y and Z: {})",
+        keyed.chase_result().query
     );
 
     // --- 3. Theorem 5.5 constructively -----------------------------------

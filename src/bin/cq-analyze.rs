@@ -15,17 +15,25 @@
 //! cq-analyze query.cq --json       # one JSON object per query (schema: README)
 //! cq-analyze query.cq --witness 4  # also build & measure the M=4 worst case
 //! cq-analyze query.cq --db data.db # evaluate + check bounds on real data
+//! cq-analyze a.cq b.cq --no-cache  # disable the cross-query LP cache
 //! ```
+//!
+//! By default a shared [`cq_engine::LpCache`] sits in front of the
+//! structure-only LPs, so structurally isomorphic queries in a batch
+//! solve each LP once; in `--json` mode its counters are reported as a
+//! final `{"cache_stats": ...}` line after the per-query reports.
 
-use cq_engine::{BatchAnalyzer, ReportOptions};
+use cq_engine::{BatchAnalyzer, LpCache, ReportOptions};
 use std::io::Read;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 struct Args {
     paths: Vec<String>,
     json: bool,
     witness_m: Option<usize>,
     db_path: Option<String>,
+    no_cache: bool,
 }
 
 fn main() -> ExitCode {
@@ -34,7 +42,9 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(msg) => {
             eprintln!("{msg}");
-            eprintln!("usage: cq-analyze <file|-> [<file>...] [--json] [--witness M] [--db FILE]");
+            eprintln!(
+                "usage: cq-analyze <file|-> [<file>...] [--json] [--witness M] [--db FILE] [--no-cache]"
+            );
             return ExitCode::FAILURE;
         }
     };
@@ -65,7 +75,12 @@ fn main() -> ExitCode {
         witness_m: args.witness_m,
         database: database.as_ref(),
     };
-    let results = BatchAnalyzer::new().analyze_texts(&inputs, &opts);
+    let cache = (!args.no_cache).then(|| Arc::new(LpCache::new()));
+    let mut analyzer = BatchAnalyzer::new();
+    if let Some(cache) = &cache {
+        analyzer = analyzer.with_cache(Arc::clone(cache));
+    }
+    let results = analyzer.analyze_texts(&inputs, &opts);
 
     let mut failed = false;
     let many = results.len() > 1;
@@ -107,6 +122,13 @@ fn main() -> ExitCode {
             }
         }
     }
+    if args.json {
+        // A final summary line after the per-query reports, so JSON
+        // consumers see the cache's effect without a side channel. The
+        // line is always present (with "enabled": false under
+        // --no-cache): stdout is deterministically inputs + 1 lines.
+        println!("{}", cache_stats_json(cache.as_deref()).render());
+    }
     if failed {
         ExitCode::FAILURE
     } else {
@@ -114,15 +136,32 @@ fn main() -> ExitCode {
     }
 }
 
+fn cache_stats_json(cache: Option<&LpCache>) -> cq_engine::Json {
+    use cq_engine::{json::obj, Json};
+    let stats = cache.map(cq_engine::LpCache::stats).unwrap_or_default();
+    obj([(
+        "cache_stats",
+        obj([
+            ("enabled", Json::Bool(cache.is_some())),
+            ("hits", Json::int(stats.hits as usize)),
+            ("misses", Json::int(stats.misses as usize)),
+            ("evictions", Json::int(stats.evictions as usize)),
+            ("entries", Json::int(stats.entries as usize)),
+        ]),
+    )])
+}
+
 fn parse_args(args: &[String]) -> Result<Args, String> {
     let mut paths = Vec::new();
     let mut json = false;
     let mut witness_m = None;
     let mut db_path = None;
+    let mut no_cache = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--json" => json = true,
+            "--no-cache" => no_cache = true,
             "--witness" => {
                 i += 1;
                 let m: usize = args
@@ -154,6 +193,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         json,
         witness_m,
         db_path,
+        no_cache,
     })
 }
 

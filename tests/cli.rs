@@ -11,12 +11,10 @@ fn run_cli(args: &[&str], stdin: Option<&str>) -> (String, String, bool) {
     }
     let mut child = cmd.spawn().expect("spawn cq-analyze");
     if let Some(text) = stdin {
-        child
-            .stdin
-            .as_mut()
-            .unwrap()
-            .write_all(text.as_bytes())
-            .unwrap();
+        // The child may exit (e.g. on a usage error) before reading its
+        // stdin; a broken pipe here is not the test's concern.
+        let _ = child.stdin.as_mut().unwrap().write_all(text.as_bytes());
+        drop(child.stdin.take());
     }
     let out = child.wait_with_output().expect("wait");
     (
@@ -124,11 +122,75 @@ fn json_batch_mode_keeps_one_line_per_input() {
     );
     assert!(!ok, "parse errors must fail the batch");
     let lines: Vec<&str> = stdout.lines().collect();
-    assert_eq!(lines.len(), 3, "one JSON line per input: {stdout}");
+    assert_eq!(
+        lines.len(),
+        4,
+        "one JSON line per input plus the cache summary: {stdout}"
+    );
     assert!(lines[0].contains("\"query\":"), "{stdout}");
     assert!(lines[1].contains("\"error\":\"parse error"), "{stdout}");
     assert!(lines[2].contains("\"query\":"), "{stdout}");
+    assert!(lines[3].starts_with("{\"cache_stats\":"), "{stdout}");
     assert!(stderr.contains("parse error"), "{stderr}");
+}
+
+#[test]
+fn json_cache_stats_count_isomorphic_lookups() {
+    let dir = std::env::temp_dir();
+    let a = dir.join("cq_cache_a.cq");
+    let b = dir.join("cq_cache_b.cq");
+    std::fs::write(&a, "S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z)\n").unwrap();
+    // structurally isomorphic relabeling of the triangle
+    std::fs::write(&b, "S(C,A,B) :- E(B,C), E(A,B), E(A,C)\n").unwrap();
+    let (stdout, _, ok) = run_cli(&[a.to_str().unwrap(), b.to_str().unwrap(), "--json"], None);
+    assert!(ok);
+    let last = stdout.lines().last().unwrap();
+    assert!(last.contains("\"enabled\":true"), "{last}");
+    // The batch runs across threads, so both workers may race to the
+    // first lookup and both miss before either insert lands; the hit
+    // count is 0 or 1 depending on timing. What *is* deterministic:
+    // exactly two lookups happened and both resolved to one canonical
+    // entry. (A guaranteed hit is asserted by the sequential
+    // differential in tests/pipeline_engine.rs.)
+    let field = |name: &str| -> u64 {
+        let tail = &last[last.find(&format!("\"{name}\":")).unwrap() + name.len() + 3..];
+        tail[..tail.find([',', '}']).unwrap()].parse().unwrap()
+    };
+    assert_eq!(field("hits") + field("misses"), 2, "{last}");
+    assert_eq!(field("entries"), 1, "{last}");
+    assert_eq!(field("evictions"), 0, "{last}");
+}
+
+#[test]
+fn no_cache_disables_the_lp_cache() {
+    let dir = std::env::temp_dir();
+    let a = dir.join("cq_nocache.cq");
+    std::fs::write(&a, "S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z)\n").unwrap();
+    let path = a.to_str().unwrap();
+    let (stdout, _, ok) = run_cli(&[path, path, "--json", "--no-cache"], None);
+    assert!(ok);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 3, "{stdout}");
+    let last = lines.last().unwrap();
+    assert!(last.contains("\"enabled\":false"), "{last}");
+    assert!(last.contains("\"hits\":0"), "{last}");
+    // The reports themselves are identical with and without the cache.
+    let (cached, _, ok2) = run_cli(&[path, path, "--json"], None);
+    assert!(ok2);
+    let cached_lines: Vec<&str> = cached.lines().collect();
+    assert_eq!(lines[..2], cached_lines[..2], "reports must not change");
+}
+
+#[test]
+fn no_cache_text_mode_output_is_unchanged() {
+    let (plain, _, ok1) = run_cli(&["-"], Some("S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z)\n"));
+    let (nocache, _, ok2) = run_cli(
+        &["-", "--no-cache"],
+        Some("S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z)\n"),
+    );
+    assert!(ok1 && ok2);
+    assert_eq!(plain, nocache);
+    assert!(!plain.contains("cache_stats"), "text mode has no summary");
 }
 
 #[test]

@@ -47,6 +47,13 @@ pub fn random_query(seed: u64, max_vars: usize, max_atoms: usize) -> Conjunctive
     ConjunctiveQuery::new(var_names, used, body)
 }
 
+/// A structurally isomorphic copy of `q` (random variable renaming +
+/// atom shuffle, relation names kept): the single implementation lives
+/// in `cq_bench` so the bench workloads and the test corpus cannot
+/// drift apart.
+#[allow(unused_imports)] // like the helpers above, used by a subset of suites
+pub use cq_bench::permuted_query;
+
 /// A random database for `q` over a domain of `domain` values with about
 /// `rows` tuples per relation, repaired to satisfy `fds` (offending
 /// tuples dropped, first-come-first-kept).

@@ -1,19 +1,22 @@
 //! The engine contract: memoization (each expensive stage runs exactly
-//! once per session, proven by call counters) and parity (engine results
-//! agree with direct `cq_core` calls) on every pipeline fixture — the
-//! checked-in `tests/fixtures/*.cq` programs, the parameterized
-//! families, and the same random-query population the other pipeline
-//! suites draw from.
+//! once per session, proven by call counters), parity (engine results
+//! agree with direct `cq_core` calls), and the cross-query LP cache
+//! differential (cached and cache-free runs produce bit-identical
+//! reports, with `CacheStats` proving real hits) — on every pipeline
+//! fixture: the checked-in `tests/fixtures/*.cq` programs, the
+//! parameterized families, and the same random-query population the
+//! other pipeline suites draw from.
 
 mod common;
 
-use common::random_query;
+use common::{permuted_query, random_query};
 use cqbounds::core::{
     chase, decide_size_increase, is_acyclic, size_bound_simple_fds,
     treewidth_preservation_simple_fds, TwPreservation, VarFd,
 };
-use cqbounds::engine::{AnalysisSession, BatchAnalyzer, ReportOptions};
+use cqbounds::engine::{AnalysisSession, BatchAnalyzer, LpCache, ReportOptions};
 use cqbounds::relation::FdSet;
+use std::sync::Arc;
 
 /// Every checked-in program fixture, as `(name, text)`.
 fn file_fixtures() -> Vec<(String, String)> {
@@ -165,6 +168,123 @@ fn engine_agrees_with_direct_core_calls() {
     }
 }
 
+/// The differential corpus: every file fixture, a variable-permuted
+/// isomorphic copy of each (relation names kept, so the declared FDs
+/// apply verbatim), and a random workload likewise doubled with
+/// permuted copies. The copies guarantee the cache sees genuinely
+/// renamed isomorphic structures, not just byte-identical repeats.
+fn differential_corpus() -> Vec<(String, cqbounds::core::ConjunctiveQuery, FdSet)> {
+    let mut items = Vec::new();
+    for (name, text) in file_fixtures() {
+        let (q, fds) = cqbounds::core::parse_program(&text).expect("fixtures parse");
+        items.push((
+            format!("{name}/perm"),
+            permuted_query(41 + items.len() as u64, &q),
+            fds.clone(),
+        ));
+        items.push((name, q, fds));
+    }
+    for seed in 100..120 {
+        let q = random_query(seed, 5, 4);
+        items.push((
+            format!("random/{seed}/perm"),
+            permuted_query(seed ^ 0xbeef, &q),
+            FdSet::new(),
+        ));
+        items.push((format!("random/{seed}"), q, FdSet::new()));
+    }
+    items
+}
+
+#[test]
+fn cache_differential_reports_are_bit_identical_with_real_hits() {
+    let corpus = differential_corpus();
+    let opts = ReportOptions::default();
+    let cache = Arc::new(LpCache::new());
+    let mut session_hits = 0usize;
+    for (name, q, fds) in &corpus {
+        let uncached = AnalysisSession::from_parts(name, q.clone(), fds.clone());
+        let cached = AnalysisSession::from_parts(name, q.clone(), fds.clone())
+            .with_cache(Arc::clone(&cache));
+        assert_eq!(
+            uncached.report(&opts).to_json_string(),
+            cached.report(&opts).to_json_string(),
+            "{name}: cached and cache-free reports must be bit-identical"
+        );
+        assert_eq!(
+            uncached.stats().cache_hits + uncached.stats().cache_misses,
+            0,
+            "{name}: cache-free sessions never touch a cache"
+        );
+        session_hits += cached.stats().cache_hits;
+    }
+    let stats = cache.stats();
+    assert!(
+        stats.hits >= 1,
+        "the isomorphic pairs must produce real cache hits: {stats:?}"
+    );
+    assert_eq!(
+        session_hits as u64, stats.hits,
+        "per-session counters must reconcile with the cache's own"
+    );
+    assert!(stats.evictions == 0, "corpus fits the default capacity");
+    // Every permuted pair with simple FDs shares one canonical solve, so
+    // at least as many hits as fixture pairs on the simple-FD path.
+    let simple_pairs = corpus
+        .iter()
+        .filter(|(name, q, fds)| {
+            name.ends_with("/perm")
+                && chase(q, fds)
+                    .query
+                    .variable_fds(fds)
+                    .iter()
+                    .all(VarFd::is_simple)
+        })
+        .count();
+    assert!(
+        stats.hits as usize >= simple_pairs,
+        "expected >= {simple_pairs} hits, got {stats:?}"
+    );
+}
+
+#[test]
+fn cache_differential_with_witness_on_identical_duplicates() {
+    // For byte-identical duplicates the canonical translation is the
+    // identity, so even the witness measurement (which consumes the
+    // certificate coloring, not just the LP value) is reproduced
+    // exactly from the cached solution.
+    let opts = ReportOptions {
+        witness_m: Some(2),
+        database: None,
+    };
+    let cache = Arc::new(LpCache::new());
+    for (name, text) in file_fixtures() {
+        let uncached = AnalysisSession::parse(&name, &text)
+            .expect("fixtures parse")
+            .report(&opts);
+        let first = AnalysisSession::parse(&name, &text)
+            .expect("fixtures parse")
+            .with_cache(Arc::clone(&cache));
+        let second = AnalysisSession::parse(&name, &text)
+            .expect("fixtures parse")
+            .with_cache(Arc::clone(&cache));
+        assert_eq!(
+            first.report(&opts).to_json_string(),
+            uncached.to_json_string(),
+            "{name}: cold-cache run equals cache-free run"
+        );
+        assert_eq!(
+            second.report(&opts).to_json_string(),
+            uncached.to_json_string(),
+            "{name}: warm-cache run equals cache-free run"
+        );
+        if second.simple_fds() {
+            assert!(second.stats().cache_hits >= 1, "{name}: duplicate must hit");
+            assert_eq!(second.stats().color_lp_runs, 0, "{name}: no second solve");
+        }
+    }
+}
+
 #[test]
 fn batch_agrees_with_sequential_sessions() {
     let inputs: Vec<(String, String)> = file_fixtures();
@@ -204,6 +324,44 @@ fn json_reports_are_deterministic_across_sessions() {
             "{name}: {a}"
         );
     }
+}
+
+#[test]
+fn engine_routes_the_treewidth_example_queries() {
+    // The `treewidth_preservation` example's session-routed sections,
+    // asserted against the direct `cq_core` calls it used to hand-wire.
+    let blowup = AnalysisSession::parse("blowup", "R2(X,Y,Z) :- R(X,Y), R(X,Z)").unwrap();
+    let direct = cqbounds::core::treewidth_preservation_no_fds(blowup.query());
+    match (blowup.treewidth_preservation().unwrap(), &direct) {
+        (TwPreservation::Blowup { x: a, y: b }, TwPreservation::Blowup { x, y }) => {
+            assert_eq!((a, b), (x, y), "same witness pair");
+        }
+        other => panic!("expected blowup on both paths, got {other:?}"),
+    }
+
+    let keyed = AnalysisSession::parse("keyed", "R2(X,Y,Z) :- R(X,Y), R(X,Z)\nkey R[1]").unwrap();
+    let direct_keyed = treewidth_preservation_simple_fds(keyed.query(), keyed.fds());
+    assert!(matches!(direct_keyed, TwPreservation::Preserved));
+    assert!(matches!(
+        keyed.treewidth_preservation().unwrap(),
+        TwPreservation::Preserved
+    ));
+    // the session reached the verdict through its cached chase
+    assert_eq!(keyed.stats().chase_runs, 1);
+}
+
+#[test]
+fn engine_routes_the_entropy_example_queries() {
+    // The `entropy_gap` example's Propositions 6.9/6.10 section, via
+    // session slots, against the direct LP calls.
+    let s = AnalysisSession::parse("tri", "S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z)").unwrap();
+    let direct_c = cqbounds::core::color_number_entropy_lp(s.query(), &[]);
+    let direct_s = cqbounds::core::entropy_upper_bound(s.query(), &[]);
+    assert_eq!(s.entropy_color_number().unwrap(), &direct_c);
+    assert_eq!(s.entropy_exponent().unwrap(), &direct_s);
+    // and both agree with the Prop 3.6 coloring LP on an FD-free query
+    assert_eq!(&s.size_bound().unwrap().exponent, &direct_c);
+    assert_eq!(s.stats().entropy_lp_runs, 2);
 }
 
 #[test]
