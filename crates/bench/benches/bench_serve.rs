@@ -1,0 +1,95 @@
+//! Warm vs cold serving through the `cq-serve` request loop.
+//!
+//! Same 100-query template workload as `bench_lp_cache`, but driven as
+//! wire requests through [`ServeEngine::handle_line`] — request JSON
+//! parsing, session, report rendering and response envelope included —
+//! so the numbers describe what a daemon client actually observes:
+//!
+//! - `serve100_cold`: a fresh engine per run with the cache disabled —
+//!   the one-process-per-query baseline `cq-analyze` escapes the shell
+//!   fork but re-solves every LP.
+//! - `serve100_fresh_cache`: a fresh engine per run, cache enabled —
+//!   the daemon's first minute, intra-workload hits only.
+//! - `serve100_warm`: one long-lived engine — the daemon's steady
+//!   state, where every isomorphism class was seen long ago.
+
+use cq_bench::{cycle_query, isomorphic_workload, random_query, Workload};
+use cq_engine::ServeEngine;
+use cq_relation::FdSet;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn workload_100() -> Workload {
+    let mut bases: Workload = vec![
+        ("cycle8".into(), cycle_query(8), FdSet::new()),
+        ("cycle11".into(), cycle_query(11), FdSet::new()),
+    ];
+    for seed in [3u64, 11, 13] {
+        bases.push((
+            format!("template{seed}"),
+            random_query(seed, 8, 7),
+            FdSet::new(),
+        ));
+    }
+    isomorphic_workload(0xcafe, &bases, 20)
+}
+
+/// Renders the workload as one analyze request line per query (the
+/// program text is the query's canonical `Display`; none of these
+/// carry dependency lines).
+fn request_lines(workload: &Workload) -> Vec<String> {
+    workload
+        .iter()
+        .enumerate()
+        .map(|(i, (name, query, _fds))| {
+            cq_engine::json::obj([
+                ("id", cq_engine::Json::int(i)),
+                ("cmd", cq_engine::Json::str("analyze")),
+                ("name", cq_engine::Json::str(name)),
+                ("query", cq_engine::Json::str(query.to_string())),
+            ])
+            .render()
+        })
+        .collect()
+}
+
+fn drive(engine: &ServeEngine, lines: &[String]) -> usize {
+    lines
+        .iter()
+        .map(|line| {
+            let response = engine.handle_line(line);
+            assert!(response.contains("\"ok\":true"), "{response}");
+            response.len()
+        })
+        .sum()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serve");
+    g.sample_size(10);
+
+    let lines = request_lines(&workload_100());
+    assert_eq!(lines.len(), 100);
+
+    g.bench_function("serve100_cold", |b| {
+        b.iter(|| drive(&ServeEngine::new().without_cache(), &lines))
+    });
+
+    g.bench_function("serve100_fresh_cache", |b| {
+        b.iter(|| {
+            let engine = ServeEngine::new();
+            let n = drive(&engine, &lines);
+            let stats = engine.cache().unwrap().stats();
+            assert!(stats.hits >= 90, "hit-dominated workload: {stats:?}");
+            n
+        })
+    });
+
+    let warm = ServeEngine::new();
+    drive(&warm, &lines);
+    g.bench_function("serve100_warm", |b| b.iter(|| drive(&warm, &lines)));
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -13,6 +13,18 @@
 //!
 //! Fact 2.4: `Q(D) = chase(Q)(D)` for every database `D` satisfying the
 //! dependencies; this is property-tested in `eval.rs`.
+//!
+//! ```
+//! use cq_core::{chase, parse_program};
+//!
+//! // Example 3.4's shape: two R1-atoms that agree on the key column.
+//! let (q, fds) =
+//!     parse_program("Q(W,X,Y) :- R1(W,X,Y), R1(W,W,W)\nkey R1[1]").unwrap();
+//! let result = chase(&q, &fds);
+//! // The key unifies X and Y with W; the now-identical atoms deduplicate.
+//! assert_eq!(result.query.to_string(), "Q(W,W,W) :- R1(W,W,W)");
+//! assert_eq!(result.unifications, 2);
+//! ```
 
 use crate::query::{Atom, ConjunctiveQuery, VarIdx};
 use cq_relation::FdSet;

@@ -17,6 +17,19 @@
 //! any rational solution `p/q` yields a coloring with `p` head colors and
 //! at most `q` colors per atom). Definition 3.5's minimal fractional edge
 //! cover and the §3.1 duality are also here.
+//!
+//! ```
+//! use cq_core::{color_number_lp, parse_query};
+//!
+//! // Example 3.3: the triangle query has color number 3/2.
+//! let q = parse_query("S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z)").unwrap();
+//! let cn = color_number_lp(&q);
+//! assert_eq!(cn.value.to_string(), "3/2");
+//! // The LP certificate rounds back to a valid integral coloring whose
+//! // Definition 3.2 ratio attains that optimum exactly.
+//! cn.coloring.validate(&[]).unwrap();
+//! assert_eq!(cn.coloring.color_number(&q), Some(cn.value.clone()));
+//! ```
 
 use crate::query::{ConjunctiveQuery, VarFd, VarIdx};
 use cq_arith::{BigInt, Rational};

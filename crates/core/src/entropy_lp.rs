@@ -21,6 +21,27 @@
 //! says as much); the practical ceiling of the exact solver is around
 //! 6–7 variables for Proposition 6.9 (the elemental family has
 //! `k(k−1)·2^{k−3}` inequalities) and 8–10 for Proposition 6.10.
+//!
+//! ```
+//! use cq_core::{chase, color_number_entropy_lp, entropy_upper_bound,
+//!               parse_program, parse_query};
+//!
+//! // FD-free, both programs recover the Proposition 3.6 optimum.
+//! let tri = parse_query("S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z)").unwrap();
+//! assert_eq!(color_number_entropy_lp(&tri, &[]).to_string(), "3/2");
+//! assert_eq!(entropy_upper_bound(&tri, &[]).to_string(), "3/2");
+//!
+//! // Under a compound FD — where Theorem 4.4 is out of reach — the two
+//! // LPs still bracket the worst-case exponent: C(chase(Q)) <= s(Q).
+//! let (q, fds) =
+//!     parse_program("Q(X,Y,Z) :- R(X,Y,Z), S2(X,Z)\nR[1,2] -> R[3]").unwrap();
+//! let chased = chase(&q, &fds);
+//! let vfds = chased.query.variable_fds(&fds);
+//! let c = color_number_entropy_lp(&chased.query, &vfds);
+//! let s = entropy_upper_bound(&chased.query, &vfds);
+//! assert!(c <= s);
+//! assert_eq!(c.to_string(), "1");
+//! ```
 
 use crate::query::{ConjunctiveQuery, VarFd};
 use cq_arith::Rational;

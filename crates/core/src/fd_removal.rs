@@ -26,6 +26,24 @@
 //! The procedure requires each atom to refer to a unique relation
 //! (Theorem 4.4 passes through `Q*`); we apply
 //! [`ConjunctiveQuery::with_distinct_relations`] internally.
+//!
+//! ```
+//! use cq_core::{chase, color_number_lp, parse_program, pull_back_coloring,
+//!               remove_simple_fds};
+//!
+//! let (q, fds) = parse_program("R2(X,Y,Z) :- R(X,Y), R(X,Z)\nkey R[1]").unwrap();
+//! let chased = chase(&q, &fds);
+//! let vfds = chased.query.variable_fds(&fds);
+//! let trace = remove_simple_fds(&chased.query, &vfds);
+//! // The removed query is FD-free, so Proposition 3.6 applies to it ...
+//! let cn = color_number_lp(trace.result());
+//! // ... and Lemma 4.7 pulls its optimal coloring back through the trace
+//! // into a valid coloring of chase(Q) with the same color number.
+//! let pulled = pull_back_coloring(&trace, &cn.coloring);
+//! pulled.validate(&vfds).unwrap();
+//! assert_eq!(pulled.color_number(&chased.query), Some(cn.value.clone()));
+//! assert_eq!(cn.value.to_string(), "1"); // the key collapses the join
+//! ```
 
 use crate::coloring::Coloring;
 use crate::query::{Atom, ConjunctiveQuery, VarFd, VarIdx};

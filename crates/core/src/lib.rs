@@ -27,6 +27,13 @@
 //! | polynomial decision procedures, Prop 7.1 / Thm 7.2 | [`size_preserving`], [`sat`] |
 //! | NP-hardness, Prop 7.3 | [`sat_reduction`] |
 //!
+//! The load-bearing rows of this map are compiler-checked: the module
+//! docs of [`mod@chase`] (Fact 2.4), [`coloring`] (Prop 3.6),
+//! [`fd_removal`] (Lemma 4.7), [`size_bounds`] (Thm 4.4), [`treewidth`]
+//! (Thm 5.10), [`size_preserving`] (Thm 7.2) and [`entropy_lp`] (Props
+//! 6.9/6.10) each carry a runnable example of their theorem, executed
+//! by `cargo test --doc` in CI.
+//!
 //! ## Quick start
 //!
 //! ```

@@ -21,6 +21,21 @@
 //! Note the FD clauses tolerate arbitrary left-hand sides directly, so
 //! the Fact 6.12 normalization is not required for the decision (it is
 //! provided separately for fidelity to the paper's presentation).
+//!
+//! ```
+//! use cq_core::{decide_size_increase, parse_program};
+//!
+//! // The triangle grows: all three SAT_i are satisfiable, and the m=3
+//! // single-color solutions certify C(chase(Q)) >= 3/2.
+//! let (tri, fds) = parse_program("S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z)").unwrap();
+//! let decision = decide_size_increase(&tri, &fds);
+//! assert!(decision.increases);
+//! assert_eq!(decision.lower_bound.to_string(), "3/2"); // m/(m-1)
+//!
+//! // A keyed self-join is size-preserving: |Q(D)| <= rmax(D) always.
+//! let (keyed, fds) = parse_program("R2(X,Y,Z) :- R(X,Y), R(X,Z)\nkey R[1]").unwrap();
+//! assert!(!decide_size_increase(&keyed, &fds).increases);
+//! ```
 
 use crate::chase::chase;
 use crate::coloring::Coloring;

@@ -14,6 +14,26 @@
 //!   whose output contains `K_M`.
 //! - [`treewidth_preservation_simple_fds`] — Theorem 5.10: the same
 //!   decision after the chase, reduced through the FD-removal procedure.
+//!
+//! ```
+//! use cq_core::{parse_program, treewidth_preservation_simple_fds, TwPreservation};
+//!
+//! // The triangle keeps every head pair in some atom: tw-preserved.
+//! let (tri, fds) = parse_program("S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z)").unwrap();
+//! assert!(matches!(
+//!     treewidth_preservation_simple_fds(&tri, &fds),
+//!     TwPreservation::Preserved
+//! ));
+//!
+//! // The path's endpoints X,Z co-occur in no atom: inputs of treewidth 1
+//! // can join to a K_{M,M}-containing output (unbounded blowup), and the
+//! // decision names that witness pair.
+//! let (path, fds) = parse_program("Q(X,Y,Z) :- S(X,Y), T(Y,Z)").unwrap();
+//! assert!(matches!(
+//!     treewidth_preservation_simple_fds(&path, &fds),
+//!     TwPreservation::Blowup { .. }
+//! ));
+//! ```
 
 use crate::constructions::worst_case_database;
 use crate::query::{ConjunctiveQuery, VarIdx};

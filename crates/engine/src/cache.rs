@@ -10,7 +10,7 @@
 //! stored solution back through the canonical renaming into the
 //! namespace of the query at hand.
 //!
-//! Layout: the key space is split over [`SHARDS`] independent
+//! Layout: the key space is split over `SHARDS` (16) independent
 //! `RwLock`-guarded maps (concurrent batch workers rarely contend), and
 //! each shard is LRU-bounded — recency is tracked with a relaxed global
 //! tick so lookups only ever take the read lock.

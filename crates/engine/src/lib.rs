@@ -18,6 +18,9 @@
 //! - [`LpCache`] — a shared cross-query cache for the structure-only
 //!   LPs, keyed by canonical hypergraph hashing, so isomorphic queries
 //!   anywhere in a batch (or a long-lived process) solve each LP once.
+//! - [`ServeEngine`] — the `cq-serve` daemon's request loop: newline-
+//!   delimited JSON in, report JSON out, every request sharing one warm
+//!   [`LpCache`] (protocol spec: `docs/PROTOCOL.md`).
 //!
 //! ```
 //! use cq_engine::{AnalysisSession, ReportOptions};
@@ -37,6 +40,7 @@ pub mod batch;
 pub mod cache;
 pub mod json;
 pub mod report;
+pub mod serve;
 pub mod session;
 
 pub use batch::BatchAnalyzer;
@@ -46,6 +50,7 @@ pub use report::{
     AnalysisReport, ChaseReport, DataReport, EntropyReport, GrowthReport, ReportOptions,
     SizeBoundReport, TreewidthReport, WitnessReport,
 };
+pub use serve::{ServeEngine, ServeStats, MAX_BATCH, PROTOCOL_VERSION};
 pub use session::{
     AnalysisSession, DataCheck, ExactDataBound, ProductDataBound, SessionStats,
     ENTROPY_BOUND_VAR_CAP, ENTROPY_COLOR_VAR_CAP,

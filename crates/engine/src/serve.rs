@@ -1,0 +1,564 @@
+//! [`ServeEngine`]: the long-lived serving layer under `cq-serve`.
+//!
+//! One process, one warm [`LpCache`], many requests: the daemon turns
+//! the cross-query cache from a per-invocation optimization into a
+//! serving asset. Requests arrive as newline-delimited JSON (over stdin
+//! or a Unix-domain socket — the transport is the binary's concern, this
+//! layer only sees `BufRead`/`Write` pairs) and every response is one
+//! JSON line carrying the request's `id`, the elapsed `micros`, and the
+//! rolling cache counters. The wire protocol is specified, shape by
+//! shape, in `docs/PROTOCOL.md`, and a test replays that document
+//! against the real daemon so the two cannot drift.
+//!
+//! Three commands exist in protocol version 1:
+//!
+//! - `analyze` — one query through a cache-attached
+//!   [`AnalysisSession`], returned as the same report object
+//!   `cq-analyze --json` prints;
+//! - `batch` — up to [`MAX_BATCH`] queries fanned out through
+//!   [`BatchAnalyzer`] over the shared cache, one reports array back;
+//! - `stats` — a [`ServeStats`] snapshot without analyzing anything.
+//!
+//! Malformed lines never kill the process: every failure becomes an
+//! `{"ok":false,…}` response and the loop keeps serving. A connection
+//! ends on EOF (or a mid-stream disconnect, which is indistinguishable
+//! and equally graceful); in-flight requests drain before
+//! [`ServeEngine::serve_connection`] returns.
+//!
+//! Concurrency model: [`ServeEngine`] is `Sync` — counters are atomics
+//! and the cache is already thread-safe — so one engine serves any
+//! number of connections at once. *Within* a connection,
+//! [`ServeEngine::serve_connection`] runs a bounded worker pool:
+//! pipelined requests are analyzed in parallel, and a reordering writer
+//! emits responses strictly in request order, so clients that don't
+//! pipeline see pure request/response and clients that do still get
+//! deterministic output.
+
+use crate::cache::LpCache;
+use crate::json::{obj, Json};
+use crate::report::ReportOptions;
+use crate::session::AnalysisSession;
+use crate::BatchAnalyzer;
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, ErrorKind, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// The wire protocol version this engine speaks. Requests may omit
+/// `"v"` (it defaults to the current version); any other value is
+/// rejected so a future v2 client fails loudly instead of subtly.
+pub const PROTOCOL_VERSION: i64 = 1;
+
+/// Upper bound on `"queries"` per `batch` request. Protects the daemon
+/// from one client monopolizing the worker pool (and from accidental
+/// `[file contents]` pastes); larger workloads should be split into
+/// multiple batch requests.
+pub const MAX_BATCH: usize = 1024;
+
+/// Depth of the per-connection request queue: how many pipelined
+/// requests may be admitted beyond the ones being analyzed before the
+/// reader stops pulling input (backpressure).
+const QUEUE_DEPTH: usize = 64;
+
+/// Command-specific fields spliced into an `"ok":true` response.
+type ResponseBody = Vec<(&'static str, Json)>;
+
+/// Lifetime counters of a [`ServeEngine`], snapshotted by the `stats`
+/// command.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Request lines received (including malformed ones and the `stats`
+    /// request reporting this snapshot).
+    pub requests: u64,
+    /// Queries analyzed: one per `analyze`, plus one per entry of every
+    /// `batch` (parse failures included — they occupied a slot).
+    pub analyses: u64,
+    /// `batch` requests served.
+    pub batches: u64,
+    /// Error responses sent (malformed JSON, parse errors, bad fields).
+    pub errors: u64,
+}
+
+/// The serving layer: a shared LP cache plus request dispatch.
+///
+/// ```
+/// use cq_engine::serve::ServeEngine;
+///
+/// let engine = ServeEngine::new();
+/// let resp = engine.handle_line(
+///     r#"{"id":1,"cmd":"analyze","query":"S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z)"}"#);
+/// assert!(resp.contains(r#""ok":true"#));
+/// assert!(resp.contains(r#""exponent":"3/2""#));
+/// ```
+pub struct ServeEngine {
+    cache: Option<Arc<LpCache>>,
+    workers: usize,
+    requests: AtomicU64,
+    analyses: AtomicU64,
+    batches: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl Default for ServeEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServeEngine {
+    /// An engine with a fresh warm-able cache and hardware parallelism.
+    pub fn new() -> Self {
+        ServeEngine {
+            cache: Some(Arc::new(LpCache::new())),
+            workers: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            requests: AtomicU64::new(0),
+            analyses: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        }
+    }
+
+    /// Caps the per-connection worker pool (and batch fan-out width).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Disables the cross-query LP cache (responses then report
+    /// `"enabled":false`; mostly useful for benchmarking the win).
+    pub fn without_cache(mut self) -> Self {
+        self.cache = None;
+        self
+    }
+
+    /// The shared LP cache, if enabled.
+    pub fn cache(&self) -> Option<&Arc<LpCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Lifetime request counters.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            analyses: self.analyses.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Handles one request line, returning the one response line (no
+    /// trailing newline). This is the entire daemon minus transport —
+    /// the benches and the protocol replay test drive it directly.
+    pub fn handle_line(&self, line: &str) -> String {
+        let start = Instant::now();
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let parsed = Json::parse(line);
+        let id = parsed
+            .as_ref()
+            .ok()
+            .and_then(|req| req.get("id").cloned())
+            .unwrap_or(Json::Null);
+        let result = match &parsed {
+            Err(e) => Err(format!("malformed request: {e}")),
+            Ok(req) => self.dispatch(req),
+        };
+        let micros = Json::int(start.elapsed().as_micros().min(i64::MAX as u128) as usize);
+        match result {
+            Ok((cmd, body)) => {
+                let mut fields = vec![
+                    ("v", Json::Int(PROTOCOL_VERSION)),
+                    ("id", id),
+                    ("ok", Json::Bool(true)),
+                    ("cmd", Json::str(cmd)),
+                ];
+                fields.extend(body);
+                fields.push(("micros", micros));
+                fields.push(("cache_stats", cache_stats_json(self.cache.as_deref())));
+                obj(fields).render()
+            }
+            Err(message) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                obj([
+                    ("v", Json::Int(PROTOCOL_VERSION)),
+                    ("id", id),
+                    ("ok", Json::Bool(false)),
+                    ("error", Json::str(message)),
+                    ("micros", micros),
+                ])
+                .render()
+            }
+        }
+    }
+
+    fn dispatch(&self, req: &Json) -> Result<(&'static str, ResponseBody), String> {
+        match req.get("v") {
+            None => {}
+            Some(v) if v.as_i64() == Some(PROTOCOL_VERSION) => {}
+            Some(v) => {
+                return Err(format!(
+                    "unsupported protocol version {} (this daemon speaks v{PROTOCOL_VERSION})",
+                    v.render()
+                ))
+            }
+        }
+        let cmd = req
+            .get("cmd")
+            .and_then(Json::as_str)
+            .ok_or("request needs a string \"cmd\" field")?;
+        match cmd {
+            "analyze" => self.analyze(req).map(|body| ("analyze", body)),
+            "batch" => self.batch(req).map(|body| ("batch", body)),
+            "stats" => Ok(("stats", self.stats_body())),
+            other => Err(format!("unknown cmd {:?}", other)),
+        }
+    }
+
+    fn analyze(&self, req: &Json) -> Result<ResponseBody, String> {
+        let query = req
+            .get("query")
+            .and_then(Json::as_str)
+            .ok_or("analyze needs a string \"query\" field")?;
+        let name = req.get("name").and_then(Json::as_str).unwrap_or("-");
+        let opts = ReportOptions {
+            witness_m: witness_of(req)?,
+            database: None,
+        };
+        self.analyses.fetch_add(1, Ordering::Relaxed);
+        let mut session = AnalysisSession::parse(name, query).map_err(|e| e.to_string())?;
+        if let Some(cache) = &self.cache {
+            session = session.with_cache(Arc::clone(cache));
+        }
+        Ok(vec![("report", session.report(&opts).to_json())])
+    }
+
+    fn batch(&self, req: &Json) -> Result<ResponseBody, String> {
+        let items = req
+            .get("queries")
+            .and_then(Json::as_array)
+            .ok_or("batch needs a \"queries\" array")?;
+        if items.len() > MAX_BATCH {
+            return Err(format!(
+                "batch of {} queries exceeds the limit of {MAX_BATCH}; split the workload",
+                items.len()
+            ));
+        }
+        let inputs = items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| {
+                let query = item
+                    .get("query")
+                    .and_then(Json::as_str)
+                    .ok_or(format!("queries[{i}] needs a string \"query\" field"))?;
+                let name = item
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .map_or_else(|| format!("q{i}"), str::to_owned);
+                Ok((name, query.to_owned()))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let opts = ReportOptions {
+            witness_m: witness_of(req)?,
+            database: None,
+        };
+        let mut analyzer = BatchAnalyzer::with_threads(self.workers);
+        if let Some(cache) = &self.cache {
+            analyzer = analyzer.with_cache(Arc::clone(cache));
+        }
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.analyses
+            .fetch_add(inputs.len() as u64, Ordering::Relaxed);
+        let reports = analyzer
+            .analyze_texts(&inputs, &opts)
+            .iter()
+            .zip(&inputs)
+            .map(|(result, (name, _))| match result {
+                Ok(report) => report.to_json(),
+                // Same shape as a cq-analyze --json parse-error line:
+                // the reports array stays index-aligned with "queries".
+                Err(e) => obj([
+                    ("name", Json::str(name)),
+                    ("error", Json::str(e.to_string())),
+                ]),
+            })
+            .collect();
+        Ok(vec![("reports", Json::Arr(reports))])
+    }
+
+    fn stats_body(&self) -> ResponseBody {
+        let stats = self.stats();
+        vec![(
+            "stats",
+            obj([
+                ("requests", Json::int(stats.requests as usize)),
+                ("analyses", Json::int(stats.analyses as usize)),
+                ("batches", Json::int(stats.batches as usize)),
+                ("errors", Json::int(stats.errors as usize)),
+            ]),
+        )]
+    }
+
+    /// Serves one connection to completion: reads newline-delimited
+    /// requests until EOF (or the peer vanishes), analyzes them on a
+    /// bounded worker pool, and writes responses **in request order**,
+    /// flushing after each so non-pipelining clients never stall.
+    ///
+    /// Returns the first write error if the peer stopped listening —
+    /// callers serving sockets typically log and move on, since a
+    /// client disconnect must never take the daemon down.
+    pub fn serve_connection<R: BufRead, W: Write + Send>(
+        &self,
+        mut reader: R,
+        writer: W,
+    ) -> io::Result<()> {
+        let (job_tx, job_rx) = mpsc::sync_channel::<(u64, String)>(QUEUE_DEPTH);
+        let job_rx = Mutex::new(job_rx);
+        let (resp_tx, resp_rx) = mpsc::channel::<(u64, String)>();
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers {
+                let job_rx = &job_rx;
+                let resp_tx = resp_tx.clone();
+                scope.spawn(move || loop {
+                    // Hold the lock only to receive; analysis runs
+                    // unlocked so workers actually overlap.
+                    let job = job_rx.lock().expect("job queue").recv();
+                    let Ok((seq, line)) = job else { break };
+                    if resp_tx.send((seq, self.handle_line(&line))).is_err() {
+                        break; // writer gone (peer hung up): drain and exit
+                    }
+                });
+            }
+            drop(resp_tx);
+            let writer_thread = scope.spawn(move || -> io::Result<()> {
+                let mut writer = writer;
+                let mut pending: BTreeMap<u64, String> = BTreeMap::new();
+                let mut next = 0u64;
+                for (seq, response) in resp_rx {
+                    pending.insert(seq, response);
+                    while let Some(response) = pending.remove(&next) {
+                        writer.write_all(response.as_bytes())?;
+                        writer.write_all(b"\n")?;
+                        writer.flush()?;
+                        next += 1;
+                    }
+                }
+                Ok(())
+            });
+
+            let mut seq = 0u64;
+            let mut line = String::new();
+            loop {
+                line.clear();
+                match reader.read_line(&mut line) {
+                    Ok(0) => break, // EOF: graceful end of the connection
+                    Ok(_) => {
+                        let request = line.trim();
+                        if request.is_empty() {
+                            continue; // blank keep-alive lines get no response
+                        }
+                        if job_tx.send((seq, request.to_owned())).is_err() {
+                            break; // workers exited (writer died first)
+                        }
+                        seq += 1;
+                    }
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    // A reset/aborted read is a mid-stream disconnect:
+                    // treat like EOF, drain in-flight work, keep serving
+                    // other connections.
+                    Err(_) => break,
+                }
+            }
+            drop(job_tx);
+            writer_thread.join().expect("writer thread")
+        })
+    }
+}
+
+/// Parses the optional `"witness"` field shared by `analyze`/`batch`.
+fn witness_of(req: &Json) -> Result<Option<usize>, String> {
+    match req.get("witness") {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => match v.as_usize() {
+            Some(m) if m >= 1 => Ok(Some(m)),
+            _ => Err("witness needs an integer M >= 1".to_owned()),
+        },
+    }
+}
+
+/// The `cache_stats` object shared by every serve response and the
+/// trailing `cq-analyze --json` summary line: `enabled`, `hits`,
+/// `misses`, `evictions`, `entries`. Counters are all zero when the
+/// cache is disabled.
+pub fn cache_stats_json(cache: Option<&LpCache>) -> Json {
+    let stats = cache.map(LpCache::stats).unwrap_or_default();
+    obj([
+        ("enabled", Json::Bool(cache.is_some())),
+        ("hits", Json::int(stats.hits as usize)),
+        ("misses", Json::int(stats.misses as usize)),
+        ("evictions", Json::int(stats.evictions as usize)),
+        ("entries", Json::int(stats.entries as usize)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TRIANGLE: &str = "S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z)";
+
+    fn parse(response: &str) -> Json {
+        Json::parse(response).expect("responses are valid JSON")
+    }
+
+    #[test]
+    fn analyze_roundtrip_carries_id_and_report() {
+        let engine = ServeEngine::new();
+        let resp = parse(&engine.handle_line(&format!(
+            r#"{{"v":1,"id":"req-7","cmd":"analyze","query":"{TRIANGLE}"}}"#
+        )));
+        assert_eq!(resp.get("v").and_then(Json::as_i64), Some(1));
+        assert_eq!(resp.get("id").and_then(Json::as_str), Some("req-7"));
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+        let report = resp.get("report").unwrap();
+        assert_eq!(
+            report
+                .get("size_bound")
+                .and_then(|b| b.get("exponent"))
+                .and_then(Json::as_str),
+            Some("3/2")
+        );
+        assert!(resp.get("micros").and_then(Json::as_i64).is_some());
+    }
+
+    #[test]
+    fn cache_warms_across_requests() {
+        let engine = ServeEngine::new();
+        engine.handle_line(&format!(r#"{{"cmd":"analyze","query":"{TRIANGLE}"}}"#));
+        let resp = parse(
+            &engine
+                .handle_line(r#"{"cmd":"analyze","query":"T(C,A,B) :- E(B,C), E(A,B), E(A,C)"}"#),
+        );
+        let cache = resp.get("cache_stats").unwrap();
+        assert_eq!(cache.get("hits").and_then(Json::as_i64), Some(1));
+        assert_eq!(cache.get("misses").and_then(Json::as_i64), Some(1));
+    }
+
+    #[test]
+    fn malformed_and_invalid_requests_answer_without_dying() {
+        let engine = ServeEngine::new();
+        for (line, what) in [
+            ("not json at all", "malformed request"),
+            ("{\"cmd\":17}", "string \"cmd\""),
+            ("{\"cmd\":\"frobnicate\"}", "unknown cmd"),
+            ("{\"cmd\":\"analyze\"}", "\"query\" field"),
+            (
+                "{\"cmd\":\"analyze\",\"query\":\"not a query\"}",
+                "parse error",
+            ),
+            (
+                &format!(r#"{{"v":2,"cmd":"analyze","query":"{TRIANGLE}"}}"#),
+                "unsupported protocol version",
+            ),
+            (
+                &format!(r#"{{"cmd":"analyze","query":"{TRIANGLE}","witness":0}}"#),
+                "M >= 1",
+            ),
+            ("{\"cmd\":\"batch\"}", "\"queries\" array"),
+        ] {
+            let resp = parse(&engine.handle_line(line));
+            assert_eq!(resp.get("ok"), Some(&Json::Bool(false)), "{line}");
+            let error = resp.get("error").and_then(Json::as_str).unwrap();
+            assert!(error.contains(what), "{line}: {error}");
+        }
+        // ... and the engine still serves.
+        let resp =
+            parse(&engine.handle_line(&format!(r#"{{"cmd":"analyze","query":"{TRIANGLE}"}}"#)));
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(engine.stats().errors, 8);
+    }
+
+    #[test]
+    fn batch_keeps_queries_aligned_and_caps_size() {
+        let engine = ServeEngine::new();
+        let resp = parse(&engine.handle_line(&format!(
+            r#"{{"cmd":"batch","queries":[{{"name":"tri","query":"{TRIANGLE}"}},{{"name":"bad","query":"nope"}},{{"query":"Q(X,Y) :- R(X,Y)"}}]}}"#
+        )));
+        let reports = resp.get("reports").and_then(Json::as_array).unwrap();
+        assert_eq!(reports.len(), 3);
+        assert_eq!(reports[0].get("name").and_then(Json::as_str), Some("tri"));
+        assert!(reports[1].get("error").is_some());
+        assert_eq!(reports[2].get("name").and_then(Json::as_str), Some("q2"));
+
+        let huge: Vec<String> = (0..MAX_BATCH + 1)
+            .map(|_| format!(r#"{{"query":"{TRIANGLE}"}}"#))
+            .collect();
+        let resp = parse(&engine.handle_line(&format!(
+            r#"{{"cmd":"batch","queries":[{}]}}"#,
+            huge.join(",")
+        )));
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
+        assert!(resp
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("exceeds the limit"));
+        let stats = engine.stats();
+        assert_eq!(stats.batches, 1, "the oversized batch was refused");
+        assert_eq!(stats.analyses, 3);
+    }
+
+    #[test]
+    fn stats_snapshot_counts_itself() {
+        let engine = ServeEngine::new();
+        engine.handle_line(&format!(r#"{{"cmd":"analyze","query":"{TRIANGLE}"}}"#));
+        engine.handle_line("garbage");
+        let resp = parse(&engine.handle_line(r#"{"id":9,"cmd":"stats"}"#));
+        let stats = resp.get("stats").unwrap();
+        assert_eq!(stats.get("requests").and_then(Json::as_i64), Some(3));
+        assert_eq!(stats.get("analyses").and_then(Json::as_i64), Some(1));
+        assert_eq!(stats.get("errors").and_then(Json::as_i64), Some(1));
+    }
+
+    #[test]
+    fn serve_connection_orders_pipelined_responses() {
+        let engine = ServeEngine::new().with_workers(8);
+        let mut input = String::new();
+        for i in 0..32 {
+            input.push_str(&format!(
+                r#"{{"id":{i},"cmd":"analyze","query":"{TRIANGLE}"}}"#
+            ));
+            input.push('\n');
+        }
+        input.push_str("{\"id\":32,\"cmd\":\"stats\"}\n");
+        let mut out: Vec<u8> = Vec::new();
+        engine
+            .serve_connection(io::Cursor::new(input), &mut out)
+            .unwrap();
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+        assert_eq!(lines.len(), 33);
+        for (i, line) in lines.iter().enumerate() {
+            let resp = parse(line);
+            assert_eq!(
+                resp.get("id").and_then(Json::as_i64),
+                Some(i as i64),
+                "responses must come back in request order"
+            );
+        }
+    }
+
+    #[test]
+    fn serve_connection_skips_blank_lines_and_survives_errors() {
+        let engine = ServeEngine::new();
+        let input = format!("\n\nnot json\n{{\"cmd\":\"analyze\",\"query\":\"{TRIANGLE}\"}}\n\n");
+        let mut out: Vec<u8> = Vec::new();
+        engine
+            .serve_connection(io::Cursor::new(input), &mut out)
+            .unwrap();
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+        assert_eq!(lines.len(), 2, "blank lines get no response");
+        assert!(lines[0].contains("\"ok\":false"));
+        assert!(lines[1].contains("\"ok\":true"));
+    }
+}

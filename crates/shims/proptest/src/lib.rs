@@ -2,7 +2,7 @@
 //!
 //! The build container has no crates.io access, so the workspace ships
 //! this minimal property-testing harness implementing the `proptest` API
-//! subset its tests use: the [`Strategy`] trait with `prop_map` /
+//! subset its tests use: the [`Strategy`](strategy::Strategy) trait with `prop_map` /
 //! `prop_flat_map`, range and tuple strategies, `any::<T>()`,
 //! [`collection::vec`], [`option::of`], [`sample::select`], string
 //! strategies from `.{lo,hi}`-shaped patterns, [`test_runner::TestRunner`]

@@ -186,7 +186,7 @@ impl_tuple_strategy!(A, B, C);
 impl_tuple_strategy!(A, B, C, D);
 impl_tuple_strategy!(A, B, C, D, E);
 
-/// Element-count specification for [`vec`].
+/// Element-count specification for [`vec()`].
 #[derive(Clone, Debug)]
 pub struct SizeRange {
     low: usize,
@@ -229,7 +229,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 pub struct VecStrategy<S> {
     element: S,
     size: SizeRange,

@@ -127,28 +127,18 @@ fn main() -> ExitCode {
         // consumers see the cache's effect without a side channel. The
         // line is always present (with "enabled": false under
         // --no-cache): stdout is deterministically inputs + 1 lines.
-        println!("{}", cache_stats_json(cache.as_deref()).render());
+        // The object is the same shape cq-serve embeds per response.
+        let summary = cq_engine::json::obj([(
+            "cache_stats",
+            cq_engine::serve::cache_stats_json(cache.as_deref()),
+        )]);
+        println!("{}", summary.render());
     }
     if failed {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
     }
-}
-
-fn cache_stats_json(cache: Option<&LpCache>) -> cq_engine::Json {
-    use cq_engine::{json::obj, Json};
-    let stats = cache.map(cq_engine::LpCache::stats).unwrap_or_default();
-    obj([(
-        "cache_stats",
-        obj([
-            ("enabled", Json::Bool(cache.is_some())),
-            ("hits", Json::int(stats.hits as usize)),
-            ("misses", Json::int(stats.misses as usize)),
-            ("evictions", Json::int(stats.evictions as usize)),
-            ("entries", Json::int(stats.entries as usize)),
-        ]),
-    )])
 }
 
 fn parse_args(args: &[String]) -> Result<Args, String> {

@@ -1,0 +1,258 @@
+//! `cq-serve` — the long-lived analysis daemon.
+//!
+//! Speaks the newline-delimited JSON protocol of `docs/PROTOCOL.md`
+//! (analyze / batch / stats requests, one response line each) with every
+//! request routed through one process-wide warm
+//! [`cq_engine::LpCache`], so repeated and structurally isomorphic
+//! queries skip their LP solves entirely.
+//!
+//! ```text
+//! cq-serve                         # serve stdin/stdout, exit on EOF
+//! cq-serve --socket /run/cq.sock   # serve a Unix-domain socket
+//! cq-serve --threads 4             # cap the per-connection worker pool
+//! cq-serve --no-cache              # cold runs (benchmark baseline)
+//! ```
+//!
+//! In socket mode each accepted connection gets its own thread over the
+//! shared engine; SIGTERM/SIGINT (or EOF on stdin in pipe mode) shut the
+//! daemon down gracefully — in-flight requests drain, the socket file is
+//! unlinked, and the exit code is 0. A client disconnecting mid-stream
+//! only ends that connection; the daemon keeps serving.
+
+use cq_engine::ServeEngine;
+use std::collections::HashMap;
+use std::io::{self, BufReader, Read, Write as _};
+use std::net::Shutdown;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::time::Duration;
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn request_shutdown(_signal: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Installs [`request_shutdown`] for SIGINT (2) and SIGTERM (15) via the
+/// C `signal` entry point — the offline build has no `libc` crate, but
+/// std already links the platform libc that provides it.
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    #[allow(clippy::fn_to_numeric_cast_any)]
+    let handler = request_shutdown as *const () as usize;
+    unsafe {
+        signal(2, handler); // SIGINT
+        signal(15, handler); // SIGTERM
+    }
+}
+
+struct Args {
+    socket: Option<String>,
+    threads: Option<usize>,
+    no_cache: bool,
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            eprintln!("usage: cq-serve [--socket PATH] [--threads N] [--no-cache]");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut engine = ServeEngine::new();
+    if let Some(threads) = args.threads {
+        engine = engine.with_workers(threads);
+    }
+    if args.no_cache {
+        engine = engine.without_cache();
+    }
+    install_signal_handlers();
+
+    let served = match &args.socket {
+        None => serve_stdio(&engine),
+        Some(path) => serve_socket(&engine, path),
+    };
+    match served {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("cq-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Adapts stdin for the shutdown flag: a pump thread does the blocking
+/// reads (a process-directed SIGTERM may land on any thread, so a read
+/// blocked on a pipe cannot be counted on to wake), while this end
+/// polls the channel and turns `SHUTDOWN` into EOF — after which the
+/// engine drains in-flight requests and the daemon exits cleanly, even
+/// though the pump may still be parked in `read`.
+struct StdinPump {
+    rx: mpsc::Receiver<Vec<u8>>,
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl StdinPump {
+    fn spawn() -> StdinPump {
+        let (tx, rx) = mpsc::sync_channel::<Vec<u8>>(4);
+        std::thread::spawn(move || {
+            let mut stdin = io::stdin().lock();
+            let mut chunk = [0u8; 8192];
+            loop {
+                match stdin.read(&mut chunk) {
+                    Ok(0) | Err(_) => break, // EOF: drop tx, reader sees EOF
+                    Ok(n) => {
+                        if tx.send(chunk[..n].to_vec()).is_err() {
+                            break;
+                        }
+                    }
+                }
+            }
+        });
+        StdinPump {
+            rx,
+            buf: Vec::new(),
+            pos: 0,
+        }
+    }
+}
+
+impl Read for StdinPump {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        while self.pos >= self.buf.len() {
+            if SHUTDOWN.load(Ordering::SeqCst) {
+                return Ok(0); // signal received: present EOF, drain, exit
+            }
+            match self.rx.recv_timeout(Duration::from_millis(25)) {
+                Ok(chunk) => {
+                    self.buf = chunk;
+                    self.pos = 0;
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => continue,
+                Err(mpsc::RecvTimeoutError::Disconnected) => return Ok(0),
+            }
+        }
+        let n = out.len().min(self.buf.len() - self.pos);
+        out[..n].copy_from_slice(&self.buf[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// Pipe mode: one connection on stdin/stdout; EOF or SIGTERM/SIGINT
+/// ends the daemon (in-flight requests drain either way).
+fn serve_stdio(engine: &ServeEngine) -> io::Result<()> {
+    let stdin = BufReader::new(StdinPump::spawn());
+    // Not the stdout lock: StdoutLock is !Send, and the engine's writer
+    // half runs on its own thread. Each response is flushed explicitly.
+    let stdout = io::stdout();
+    engine.serve_connection(stdin, stdout)
+}
+
+/// Socket mode: accept until SIGTERM/SIGINT, one thread per connection
+/// over the shared engine, unlink the socket on the way out.
+fn serve_socket(engine: &ServeEngine, path: &str) -> io::Result<()> {
+    // A previous daemon instance that was SIGKILLed leaves a stale
+    // socket file behind; binding over it needs the unlink first. A
+    // *live* daemon on the same path is indistinguishable here — the
+    // deployment owns the pathname either way.
+    if std::fs::metadata(path).is_ok() {
+        std::fs::remove_file(path)?;
+    }
+    let listener = UnixListener::bind(path)?;
+    listener.set_nonblocking(true)?; // poll so shutdown is observed
+    eprintln!("cq-serve: listening on {path}");
+
+    // Live-connection registry: on shutdown, half-close (read side)
+    // every resident connection so its thread — likely parked in
+    // read_line — sees EOF, drains its in-flight requests, flushes the
+    // responses, and exits. Without this, scope-join would wait on
+    // blocked readers forever and SIGTERM would hang the daemon.
+    let connections: Mutex<HashMap<u64, UnixStream>> = Mutex::new(HashMap::new());
+    let mut next_id: u64 = 0;
+
+    let result = std::thread::scope(|scope| -> io::Result<()> {
+        while !SHUTDOWN.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _addr)) => {
+                    // Accepted sockets are blocking (O_NONBLOCK does not
+                    // inherit through accept on Linux).
+                    let id = next_id;
+                    next_id += 1;
+                    if let Ok(clone) = stream.try_clone() {
+                        connections.lock().expect("registry").insert(id, clone);
+                    }
+                    let connections = &connections;
+                    scope.spawn(move || {
+                        let reader = BufReader::new(&stream);
+                        let mut writer = &stream;
+                        if let Err(e) = engine.serve_connection(reader, writer) {
+                            // The peer vanished mid-response; their loss.
+                            eprintln!("cq-serve: connection ended: {e}");
+                        }
+                        let _ = writer.flush();
+                        connections.lock().expect("registry").remove(&id);
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        for stream in connections.lock().expect("registry").values() {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+        Ok(())
+        // Scope exit joins the connection threads: in-flight requests
+        // drain before the daemon reports a clean shutdown.
+    });
+    let _ = std::fs::remove_file(path);
+    eprintln!("cq-serve: shut down");
+    result
+}
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut socket = None;
+    let mut threads = None;
+    let mut no_cache = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--socket" => {
+                i += 1;
+                socket = Some(args.get(i).ok_or("--socket needs a path")?.to_string());
+            }
+            "--threads" => {
+                i += 1;
+                let n: usize = args
+                    .get(i)
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|_| "--threads needs an integer".to_string())?;
+                if n == 0 {
+                    return Err("--threads needs N >= 1".to_string());
+                }
+                threads = Some(n);
+            }
+            "--no-cache" => no_cache = true,
+            other => return Err(format!("unexpected argument {other}")),
+        }
+        i += 1;
+    }
+    Ok(Args {
+        socket,
+        threads,
+        no_cache,
+    })
+}

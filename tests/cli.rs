@@ -193,6 +193,89 @@ fn no_cache_text_mode_output_is_unchanged() {
     assert!(!plain.contains("cache_stats"), "text mode has no summary");
 }
 
+/// The README's `--json` schema section is executable documentation:
+/// every key it documents — in the per-query object and in the trailing
+/// `cache_stats` summary — must appear in the binary's actual output.
+/// (The schema predating a field, as happened to the PR 2 cache
+/// counters, now fails this test instead of lingering.)
+#[test]
+fn json_schema_keys_match_readme() {
+    let readme =
+        std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/README.md")).unwrap();
+    let section = readme
+        .split("### `--json` schema")
+        .nth(1)
+        .expect("README documents the --json schema")
+        .split("\n## ")
+        .next()
+        .unwrap();
+    // Collect documented keys: every `"key":` occurrence inside the
+    // section's ```jsonc blocks (the examples pack several per line).
+    let mut keys: Vec<String> = Vec::new();
+    let mut in_block = false;
+    for line in section.lines() {
+        if line.starts_with("```") {
+            in_block = !in_block;
+            continue;
+        }
+        if !in_block {
+            continue;
+        }
+        // Strip jsonc comments so quoted words in them don't count.
+        let code = line.split("//").next().unwrap();
+        let mut parts = code.split('"');
+        parts.next(); // before the first quote
+        while let (Some(candidate), Some(after)) = (parts.next(), parts.next()) {
+            if after.trim_start().starts_with(':') {
+                keys.push(candidate.to_owned());
+            }
+        }
+    }
+    keys.sort();
+    keys.dedup();
+    assert!(keys.len() >= 30, "schema section lost its keys? {keys:?}");
+    for expected in [
+        "cache_stats",
+        "hits",
+        "misses",
+        "evictions",
+        "entries",
+        "exponent",
+        "fds_hold",
+    ] {
+        assert!(
+            keys.iter().any(|k| k == expected),
+            "README schema section no longer documents {expected:?}"
+        );
+    }
+
+    // An invocation that exercises every optional section: witness and
+    // database checks on a simple-FD query.
+    let dir = std::env::temp_dir();
+    let qpath = dir.join("cq_schema_keys.cq");
+    let dpath = dir.join("cq_schema_keys.db");
+    std::fs::write(&qpath, "T(X,Y,Z) :- E(X,Y), E(Y,Z), E(X,Z)\n").unwrap();
+    std::fs::write(&dpath, "relation E\na b\nb c\na c\n").unwrap();
+    let (stdout, _, ok) = run_cli(
+        &[
+            qpath.to_str().unwrap(),
+            "--json",
+            "--witness",
+            "2",
+            "--db",
+            dpath.to_str().unwrap(),
+        ],
+        None,
+    );
+    assert!(ok);
+    for key in &keys {
+        assert!(
+            stdout.contains(&format!("\"{key}\":")),
+            "README documents key {key:?} but cq-analyze --json never emits it:\n{stdout}"
+        );
+    }
+}
+
 #[test]
 fn witness_zero_is_rejected_cleanly() {
     let (_, stderr, ok) = run_cli(&["-", "--witness", "0"], Some("Q(X,Y) :- R(X,Y)\n"));

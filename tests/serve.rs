@@ -1,0 +1,429 @@
+//! Integration tests for the `cq-serve` daemon.
+//!
+//! Everything here drives the real binary: the stdin/stdout transport,
+//! the Unix-socket transport, the error paths the protocol promises
+//! never kill the process, the warm-cache serving win, and — the
+//! anti-drift anchor — a replay of every request/response pair in
+//! `docs/PROTOCOL.md` against the daemon's actual output.
+
+use cq_engine::Json;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::os::unix::net::UnixStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn daemon(args: &[&str]) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_cq-serve"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn cq-serve")
+}
+
+/// Runs one stdin/stdout daemon session to EOF: writes every request
+/// line (from a thread, so a deep response pipe can't deadlock the
+/// writer), returns stdout lines and whether the daemon exited cleanly.
+fn run_session(args: &[&str], requests: &[String]) -> (Vec<String>, bool) {
+    let mut child = daemon(args);
+    let mut stdin = child.stdin.take().unwrap();
+    let input = requests.join("\n") + "\n";
+    let writer = std::thread::spawn(move || {
+        let _ = stdin.write_all(input.as_bytes());
+        // dropping stdin sends EOF
+    });
+    let output = child.wait_with_output().expect("wait cq-serve");
+    writer.join().unwrap();
+    let stdout = String::from_utf8_lossy(&output.stdout).into_owned();
+    (
+        stdout.lines().map(str::to_owned).collect(),
+        output.status.success(),
+    )
+}
+
+/// Zeroes every `"micros":N` occurrence — the one field the protocol
+/// documents as nondeterministic.
+fn normalize_micros(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut rest = line;
+    while let Some(at) = rest.find("\"micros\":") {
+        let digits_from = at + "\"micros\":".len();
+        out.push_str(&rest[..digits_from]);
+        out.push('0');
+        rest = rest[digits_from..].trim_start_matches(|c: char| c.is_ascii_digit());
+    }
+    out.push_str(rest);
+    out
+}
+
+fn parse(line: &str) -> Json {
+    Json::parse(line).unwrap_or_else(|e| panic!("daemon emitted invalid JSON ({e}): {line}"))
+}
+
+#[test]
+fn protocol_doc_examples_match_daemon_output() {
+    let doc = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/docs/PROTOCOL.md"))
+        .expect("docs/PROTOCOL.md exists");
+    let mut requests: Vec<String> = Vec::new();
+    let mut expected: Vec<String> = Vec::new();
+    for line in doc.lines() {
+        if let Some(request) = line.strip_prefix("→ ") {
+            requests.push(request.to_owned());
+        } else if let Some(response) = line.strip_prefix("← ") {
+            expected.push(response.to_owned());
+        }
+    }
+    assert_eq!(
+        requests.len(),
+        expected.len(),
+        "unpaired example in PROTOCOL.md"
+    );
+    assert!(requests.len() >= 8, "the documented session shrank?");
+
+    // The documented session ran against `cq-serve --threads 1` (a
+    // deterministic, strictly sequential daemon); replay it the same way.
+    let (lines, ok) = run_session(&["--threads", "1"], &requests);
+    assert!(ok, "daemon must exit cleanly on EOF");
+    assert_eq!(lines.len(), expected.len(), "one response per request");
+    for (i, (actual, documented)) in lines.iter().zip(&expected).enumerate() {
+        assert_eq!(
+            normalize_micros(actual),
+            normalize_micros(documented),
+            "response #{i} drifted from docs/PROTOCOL.md — update the doc \
+             session (and keep `micros` as the only nondeterministic field)"
+        );
+    }
+}
+
+#[test]
+fn error_paths_leave_the_daemon_serving() {
+    let triangle = r#"{"id":"fine","cmd":"analyze","query":"S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z)"}"#;
+    let oversized: String = {
+        let entries: Vec<String> = (0..cq_engine::MAX_BATCH + 1)
+            .map(|_| r#"{"query":"Q(X,Y) :- R(X,Y)"}"#.to_owned())
+            .collect();
+        format!(
+            r#"{{"id":"big","cmd":"batch","queries":[{}]}}"#,
+            entries.join(",")
+        )
+    };
+    let requests = vec![
+        "{definitely not json".to_owned(),
+        r#"{"id":"bad-q","cmd":"analyze","query":"not a query"}"#.to_owned(),
+        oversized,
+        r#"{"id":"bad-cmd","cmd":"explode"}"#.to_owned(),
+        triangle.to_owned(),
+        r#"{"id":"s","cmd":"stats"}"#.to_owned(),
+    ];
+    // --threads 1 so the trailing stats snapshot deterministically
+    // reflects every earlier request (workers would race the counters).
+    let (lines, ok) = run_session(&["--threads", "1"], &requests);
+    assert!(ok, "errors must not change the exit status of a clean EOF");
+    assert_eq!(lines.len(), 6, "every request answered: {lines:#?}");
+
+    for (i, what) in [
+        (0, "malformed request"),
+        (1, "parse error"),
+        (2, "exceeds the limit"),
+        (3, "unknown cmd"),
+    ] {
+        let resp = parse(&lines[i]);
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(false)), "{}", lines[i]);
+        let error = resp.get("error").and_then(Json::as_str).unwrap();
+        assert!(error.contains(what), "response #{i}: {error}");
+    }
+    // ... and the daemon still serves real work afterwards.
+    let resp = parse(&lines[4]);
+    assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(resp.get("id").and_then(Json::as_str), Some("fine"));
+    let stats = parse(&lines[5]);
+    let counters = stats.get("stats").unwrap();
+    assert_eq!(counters.get("errors").and_then(Json::as_i64), Some(4));
+    assert_eq!(counters.get("requests").and_then(Json::as_i64), Some(6));
+}
+
+/// The serving story's acceptance test: 100+ sequential requests over
+/// one connection, reports bit-identical to one-shot `cq-analyze`, and
+/// the warm cache demonstrably answering LPs.
+#[test]
+fn hundred_requests_one_connection_warm_cache_matches_cli() {
+    // 100 queries from 4 structural templates — relabelings of the
+    // triangle and of a 2-path, the template-generated workload shape.
+    let texts: Vec<String> = (0..100)
+        .map(|i| match i % 4 {
+            0 => "S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z)".to_owned(),
+            1 => format!("S(C,A,B) :- E{0}(B,C), E{0}(A,B), E{0}(A,C)", i / 4),
+            2 => "Q(X,Y,Z) :- S(X,Y), T(Y,Z)".to_owned(),
+            _ => format!("P(U,V,W) :- F{0}(U,V), G{0}(V,W)", i / 4),
+        })
+        .collect();
+
+    // One-shot ground truth: each query through its own cq-analyze
+    // invocation (fresh process, fresh cache — nothing shared).
+    let dir = std::env::temp_dir().join(format!("cq_serve_vs_cli_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut expected: Vec<String> = Vec::new();
+    let paths: Vec<String> = texts
+        .iter()
+        .enumerate()
+        .map(|(i, text)| {
+            let path = dir.join(format!("q{i}.cq"));
+            std::fs::write(&path, format!("{text}\n")).unwrap();
+            path.to_str().unwrap().to_owned()
+        })
+        .collect();
+    // (one batch invocation with --no-cache = 100 independent solves,
+    // and the per-query lines are position-aligned with the inputs)
+    let output = Command::new(env!("CARGO_BIN_EXE_cq-analyze"))
+        .args(&paths)
+        .args(["--json", "--no-cache"])
+        .output()
+        .expect("run cq-analyze");
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    expected.extend(stdout.lines().take(100).map(str::to_owned));
+    assert_eq!(expected.len(), 100);
+
+    // The same 100 queries as sequential requests over ONE daemon
+    // connection, names matching the file paths so reports align.
+    let requests: Vec<String> = texts
+        .iter()
+        .zip(&paths)
+        .enumerate()
+        .map(|(i, (text, path))| {
+            Json::Obj(vec![
+                ("id".to_owned(), Json::Int(i as i64)),
+                ("cmd".to_owned(), Json::str("analyze")),
+                ("name".to_owned(), Json::str(path)),
+                ("query".to_owned(), Json::str(text)),
+            ])
+            .render()
+        })
+        .chain([r#"{"id":"done","cmd":"stats"}"#.to_owned()])
+        .collect();
+    let (lines, ok) = run_session(&["--threads", "1"], &requests);
+    assert!(ok);
+    assert_eq!(lines.len(), 101);
+
+    for (i, line) in lines[..100].iter().enumerate() {
+        let resp = parse(line);
+        assert_eq!(resp.get("id").and_then(Json::as_i64), Some(i as i64));
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{line}");
+        let served = resp.get("report").expect("report present").render();
+        assert_eq!(
+            served, expected[i],
+            "daemon report #{i} must be bit-identical to one-shot cq-analyze"
+        );
+    }
+
+    // The warm cache did real work: far more hits than isomorphism
+    // classes, zero evictions at this scale.
+    let stats = parse(&lines[100]);
+    let cache = stats.get("cache_stats").expect("cache_stats present");
+    let hits = cache.get("hits").and_then(Json::as_i64).unwrap();
+    let misses = cache.get("misses").and_then(Json::as_i64).unwrap();
+    assert!(hits > 0, "acceptance: cache_hits > 0 ({cache:?})");
+    assert!(
+        hits >= 60,
+        "a template workload should be hit-dominated: {cache:?}"
+    );
+    assert!(misses < 100, "{cache:?}");
+    assert_eq!(cache.get("evictions").and_then(Json::as_i64), Some(0));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stdin_disconnect_mid_request_is_a_clean_eof() {
+    let mut child = daemon(&[]);
+    let mut stdin = child.stdin.take().unwrap();
+    // One full request, then half a request and a vanishing client.
+    stdin
+        .write_all(b"{\"id\":1,\"cmd\":\"analyze\",\"query\":\"Q(X,Y) :- R(X,Y)\"}\n")
+        .unwrap();
+    stdin.write_all(b"{\"id\":2,\"cmd\":\"anal").unwrap();
+    drop(stdin);
+    let output = child.wait_with_output().unwrap();
+    assert!(output.status.success(), "mid-request EOF is not a crash");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    // The complete request was answered; the truncated line (no
+    // newline ever arrived, but read_line returns it at EOF) gets its
+    // malformed-request response rather than silence.
+    assert_eq!(lines.len(), 2, "{stdout}");
+    assert!(lines[0].contains("\"ok\":true"), "{stdout}");
+    assert!(lines[1].contains("malformed request"), "{stdout}");
+}
+
+#[test]
+fn stdio_mode_sigterm_is_a_graceful_exit() {
+    let mut child = daemon(&[]);
+    let mut stdin = child.stdin.take().unwrap();
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    stdin
+        .write_all(b"{\"id\":1,\"cmd\":\"analyze\",\"query\":\"Q(X,Y) :- R(X,Y)\"}\n")
+        .unwrap();
+    let mut response = String::new();
+    stdout.read_line(&mut response).unwrap();
+    assert!(response.contains("\"ok\":true"), "{response}");
+
+    // stdin stays OPEN: the daemon must notice the signal anyway.
+    let killed = Command::new("sh")
+        .args(["-c", &format!("kill -TERM {}", child.id())])
+        .status()
+        .unwrap();
+    assert!(killed.success());
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let status = loop {
+        if let Some(status) = child.try_wait().unwrap() {
+            break status;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "pipe-mode daemon ignored SIGTERM with stdin still open"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(status.success(), "SIGTERM exits cleanly, got {status:?}");
+    drop(stdin);
+}
+
+/// Polls until the daemon's socket file accepts connections.
+fn connect_when_ready(path: &std::path::Path) -> UnixStream {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if let Ok(stream) = UnixStream::connect(path) {
+            return stream;
+        }
+        assert!(Instant::now() < deadline, "daemon never bound {path:?}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn request_over(stream: &mut UnixStream, line: &str) -> String {
+    stream.write_all(line.as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut response = String::new();
+    reader.read_line(&mut response).unwrap();
+    response.trim_end().to_owned()
+}
+
+#[test]
+fn socket_mode_survives_disconnects_and_sigterm() {
+    let path = std::env::temp_dir().join(format!("cq_serve_test_{}.sock", std::process::id()));
+    let mut child = daemon(&["--socket", path.to_str().unwrap()]);
+
+    // Connection 1: request/response, then vanish mid-request.
+    let mut c1 = connect_when_ready(&path);
+    let resp = request_over(
+        &mut c1,
+        r#"{"id":1,"cmd":"analyze","query":"Q(X,Y) :- R(X,Y)"}"#,
+    );
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    c1.write_all(b"{\"id\":2,\"cmd\":\"anal").unwrap();
+    drop(c1); // abrupt disconnect with a request half-sent
+
+    // Connection 2: the daemon is still serving, cache still warm
+    // (process-wide counters: connection 1's solve is this hit's miss).
+    let mut c2 = connect_when_ready(&path);
+    let resp = request_over(
+        &mut c2,
+        r#"{"id":3,"cmd":"analyze","query":"P(A,B) :- S(A,B)"}"#,
+    );
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    let parsed = parse(&resp);
+    let hits = parsed
+        .get("cache_stats")
+        .and_then(|c| c.get("hits"))
+        .and_then(Json::as_i64)
+        .unwrap();
+    assert!(
+        hits >= 1,
+        "isomorphic query from a new connection hits: {resp}"
+    );
+    drop(c2);
+
+    // Connection 3 stays OPEN and idle across the SIGTERM below: the
+    // daemon must half-close it rather than hang joining its reader.
+    let mut c3 = connect_when_ready(&path);
+    let resp = request_over(&mut c3, r#"{"id":4,"cmd":"stats"}"#);
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+
+    // SIGTERM: graceful shutdown, socket unlinked, exit code 0.
+    let pid = child.id().to_string();
+    let killed = Command::new("sh")
+        .args(["-c", &format!("kill -TERM {pid}")])
+        .status()
+        .expect("send SIGTERM");
+    assert!(killed.success());
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let status = loop {
+        if let Some(status) = child.try_wait().unwrap() {
+            break status;
+        }
+        assert!(Instant::now() < deadline, "daemon ignored SIGTERM");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(status.success(), "SIGTERM is a clean exit, got {status:?}");
+    assert!(!path.exists(), "socket file must be unlinked on shutdown");
+    // The idle connection was half-closed by the shutdown: reading it
+    // now yields EOF, not a hang.
+    let mut rest = String::new();
+    c3.read_to_string(&mut rest).unwrap();
+    assert_eq!(rest, "", "no stray bytes after shutdown");
+    drop(c3);
+    let mut stderr = String::new();
+    child
+        .stderr
+        .take()
+        .unwrap()
+        .read_to_string(&mut stderr)
+        .unwrap();
+    assert!(stderr.contains("shut down"), "{stderr}");
+}
+
+#[test]
+fn pipelined_socket_requests_come_back_in_order() {
+    let path = std::env::temp_dir().join(format!("cq_serve_pipe_{}.sock", std::process::id()));
+    let mut child = daemon(&["--socket", path.to_str().unwrap()]);
+    let mut stream = connect_when_ready(&path);
+
+    // Fire 40 requests without reading a single response (pipelining),
+    // mixing shapes so work items take unequal time.
+    let mut blob = String::new();
+    for i in 0..40 {
+        let query = if i % 2 == 0 {
+            "S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z)"
+        } else {
+            "Q(V0,V1,V2,V3) :- A(V0,V1), B(V1,V2), C(V2,V3), D(V3,V0)"
+        };
+        blob.push_str(&format!(
+            r#"{{"id":{i},"cmd":"analyze","query":"{query}"}}"#
+        ));
+        blob.push('\n');
+    }
+    stream.write_all(blob.as_bytes()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    for i in 0..40 {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let resp = parse(line.trim_end());
+        assert_eq!(
+            resp.get("id").and_then(Json::as_i64),
+            Some(i),
+            "responses must arrive in request order even when pipelined"
+        );
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+    }
+    // Close BOTH fd clones (reader holds one) so the daemon's
+    // connection thread sees EOF and a graceful join can finish.
+    drop(reader);
+    drop(stream);
+    let _ = Command::new("sh")
+        .args(["-c", &format!("kill -TERM {}", child.id())])
+        .status();
+    let status = child.wait().unwrap();
+    assert!(status.success());
+}
