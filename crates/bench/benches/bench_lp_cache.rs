@@ -9,7 +9,7 @@
 //! solve plus 99 canonicalizations; the uncached run pays 100 solves.
 
 use cq_bench::{cycle_query, isomorphic_workload, random_query, Workload};
-use cq_engine::{BatchAnalyzer, LpCache, ReportOptions};
+use cq_engine::{AnalysisSession, BatchAnalyzer, LpCache, ReportOptions};
 use cq_hypergraph::canonical_key;
 use cq_relation::FdSet;
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -80,6 +80,27 @@ fn bench(c: &mut Criterion) {
                 .len()
         })
     });
+
+    // Note: a warm-cache hit bypasses the solver *entirely* — zero
+    // pivots, zero dense/sparse solves — it is not merely "a faster
+    // solve". The session's solver counters prove it: whatever engine
+    // the Auto heuristic would have picked, a hit never reaches the
+    // engine-selection layer at all.
+    {
+        let (name, q, fds) = &workload[0];
+        let session =
+            AnalysisSession::from_parts(name, q.clone(), fds.clone()).with_cache(Arc::clone(&warm));
+        session.size_bound();
+        let stats = session.stats();
+        assert!(stats.cache_hits >= 1, "warm cache must hit: {stats:?}");
+        assert_eq!(
+            stats.lp_dense_solves + stats.lp_sparse_solves,
+            0,
+            "a cache hit must bypass the solver entirely: {stats:?}"
+        );
+        assert_eq!(stats.lp_pivots, 0, "{stats:?}");
+        println!("lp_cache/warm_hit_bypasses_solver: 0 solves, 0 pivots (verified)");
+    }
 
     // The key computation in isolation: what a lookup costs before the
     // map is even consulted.

@@ -33,7 +33,7 @@
 
 use crate::query::{ConjunctiveQuery, VarFd, VarIdx};
 use cq_arith::{BigInt, Rational};
-use cq_lp::{LinearProgram, Relation as LpRel};
+use cq_lp::{LinearProgram, Relation as LpRel, SolveStats};
 use cq_util::BitSet;
 
 /// A coloring: one color set per query variable.
@@ -157,6 +157,9 @@ pub struct ColorNumber {
     pub coloring: Coloring,
     /// The per-variable LP weights `x_i`.
     pub weights: Vec<Rational>,
+    /// Solver observability for the LP solve that produced this value
+    /// (zeroed when the value was served from a cache — no solve ran).
+    pub lp_stats: SolveStats,
 }
 
 /// Computes `C(Q)` for a query **without functional dependencies** via
@@ -198,6 +201,7 @@ pub fn color_number_lp(q: &ConjunctiveQuery) -> ColorNumber {
         value: sol.objective,
         coloring,
         weights,
+        lp_stats: sol.stats,
     };
     debug_assert_eq!(
         cn.coloring.color_number(q).as_ref(),

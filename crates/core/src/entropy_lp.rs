@@ -18,9 +18,15 @@
 //!   optimum equals the color number `C(Q)` exactly, for arbitrary FDs.
 //!
 //! Both LPs are exponential in `|var(Q)|` by construction (the paper
-//! says as much); the practical ceiling of the exact solver is around
-//! 6–7 variables for Proposition 6.9 (the elemental family has
-//! `k(k−1)·2^{k−3}` inequalities) and 8–10 for Proposition 6.10.
+//! says as much), but their constraints are *sparse* — an elemental
+//! inequality touches at most 4 of the `2^k − 1` variables — so above
+//! the dense tableau's comfort zone `cq_lp` routes them to the sparse
+//! revised simplex automatically (see `docs/SOLVER.md`). With the dense
+//! tableau the practical ceiling was about 6–7 variables for
+//! Proposition 6.9 (the elemental family has `k(k−1)·2^{k−3}`
+//! inequalities) and 8–10 for Proposition 6.10; the sparse engine moves
+//! both up by roughly two variables at interactive latencies — the
+//! engine-level caps live at `cq_engine::session`.
 //!
 //! ```
 //! use cq_core::{chase, color_number_entropy_lp, entropy_upper_bound,
@@ -45,11 +51,15 @@
 
 use crate::query::{ConjunctiveQuery, VarFd};
 use cq_arith::Rational;
-use cq_lp::{LinearProgram, Relation as LpRel, VarId};
+use cq_lp::{LinearProgram, Relation as LpRel, SolveStats, VarId};
 use cq_util::{mask_from, popcount, subsets_of};
 
-/// Hard cap on variables (LP size `2^k − 1`).
-pub const MAX_ENTROPY_LP_VARS: usize = 16;
+/// Hard cap on variables (the LP needs `2^k − 1` columns, so this is a
+/// memory bound, not a speed estimate — raised from 16 when the sparse
+/// revised simplex replaced the dense tableau on these programs; the
+/// *practical* per-program ceilings are the advisory caps in
+/// `cq_engine::session`, which warn instead of erroring).
+pub const MAX_ENTROPY_LP_VARS: usize = 20;
 
 struct EntropyLpBuilder {
     lp: LinearProgram,
@@ -109,50 +119,51 @@ impl EntropyLpBuilder {
             }
         }
     }
-}
 
-/// Proposition 6.9: the Shannon-inequality upper bound `s(Q)` on the
-/// worst-case size-increase exponent, for arbitrary FDs. Apply to
-/// `chase(Q)` (the proposition assumes `Q = chase(Q)`).
-pub fn entropy_upper_bound(q: &ConjunctiveQuery, var_fds: &[VarFd]) -> Rational {
-    let mut b = EntropyLpBuilder::new(q);
-    b.add_query_structure(q, var_fds);
-    let k = b.k;
-    let full: u32 = ((1u64 << k) - 1) as u32;
-    // H(X_i | X_{[k]-i}) >= 0
-    for i in 0..k {
-        let rest = full & !(1 << i);
-        b.constraint(&[(full, 1), (rest, -1)], LpRel::Ge, Rational::zero());
-    }
-    // I(X_i; X_j | X_S) >= 0 for all i<j, S ⊆ [k]-{i,j}
-    for i in 0..k {
-        for j in i + 1..k {
-            let others = full & !(1 << i) & !(1 << j);
-            for s in subsets_of(others) {
-                b.constraint(
-                    &[
-                        (s | (1 << i), 1),
-                        (s | (1 << j), 1),
-                        (s, -1),
-                        (s | (1 << i) | (1 << j), -1),
-                    ],
-                    LpRel::Ge,
-                    Rational::zero(),
-                );
+    /// The elemental Shannon inequalities of Proposition 6.9:
+    /// `H(X_i | X_{[k]−i}) ≥ 0` and `I(X_i; X_j | X_S) ≥ 0`.
+    fn add_elemental_inequalities(&mut self) {
+        let k = self.k;
+        let full: u32 = ((1u64 << k) - 1) as u32;
+        for i in 0..k {
+            let rest = full & !(1 << i);
+            self.constraint(&[(full, 1), (rest, -1)], LpRel::Ge, Rational::zero());
+        }
+        for i in 0..k {
+            for j in i + 1..k {
+                let others = full & !(1 << i) & !(1 << j);
+                for s in subsets_of(others) {
+                    self.constraint(
+                        &[
+                            (s | (1 << i), 1),
+                            (s | (1 << j), 1),
+                            (s, -1),
+                            (s | (1 << i) | (1 << j), -1),
+                        ],
+                        LpRel::Ge,
+                        Rational::zero(),
+                    );
+                }
             }
         }
     }
-    let sol = b.lp.solve();
-    assert!(
-        sol.is_optimal(),
-        "Proposition 6.9 LP is feasible and bounded"
-    );
-    sol.objective
 }
 
-/// Proposition 6.10: the color number `C(Q)` as an entropy LP with
-/// nonnegative I-measure atoms, for arbitrary FDs. Apply to `chase(Q)`.
-pub fn color_number_entropy_lp(q: &ConjunctiveQuery, var_fds: &[VarFd]) -> Rational {
+/// Builds (without solving) the Proposition 6.9 linear program: maximize
+/// `h(u_0)` under atom normalizations, FD equalities and the elemental
+/// Shannon inequalities. Exposed so benches and the differential test
+/// layer can hand the *same* program to several solver engines.
+pub fn build_entropy_upper_lp(q: &ConjunctiveQuery, var_fds: &[VarFd]) -> LinearProgram {
+    let mut b = EntropyLpBuilder::new(q);
+    b.add_query_structure(q, var_fds);
+    b.add_elemental_inequalities();
+    b.lp
+}
+
+/// Builds (without solving) the Proposition 6.10 linear program:
+/// maximize `h(u_0)` under atom normalizations, FD equalities and
+/// nonnegativity of every I-measure atom.
+pub fn build_color_number_entropy_lp(q: &ConjunctiveQuery, var_fds: &[VarFd]) -> LinearProgram {
     let mut b = EntropyLpBuilder::new(q);
     b.add_query_structure(q, var_fds);
     let k = b.k;
@@ -169,12 +180,48 @@ pub fn color_number_entropy_lp(q: &ConjunctiveQuery, var_fds: &[VarFd]) -> Ratio
             .collect();
         b.constraint(&terms, LpRel::Ge, Rational::zero());
     }
-    let sol = b.lp.solve();
+    b.lp
+}
+
+/// Proposition 6.9: the Shannon-inequality upper bound `s(Q)` on the
+/// worst-case size-increase exponent, for arbitrary FDs. Apply to
+/// `chase(Q)` (the proposition assumes `Q = chase(Q)`).
+pub fn entropy_upper_bound(q: &ConjunctiveQuery, var_fds: &[VarFd]) -> Rational {
+    entropy_upper_bound_with_stats(q, var_fds).0
+}
+
+/// As [`entropy_upper_bound`], also returning the solver's per-solve
+/// stats (engine, pivots, refactorizations) for observability layers.
+pub fn entropy_upper_bound_with_stats(
+    q: &ConjunctiveQuery,
+    var_fds: &[VarFd],
+) -> (Rational, SolveStats) {
+    let sol = build_entropy_upper_lp(q, var_fds).solve();
+    assert!(
+        sol.is_optimal(),
+        "Proposition 6.9 LP is feasible and bounded"
+    );
+    (sol.objective, sol.stats)
+}
+
+/// Proposition 6.10: the color number `C(Q)` as an entropy LP with
+/// nonnegative I-measure atoms, for arbitrary FDs. Apply to `chase(Q)`.
+pub fn color_number_entropy_lp(q: &ConjunctiveQuery, var_fds: &[VarFd]) -> Rational {
+    color_number_entropy_lp_with_stats(q, var_fds).0
+}
+
+/// As [`color_number_entropy_lp`], also returning the solver's
+/// per-solve stats.
+pub fn color_number_entropy_lp_with_stats(
+    q: &ConjunctiveQuery,
+    var_fds: &[VarFd],
+) -> (Rational, SolveStats) {
+    let sol = build_color_number_entropy_lp(q, var_fds).solve();
     assert!(
         sol.is_optimal(),
         "Proposition 6.10 LP is feasible and bounded"
     );
-    sol.objective
+    (sol.objective, sol.stats)
 }
 
 /// Proposition 6.9 strengthened with the **Zhang–Yeung non-Shannon
@@ -195,30 +242,9 @@ pub fn color_number_entropy_lp(q: &ConjunctiveQuery, var_fds: &[VarFd]) -> Ratio
 pub fn entropy_upper_bound_zhang_yeung(q: &ConjunctiveQuery, var_fds: &[VarFd]) -> Rational {
     let mut b = EntropyLpBuilder::new(q);
     b.add_query_structure(q, var_fds);
-    let k = b.k;
-    let full: u32 = ((1u64 << k) - 1) as u32;
     // Shannon elemental inequalities (as in Proposition 6.9).
-    for i in 0..k {
-        let rest = full & !(1 << i);
-        b.constraint(&[(full, 1), (rest, -1)], LpRel::Ge, Rational::zero());
-    }
-    for i in 0..k {
-        for j in i + 1..k {
-            let others = full & !(1 << i) & !(1 << j);
-            for s in subsets_of(others) {
-                b.constraint(
-                    &[
-                        (s | (1 << i), 1),
-                        (s | (1 << j), 1),
-                        (s, -1),
-                        (s | (1 << i) | (1 << j), -1),
-                    ],
-                    LpRel::Ge,
-                    Rational::zero(),
-                );
-            }
-        }
-    }
+    b.add_elemental_inequalities();
+    let k = b.k;
     // Zhang–Yeung instances over distinct single variables.
     // Expand each mutual-information term into joint entropies:
     //   I(X;Y)      = h(X) + h(Y) − h(XY)
@@ -397,7 +423,7 @@ R[1,2] -> R[4]",
     fn cap_enforced() {
         use crate::query::QueryBuilder;
         let mut b = QueryBuilder::new();
-        let names: Vec<String> = (0..18).map(|i| format!("V{i}")).collect();
+        let names: Vec<String> = (0..22).map(|i| format!("V{i}")).collect();
         let name_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
         b.head(&name_refs);
         b.atom("R", &name_refs);

@@ -86,10 +86,14 @@ pub use constructions::{
 pub use containment::{canonical_database, is_contained_in, is_equivalent};
 pub use entropy::EntropyVector;
 pub use entropy_lp::{
-    color_number_entropy_lp, entropy_upper_bound, entropy_upper_bound_zhang_yeung,
-    MAX_ENTROPY_LP_VARS,
+    build_color_number_entropy_lp, build_entropy_upper_lp, color_number_entropy_lp,
+    color_number_entropy_lp_with_stats, entropy_upper_bound, entropy_upper_bound_with_stats,
+    entropy_upper_bound_zhang_yeung, MAX_ENTROPY_LP_VARS,
 };
 pub use eval::{atom_relation, evaluate, evaluate_by_plan, join_project_plan};
+// LP solver observability, re-exported so engine layers can consume
+// per-solve stats without a direct cq-lp dependency.
+pub use cq_lp::{SolveStats, SolverKind};
 pub use fact_6_12::{normalize_fd_arity, Normalized};
 pub use fd_removal::{
     per_occurrence_database, pull_back_coloring, remove_simple_fds, transform_database,

@@ -25,7 +25,9 @@
 
 use cq_arith::Rational;
 use cq_core::ConjunctiveQuery;
-use cq_core::{color_number_lp, coloring_from_weights, fractional_edge_cover_head, ColorNumber};
+use cq_core::{
+    color_number_lp, coloring_from_weights, fractional_edge_cover_head, ColorNumber, SolveStats,
+};
 use cq_hypergraph::{canonical_form, CanonicalKey};
 use cq_util::FxHashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -152,6 +154,8 @@ impl LpCache {
                 value,
                 coloring,
                 weights,
+                // A hit performs no solve: zeroed stats by contract.
+                lp_stats: SolveStats::default(),
             };
             debug_assert_eq!(
                 cn.coloring.color_number(q).as_ref(),

@@ -48,10 +48,10 @@ pub use cache::{CacheStats, LpCache, DEFAULT_CACHE_CAPACITY};
 pub use json::Json;
 pub use report::{
     AnalysisReport, ChaseReport, DataReport, EntropyReport, GrowthReport, ReportOptions,
-    SizeBoundReport, TreewidthReport, WitnessReport,
+    SizeBoundReport, SolverReport, TreewidthReport, WitnessReport,
 };
 pub use serve::{ServeEngine, ServeStats, MAX_BATCH, PROTOCOL_VERSION};
 pub use session::{
     AnalysisSession, DataCheck, ExactDataBound, ProductDataBound, SessionStats,
-    ENTROPY_BOUND_VAR_CAP, ENTROPY_COLOR_VAR_CAP,
+    ENTROPY_BOUND_DENSE_CAP, ENTROPY_BOUND_VAR_CAP, ENTROPY_COLOR_DENSE_CAP, ENTROPY_COLOR_VAR_CAP,
 };

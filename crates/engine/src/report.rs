@@ -7,7 +7,10 @@
 //! is documented in the repository README).
 
 use crate::json::{obj, Json};
-use crate::session::{AnalysisSession, DataCheck};
+use crate::session::{
+    AnalysisSession, DataCheck, ENTROPY_BOUND_DENSE_CAP, ENTROPY_BOUND_VAR_CAP,
+    ENTROPY_COLOR_VAR_CAP,
+};
 use cq_core::TwPreservation;
 use cq_relation::Database;
 use std::fmt::Write as _;
@@ -54,6 +57,25 @@ pub struct EntropyReport {
     pub color_number: Option<String>,
     /// The Prop 6.9 Shannon upper bound on the exponent.
     pub exponent: Option<String>,
+    /// Heuristic size note: set when the `2^k`-variable programs were
+    /// skipped above the practical ceiling, or solved beyond the old
+    /// dense-tableau caps (the former hard threshold is now advisory).
+    pub warning: Option<String>,
+}
+
+/// Per-query LP-solver observability, aggregated over every LP the
+/// session actually solved (cache hits contribute nothing — no solve
+/// ran). The keys mirror `cq_lp::SolveStats`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SolverReport {
+    /// Simplex pivots across the session's coloring/entropy LP solves.
+    pub pivots: usize,
+    /// Basis refactorizations (sparse revised engine only).
+    pub refactorizations: usize,
+    /// LPs solved by the dense tableau.
+    pub dense_solves: usize,
+    /// LPs solved by the sparse revised simplex.
+    pub sparse_solves: usize,
 }
 
 /// Theorem 7.2 facts.
@@ -106,6 +128,9 @@ pub struct AnalysisReport {
     pub treewidth: Option<TreewidthReport>,
     pub entropy: EntropyReport,
     pub growth: GrowthReport,
+    /// LP-solver stats for this query's session (engine split, pivots,
+    /// refactorizations).
+    pub solver: SolverReport,
     pub witness: Option<WitnessReport>,
     pub data: Option<DataReport>,
 }
@@ -144,6 +169,7 @@ impl AnalysisSession {
             EntropyReport {
                 color_number: self.entropy_color_number().map(|c| c.to_string()),
                 exponent: self.entropy_exponent().map(|s| s.to_string()),
+                warning: entropy_size_warning(chased.num_vars()),
             }
         };
 
@@ -151,6 +177,17 @@ impl AnalysisSession {
         let growth = GrowthReport {
             increases: decision.increases,
             lower_bound: decision.lower_bound.to_string(),
+        };
+
+        // Snapshot the solver counters after every LP this report drives
+        // has run (witness/data checks below reuse cached artifacts and
+        // solve nothing new through the stats-tracked paths).
+        let stats = self.stats();
+        let solver = SolverReport {
+            pivots: stats.lp_pivots,
+            refactorizations: stats.lp_refactorizations,
+            dense_solves: stats.lp_dense_solves,
+            sparse_solves: stats.lp_sparse_solves,
         };
 
         let witness = opts.witness_m.and_then(|m| {
@@ -200,9 +237,36 @@ impl AnalysisSession {
             treewidth,
             entropy,
             growth,
+            solver,
             witness,
             data,
         }
+    }
+}
+
+/// The heuristic entropy-LP size note (see `EntropyReport::warning`).
+/// `None` while the chased query is within the old dense-tableau
+/// comfort zone.
+fn entropy_size_warning(k: usize) -> Option<String> {
+    if k > ENTROPY_COLOR_VAR_CAP {
+        Some(format!(
+            "entropy LPs skipped: {k} variables exceed the practical ceiling of \
+             {ENTROPY_COLOR_VAR_CAP} (the programs have 2^k variables)"
+        ))
+    } else if k > ENTROPY_BOUND_VAR_CAP {
+        Some(format!(
+            "Prop 6.9 Shannon LP skipped above {ENTROPY_BOUND_VAR_CAP} variables \
+             (k(k-1)*2^(k-3) constraints); Prop 6.10 solved at {k} variables via \
+             the sparse revised simplex"
+        ))
+    } else if k > ENTROPY_BOUND_DENSE_CAP {
+        Some(format!(
+            "large entropy LPs ({k} variables, 2^k LP columns): beyond the old \
+             dense-tableau cap of {ENTROPY_BOUND_DENSE_CAP}, solved via the \
+             sparse revised simplex"
+        ))
+    } else {
+        None
     }
 }
 
@@ -259,6 +323,9 @@ impl AnalysisReport {
                     out,
                     "size bound  : |Q(D)| <= rmax(D)^{s} (Prop 6.9 Shannon LP)"
                 );
+            }
+            if let Some(w) = &self.entropy.warning {
+                let _ = writeln!(out, "entropy note: {w}");
             }
         }
 
@@ -363,6 +430,10 @@ impl AnalysisReport {
                         "exponent",
                         Json::opt(self.entropy.exponent.as_ref(), Json::str),
                     ),
+                    (
+                        "warning",
+                        Json::opt(self.entropy.warning.as_ref(), Json::str),
+                    ),
                 ]),
             ),
             (
@@ -370,6 +441,15 @@ impl AnalysisReport {
                 obj([
                     ("increases", Json::Bool(self.growth.increases)),
                     ("lower_bound", Json::str(&self.growth.lower_bound)),
+                ]),
+            ),
+            (
+                "solver_stats",
+                obj([
+                    ("pivots", Json::int(self.solver.pivots)),
+                    ("refactorizations", Json::int(self.solver.refactorizations)),
+                    ("dense_solves", Json::int(self.solver.dense_solves)),
+                    ("sparse_solves", Json::int(self.solver.sparse_solves)),
                 ]),
             ),
             (

@@ -79,6 +79,13 @@ pub struct ServeStats {
     pub batches: u64,
     /// Error responses sent (malformed JSON, parse errors, bad fields).
     pub errors: u64,
+    /// Simplex pivots across every LP this process solved (cache hits
+    /// contribute nothing — the point of a warm daemon).
+    pub lp_pivots: u64,
+    /// LPs solved by the dense tableau.
+    pub lp_dense_solves: u64,
+    /// LPs solved by the sparse revised simplex.
+    pub lp_sparse_solves: u64,
 }
 
 /// The serving layer: a shared LP cache plus request dispatch.
@@ -99,6 +106,9 @@ pub struct ServeEngine {
     analyses: AtomicU64,
     batches: AtomicU64,
     errors: AtomicU64,
+    lp_pivots: AtomicU64,
+    lp_dense_solves: AtomicU64,
+    lp_sparse_solves: AtomicU64,
 }
 
 impl Default for ServeEngine {
@@ -117,6 +127,9 @@ impl ServeEngine {
             analyses: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            lp_pivots: AtomicU64::new(0),
+            lp_dense_solves: AtomicU64::new(0),
+            lp_sparse_solves: AtomicU64::new(0),
         }
     }
 
@@ -145,7 +158,21 @@ impl ServeEngine {
             analyses: self.analyses.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            lp_pivots: self.lp_pivots.load(Ordering::Relaxed),
+            lp_dense_solves: self.lp_dense_solves.load(Ordering::Relaxed),
+            lp_sparse_solves: self.lp_sparse_solves.load(Ordering::Relaxed),
         }
+    }
+
+    /// Folds one report's per-session solver stats into the process-wide
+    /// counters (the serving-level view of `cq_lp::SolveStats`).
+    fn note_solver(&self, report: &crate::report::AnalysisReport) {
+        self.lp_pivots
+            .fetch_add(report.solver.pivots as u64, Ordering::Relaxed);
+        self.lp_dense_solves
+            .fetch_add(report.solver.dense_solves as u64, Ordering::Relaxed);
+        self.lp_sparse_solves
+            .fetch_add(report.solver.sparse_solves as u64, Ordering::Relaxed);
     }
 
     /// Handles one request line, returning the one response line (no
@@ -230,7 +257,9 @@ impl ServeEngine {
         if let Some(cache) = &self.cache {
             session = session.with_cache(Arc::clone(cache));
         }
-        Ok(vec![("report", session.report(&opts).to_json())])
+        let report = session.report(&opts);
+        self.note_solver(&report);
+        Ok(vec![("report", report.to_json())])
     }
 
     fn batch(&self, req: &Json) -> Result<ResponseBody, String> {
@@ -275,7 +304,10 @@ impl ServeEngine {
             .iter()
             .zip(&inputs)
             .map(|(result, (name, _))| match result {
-                Ok(report) => report.to_json(),
+                Ok(report) => {
+                    self.note_solver(report);
+                    report.to_json()
+                }
                 // Same shape as a cq-analyze --json parse-error line:
                 // the reports array stays index-aligned with "queries".
                 Err(e) => obj([
@@ -296,6 +328,12 @@ impl ServeEngine {
                 ("analyses", Json::int(stats.analyses as usize)),
                 ("batches", Json::int(stats.batches as usize)),
                 ("errors", Json::int(stats.errors as usize)),
+                ("lp_pivots", Json::int(stats.lp_pivots as usize)),
+                ("lp_dense_solves", Json::int(stats.lp_dense_solves as usize)),
+                (
+                    "lp_sparse_solves",
+                    Json::int(stats.lp_sparse_solves as usize),
+                ),
             ]),
         )]
     }

@@ -23,21 +23,40 @@
 use crate::cache::LpCache;
 use cq_arith::Rational;
 use cq_core::{
-    chase, check_size_bound, color_number_entropy_lp, color_number_lp, decide_size_increase_chased,
-    entropy_upper_bound, is_acyclic, parse_program, pull_back_coloring, remove_simple_fds,
-    treewidth_preservation_no_fds, worst_case_database, BoundCheck, ChaseResult, ConjunctiveQuery,
-    ParseError, RemovalTrace, SizeBound, SizeIncreaseDecision, TwPreservation, VarFd,
+    chase, check_size_bound, color_number_entropy_lp_with_stats, color_number_lp,
+    decide_size_increase_chased, entropy_upper_bound_with_stats, is_acyclic, parse_program,
+    pull_back_coloring, remove_simple_fds, treewidth_preservation_no_fds, worst_case_database,
+    BoundCheck, ChaseResult, ConjunctiveQuery, ParseError, RemovalTrace, SizeBound,
+    SizeIncreaseDecision, SolveStats, SolverKind, TwPreservation, VarFd,
 };
 use cq_relation::{Database, FdSet};
 use std::cell::{Cell, OnceCell};
 use std::sync::Arc;
 
 /// Variable cap for the Proposition 6.10 entropy characterization of the
-/// color number (the LP has `2^k` variables).
-pub const ENTROPY_COLOR_VAR_CAP: usize = 10;
+/// color number (the LP has `2^k` variables). Raised from
+/// [`ENTROPY_COLOR_DENSE_CAP`] when the sparse revised simplex became
+/// the default engine for these programs — measured on the k-cycle
+/// family: k = 10 in ~3 s, k = 12 in ~80 s (`bench_simplex`), where the
+/// dense tableau was already impractical below the old cap.
+pub const ENTROPY_COLOR_VAR_CAP: usize = 12;
 
-/// Variable cap for the Proposition 6.9 Shannon upper bound.
-pub const ENTROPY_BOUND_VAR_CAP: usize = 6;
+/// Variable cap for the Proposition 6.9 Shannon upper bound (the
+/// elemental family has `k(k−1)·2^{k−3}` constraints). Raised from
+/// [`ENTROPY_BOUND_DENSE_CAP`] with the sparse engine — measured on the
+/// k-cycle family: k = 8 in ~0.2 s where the dense tableau needed
+/// minutes at k = 7.
+pub const ENTROPY_BOUND_VAR_CAP: usize = 8;
+
+/// The Proposition 6.10 ceiling of the dense-tableau era. Between this
+/// and [`ENTROPY_COLOR_VAR_CAP`] the LP still solves (sparse engine),
+/// and the report carries a heuristic size warning instead of the old
+/// hard skip.
+pub const ENTROPY_COLOR_DENSE_CAP: usize = 10;
+
+/// The Proposition 6.9 ceiling of the dense-tableau era (see
+/// [`ENTROPY_COLOR_DENSE_CAP`]).
+pub const ENTROPY_BOUND_DENSE_CAP: usize = 6;
 
 /// How many times each expensive pipeline stage actually executed.
 ///
@@ -65,6 +84,16 @@ pub struct SessionStats {
     /// attached cache — uncached solves count only in the `_runs`
     /// fields.
     pub cache_misses: usize,
+    /// Simplex pivots across this session's coloring/entropy LP solves
+    /// (the head-cover LP of `data_check` is not included — it is solved
+    /// behind the tuple-returning cover API).
+    pub lp_pivots: usize,
+    /// Basis refactorizations across those solves (sparse engine only).
+    pub lp_refactorizations: usize,
+    /// Coloring/entropy LPs solved by the dense tableau.
+    pub lp_dense_solves: usize,
+    /// Coloring/entropy LPs solved by the sparse revised simplex.
+    pub lp_sparse_solves: usize,
 }
 
 #[derive(Default)]
@@ -77,6 +106,25 @@ struct Counters {
     decision: Cell<usize>,
     cache_hits: Cell<usize>,
     cache_misses: Cell<usize>,
+    lp_pivots: Cell<usize>,
+    lp_refactorizations: Cell<usize>,
+    lp_dense_solves: Cell<usize>,
+    lp_sparse_solves: Cell<usize>,
+}
+
+impl Counters {
+    /// Records one LP solve's stats (never called for cache hits — a
+    /// hit performs no solve, so it contributes nothing here).
+    fn note_lp(&self, stats: &SolveStats) {
+        self.lp_pivots.set(self.lp_pivots.get() + stats.pivots);
+        self.lp_refactorizations
+            .set(self.lp_refactorizations.get() + stats.refactorizations);
+        let engine = match stats.solver {
+            SolverKind::DenseTableau => &self.lp_dense_solves,
+            SolverKind::RevisedSparse => &self.lp_sparse_solves,
+        };
+        bump(engine);
+    }
 }
 
 fn bump(cell: &Cell<usize>) {
@@ -174,6 +222,10 @@ impl AnalysisSession {
             decision_runs: self.counters.decision.get(),
             cache_hits: self.counters.cache_hits.get(),
             cache_misses: self.counters.cache_misses.get(),
+            lp_pivots: self.counters.lp_pivots.get(),
+            lp_refactorizations: self.counters.lp_refactorizations.get(),
+            lp_dense_solves: self.counters.lp_dense_solves.get(),
+            lp_sparse_solves: self.counters.lp_sparse_solves.get(),
         }
     }
 
@@ -233,12 +285,15 @@ impl AnalysisSession {
                         } else {
                             bump(&self.counters.cache_misses);
                             bump(&self.counters.color_lp);
+                            self.counters.note_lp(&cn.lp_stats);
                         }
                         cn
                     }
                     None => {
                         bump(&self.counters.color_lp);
-                        color_number_lp(trace.result())
+                        let cn = color_number_lp(trace.result());
+                        self.counters.note_lp(&cn.lp_stats);
+                        cn
                     }
                 };
                 let coloring = pull_back_coloring(trace, &cn.coloring);
@@ -292,7 +347,10 @@ impl AnalysisSession {
                     return None;
                 }
                 bump(&self.counters.entropy_lp);
-                Some(color_number_entropy_lp(chased, self.variable_fds()))
+                let (value, stats) =
+                    color_number_entropy_lp_with_stats(chased, self.variable_fds());
+                self.counters.note_lp(&stats);
+                Some(value)
             })
             .as_ref()
     }
@@ -308,7 +366,9 @@ impl AnalysisSession {
                     return None;
                 }
                 bump(&self.counters.entropy_lp);
-                Some(entropy_upper_bound(chased, self.variable_fds()))
+                let (value, stats) = entropy_upper_bound_with_stats(chased, self.variable_fds());
+                self.counters.note_lp(&stats);
+                Some(value)
             })
             .as_ref()
     }

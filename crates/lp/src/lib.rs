@@ -12,13 +12,30 @@
 //! quantities: color weights, cover weights, entropies). Constraints may be
 //! `<=`, `>=`, or `=`; both maximization and minimization are supported.
 //!
-//! The solver is deliberately a dense tableau: the paper's LPs are small
-//! (the entropy LPs are exponential in the number of query variables by
-//! nature — see the entropy-LP module in `cq-core` for the documented
-//! practical cap).
+//! Two engines implement the same exact two-phase method:
+//!
+//! - the **dense tableau** ([`simplex`]) — lowest constant factors,
+//!   right for the paper's small combinatorial LPs;
+//! - the **sparse revised simplex** ([`revised`]) — an LU-factorized
+//!   basis with eta updates and periodic refactorization over a CSC
+//!   constraint matrix ([`sparse`]), which is what lets the entropy LPs
+//!   (`2^k − 1` variables, constraints touching 2–4 of them) scale past
+//!   the dense ceiling.
+//!
+//! [`LinearProgram::solve`] picks automatically by a size/density
+//! heuristic ([`Solver::Auto`]); both engines agree on status and
+//! optimal objective for every program, and each solution carries
+//! [`SolveStats`] saying which engine ran and how hard it worked. The
+//! full policy is documented in `docs/SOLVER.md`.
 
 pub mod problem;
+pub mod revised;
 pub mod simplex;
+pub mod solver;
+pub mod sparse;
 
 pub use problem::{Constraint, LinearProgram, Objective, Relation, VarId};
+pub use revised::solve_revised;
 pub use simplex::{solve_with, LpSolution, LpStatus, PivotRule};
+pub use solver::{solve_auto, solve_lp, SolveStats, Solver, SolverKind};
+pub use sparse::SparseMatrix;

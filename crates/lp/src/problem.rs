@@ -145,9 +145,19 @@ impl LinearProgram {
         &self.objective_coeffs
     }
 
-    /// Solves the program with the exact two-phase simplex.
+    /// Solves the program exactly, picking the engine automatically
+    /// ([`crate::Solver::Auto`]): the dense tableau for small/dense
+    /// programs, the sparse revised simplex for large sparse ones (the
+    /// entropy LPs). Both engines agree on status and optimal objective
+    /// for every program; see `docs/SOLVER.md` for the selection policy.
     pub fn solve(&self) -> crate::simplex::LpSolution {
-        crate::simplex::solve(self)
+        crate::solver::solve_auto(self, crate::Solver::Auto)
+    }
+
+    /// Solves with an explicit engine choice (each engine under its
+    /// default pivot rule). `Solver::Auto` behaves like [`Self::solve`].
+    pub fn solve_with_solver(&self, solver: crate::Solver) -> crate::simplex::LpSolution {
+        crate::solver::solve_auto(self, solver)
     }
 
     /// Constructs the LP dual for a program in *canonical form*:
@@ -157,6 +167,10 @@ impl LinearProgram {
     /// This is exactly the duality used in §3.1 of the paper to connect the
     /// color-number LP (Proposition 3.6) with the minimal fractional edge
     /// cover LP (Definition 3.5).
+    ///
+    /// Dual variable names are deterministic: constraint `i` always
+    /// yields the variable `y{i}`, so solver-stats output and rendered
+    /// duals are stable across runs and across re-derivations.
     ///
     /// # Panics
     /// Panics if any constraint is not in canonical direction (`<=` for a
@@ -263,6 +277,24 @@ mod tests {
         assert_eq!(d.objective(), Objective::Minimize);
         assert_eq!(d.num_vars(), 2); // one per primal constraint
         assert_eq!(d.num_constraints(), 2); // one per primal variable
+    }
+
+    #[test]
+    fn dual_names_are_deterministic() {
+        // y{i} from the constraint index, independent of the primal's
+        // variable names and stable across repeated derivations.
+        let mut lp = LinearProgram::maximize();
+        let a = lp.add_var("weirdly named");
+        let b = lp.add_var("Δ");
+        lp.set_objective_coeff(a, r(1, 1));
+        lp.add_constraint(vec![(a, r(1, 1))], Relation::Le, r(4, 1));
+        lp.add_constraint(vec![(b, r(2, 1))], Relation::Le, r(6, 1));
+        lp.add_constraint(vec![(a, r(1, 1)), (b, r(1, 1))], Relation::Le, r(5, 1));
+        for _ in 0..2 {
+            let d = lp.dual();
+            let names: Vec<&str> = (0..d.num_vars()).map(|i| d.var_name(VarId(i))).collect();
+            assert_eq!(names, ["y0", "y1", "y2"]);
+        }
     }
 
     #[test]

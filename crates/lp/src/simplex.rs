@@ -8,6 +8,7 @@
 //! produce routinely.
 
 use crate::problem::{LinearProgram, Objective, Relation, VarId};
+use crate::solver::{constraint_nonzeros, SolveStats, SolverKind};
 use cq_arith::Rational;
 
 /// Pivot-selection strategy.
@@ -48,6 +49,9 @@ pub struct LpSolution {
     /// Optimal variable assignment, indexed by [`VarId::index`]
     /// (meaningful only when `status == Optimal`).
     pub values: Vec<Rational>,
+    /// Per-solve observability: which engine ran, pivot and
+    /// refactorization counts, and the program's shape.
+    pub stats: SolveStats,
 }
 
 impl LpSolution {
@@ -115,6 +119,7 @@ impl Tableau {
         objectives: &mut [Vec<Rational>],
         allowed: &[bool],
         rule: PivotRule,
+        pivots: &mut usize,
     ) -> bool {
         let mut degenerate_streak = 0usize;
         loop {
@@ -156,6 +161,7 @@ impl Tableau {
             } else {
                 degenerate_streak = 0;
             }
+            *pivots += 1;
             self.pivot(row, col, objectives);
         }
     }
@@ -177,15 +183,25 @@ fn eliminate_col(target: &mut [Rational], col: usize, pivot_row: &[Rational]) {
     }
 }
 
-/// Solves `lp` exactly with Bland's rule. See [`LpStatus`].
+/// Solves `lp` with the dense tableau under Bland's rule. See
+/// [`LpStatus`]. (The engine-selecting entry point is
+/// [`LinearProgram::solve`]; this one always runs dense.)
 pub fn solve(lp: &LinearProgram) -> LpSolution {
     solve_with(lp, PivotRule::Bland)
 }
 
-/// Solves `lp` exactly with the chosen pivot rule.
+/// Solves `lp` with the dense tableau and the chosen pivot rule.
 pub fn solve_with(lp: &LinearProgram, rule: PivotRule) -> LpSolution {
     let n = lp.num_vars();
     let m = lp.num_constraints();
+    let mut stats = SolveStats {
+        solver: SolverKind::DenseTableau,
+        pivots: 0,
+        refactorizations: 0,
+        nonzeros: constraint_nonzeros(lp),
+        rows: m,
+        cols: n,
+    };
 
     // Canonicalize each row: dense coefficients with nonnegative RHS.
     // Count auxiliary columns first.
@@ -283,7 +299,7 @@ pub fn solve_with(lp: &LinearProgram, rule: PivotRule) -> LpSolution {
 
     if any_artificial {
         let allowed: Vec<bool> = (0..cols).map(|_| true).collect();
-        let ok = t.optimize(0, &mut objectives, &allowed, rule);
+        let ok = t.optimize(0, &mut objectives, &allowed, rule, &mut stats.pivots);
         debug_assert!(ok, "phase 1 cannot be unbounded");
         // Phase-1 optimum is -(sum of artificials); feasible iff zero.
         if objectives[0][cols].is_negative() || objectives[0][cols].is_positive() {
@@ -291,6 +307,7 @@ pub fn solve_with(lp: &LinearProgram, rule: PivotRule) -> LpSolution {
                 status: LpStatus::Infeasible,
                 objective: Rational::zero(),
                 values: vec![Rational::zero(); n],
+                stats,
             };
         }
         // Drive any artificial variables remaining in the basis at level 0
@@ -299,6 +316,7 @@ pub fn solve_with(lp: &LinearProgram, rule: PivotRule) -> LpSolution {
             if t.basis[r] >= first_art {
                 // Find a non-artificial column with a nonzero entry.
                 if let Some(col) = (0..first_art).find(|&j| !t.a[r][j].is_zero()) {
+                    stats.pivots += 1;
                     t.pivot(r, col, &mut objectives);
                 }
                 // Otherwise the row is all-zero over structurals: redundant;
@@ -311,12 +329,13 @@ pub fn solve_with(lp: &LinearProgram, rule: PivotRule) -> LpSolution {
 
     // Phase 2: artificial columns may no longer enter.
     let allowed: Vec<bool> = (0..cols).map(|j| j < first_art).collect();
-    let ok = t.optimize(1, &mut objectives, &allowed, rule);
+    let ok = t.optimize(1, &mut objectives, &allowed, rule, &mut stats.pivots);
     if !ok {
         return LpSolution {
             status: LpStatus::Unbounded,
             objective: Rational::zero(),
             values: vec![Rational::zero(); n],
+            stats,
         };
     }
 
@@ -335,6 +354,7 @@ pub fn solve_with(lp: &LinearProgram, rule: PivotRule) -> LpSolution {
         status: LpStatus::Optimal,
         objective,
         values,
+        stats,
     }
 }
 

@@ -1,5 +1,7 @@
 //! Integration tests for the `cq-analyze` CLI binary.
 
+mod common;
+
 use std::io::Write;
 use std::process::{Command, Stdio};
 
@@ -174,11 +176,26 @@ fn no_cache_disables_the_lp_cache() {
     let last = lines.last().unwrap();
     assert!(last.contains("\"enabled\":false"), "{last}");
     assert!(last.contains("\"hits\":0"), "{last}");
-    // The reports themselves are identical with and without the cache.
+    // The reports themselves are identical with and without the cache,
+    // except for solver_stats: a cache hit legitimately performs no LP
+    // solve, so its counters stay zero (that is the observability the
+    // field exists for). Strip it before comparing.
     let (cached, _, ok2) = run_cli(&[path, path, "--json"], None);
     assert!(ok2);
     let cached_lines: Vec<&str> = cached.lines().collect();
-    assert_eq!(lines[..2], cached_lines[..2], "reports must not change");
+    for (nc, c) in lines[..2].iter().zip(&cached_lines[..2]) {
+        assert_eq!(
+            common::strip_solver_stats(nc),
+            common::strip_solver_stats(c),
+            "reports must not change"
+        );
+    }
+    // Uncached, both runs really solved the coloring LP (a deterministic
+    // guaranteed-hit counterpart lives in tests/pipeline_engine.rs; the
+    // cached CLI batch races its two workers, so no hit assert here).
+    for line in &lines[..2] {
+        assert!(line.contains("\"dense_solves\":1"), "{line}");
+    }
 }
 
 #[test]

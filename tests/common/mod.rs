@@ -105,3 +105,20 @@ pub fn random_database(
     }
     db
 }
+
+/// Removes the `"solver_stats":{…},` object from a rendered report
+/// line. The cache differentials compare report JSON bit-for-bit, and
+/// `solver_stats` is the one object that legitimately differs between a
+/// cached and an uncached run (a cache hit performs no LP solve, so its
+/// counters stay zero); it is asserted separately where it matters.
+/// Shared here so the string surgery lives in exactly one place.
+pub fn strip_solver_stats(line: &str) -> String {
+    let start = line
+        .find("\"solver_stats\":")
+        .expect("solver_stats present");
+    let end = start + line[start..].find('}').expect("object closes") + 1;
+    // `solver_stats` holds only scalar counters (first '}' closes it)
+    // and is never the last key, so also drop the trailing comma.
+    assert_eq!(line.as_bytes()[end], b',', "solver_stats must not be last");
+    format!("{}{}", &line[..start], &line[end + 1..])
+}

@@ -1,0 +1,313 @@
+//! The solver differential layer: the dense tableau and the sparse
+//! revised simplex must agree **exactly** on every program.
+//!
+//! Exact rationals make the contract sharp — the LP optimum is a unique
+//! number, so the two engines must return bit-identical statuses and
+//! objectives (no tolerance). Optimal *points* may differ (alternative
+//! optima), so witnesses are checked semantically instead: every
+//! reported solution must be exactly feasible, nonnegative, and attain
+//! the reported objective.
+//!
+//! Layers:
+//! - a property over random LPs (mixed `<=`/`>=`/`=`, negative RHS,
+//!   feasible/infeasible/unbounded/degenerate all arise) on the
+//!   *default* proptest config, so CI's scheduled deep job scales it to
+//!   4096 cases via `PROPTEST_CASES`;
+//! - the paper's own LP constructions (Prop 3.6 coloring, §3.1 covers
+//!   and their duals, Props 6.9/6.10 entropy programs) solved by both
+//!   engines;
+//! - regression fixtures: Beale's cycling LP (cycles under naive
+//!   Dantzig pricing; the Bland fallback must terminate on both
+//!   engines), redundant equalities, and an `Auto`-routed program.
+
+use cqbounds::arith::Rational;
+use cqbounds::core::{
+    build_color_number_entropy_lp, build_entropy_upper_lp, color_number_lp, parse_query,
+};
+use cqbounds::lp::{
+    solve_lp, solve_revised, solve_with, LinearProgram, LpSolution, LpStatus, PivotRule, Relation,
+    Solver, SolverKind,
+};
+use proptest::prelude::*;
+
+fn ri(n: i64) -> Rational {
+    Rational::int(n)
+}
+
+/// Exact feasibility + objective-attainment check for a claimed optimum.
+fn verify_witness(lp: &LinearProgram, sol: &LpSolution, label: &str) {
+    assert_eq!(sol.values.len(), lp.num_vars(), "{label}: witness length");
+    for v in &sol.values {
+        assert!(!v.is_negative(), "{label}: negative variable in witness");
+    }
+    for (ci, c) in lp.constraints().iter().enumerate() {
+        let mut lhs = Rational::zero();
+        for (v, coeff) in &c.coeffs {
+            lhs += &(coeff * &sol.values[v.index()]);
+        }
+        let ok = match c.rel {
+            Relation::Le => lhs <= c.rhs,
+            Relation::Ge => lhs >= c.rhs,
+            Relation::Eq => lhs == c.rhs,
+        };
+        assert!(ok, "{label}: witness violates constraint {ci}: {lp}");
+    }
+    let mut obj = Rational::zero();
+    for (j, c) in lp.objective_coeffs().iter().enumerate() {
+        obj += &(c * &sol.values[j]);
+    }
+    assert_eq!(
+        obj, sol.objective,
+        "{label}: witness does not attain the reported objective"
+    );
+}
+
+/// Solves with both engines under both pivot rules; asserts exact
+/// status/objective agreement and verified-feasible witnesses. Returns
+/// the common status.
+fn differential(lp: &LinearProgram, label: &str) -> LpStatus {
+    let runs = [
+        ("dense/bland", solve_with(lp, PivotRule::Bland)),
+        ("dense/dtb", solve_with(lp, PivotRule::DantzigThenBland)),
+        ("sparse/bland", solve_revised(lp, PivotRule::Bland)),
+        ("sparse/dtb", solve_revised(lp, PivotRule::DantzigThenBland)),
+    ];
+    let status = runs[0].1.status;
+    for (name, sol) in &runs {
+        assert_eq!(
+            sol.status, status,
+            "{label}/{name}: engines disagree on status for\n{lp}"
+        );
+        if status == LpStatus::Optimal {
+            assert_eq!(
+                sol.objective, runs[0].1.objective,
+                "{label}/{name}: engines disagree on the optimum for\n{lp}"
+            );
+            verify_witness(lp, sol, &format!("{label}/{name}"));
+        }
+    }
+    status
+}
+
+/// The Proposition 3.6 coloring LP, built directly from the query (the
+/// production path keeps the program internal, so the test mirrors it).
+fn coloring_lp(text: &str) -> LinearProgram {
+    let q = parse_query(text).unwrap();
+    let mut lp = LinearProgram::maximize();
+    let vars: Vec<_> = (0..q.num_vars())
+        .map(|v| lp.add_var(q.var_name(v).to_owned()))
+        .collect();
+    for v in q.head_var_set().iter() {
+        lp.set_objective_coeff(vars[v], ri(1));
+    }
+    for atom in q.body() {
+        let coeffs: Vec<_> = atom.var_set().iter().map(|v| (vars[v], ri(1))).collect();
+        lp.add_constraint(coeffs, Relation::Le, ri(1));
+    }
+    lp
+}
+
+const QUERIES: &[&str] = &[
+    "S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z)",
+    "Q(A,B,C,D) :- R(A,B), S(B,C), T(C,D), U(D,A)",
+    "Q(X) :- R(X,Y), S(Y,Z)",
+    "Q(X,Y) :- R(X), S(Y)",
+    "Q(A,B,C,D,E) :- R(A,B,C), S(C,D), T(D,E), U(E,A)",
+];
+
+#[test]
+fn paper_lp_constructions_agree_across_engines() {
+    for text in QUERIES {
+        let lp = coloring_lp(text);
+        assert_eq!(
+            differential(&lp, &format!("coloring({text})")),
+            LpStatus::Optimal
+        );
+        // …and its §3.1 dual (the head edge-cover LP).
+        let dual = lp.dual();
+        assert_eq!(
+            differential(&dual, &format!("cover-dual({text})")),
+            LpStatus::Optimal
+        );
+        // Duality ties all four engine runs to one number.
+        assert_eq!(solve_revised(&lp, PivotRule::Bland).objective, {
+            solve_revised(&dual, PivotRule::DantzigThenBland).objective
+        });
+    }
+}
+
+#[test]
+fn entropy_lp_constructions_agree_across_engines() {
+    for text in QUERIES {
+        let q = parse_query(text).unwrap();
+        if q.num_vars() > 5 {
+            continue; // keep the dense side of the differential quick
+        }
+        let lp610 = build_color_number_entropy_lp(&q, &[]);
+        assert_eq!(
+            differential(&lp610, &format!("prop6.10({text})")),
+            LpStatus::Optimal
+        );
+        let lp69 = build_entropy_upper_lp(&q, &[]);
+        assert_eq!(
+            differential(&lp69, &format!("prop6.9({text})")),
+            LpStatus::Optimal
+        );
+    }
+}
+
+#[test]
+fn auto_routed_sparse_solve_matches_forced_dense() {
+    // Prop 6.10 at k = 6 is past the Auto thresholds: the default
+    // `solve()` must take the sparse engine and land on the same
+    // optimum as a forced dense solve.
+    let q =
+        parse_query("C(A,B,X,D,E,F) :- R(A,B), R(B,X), R(X,D), R(D,E), R(E,F), R(F,A)").unwrap();
+    let lp = build_color_number_entropy_lp(&q, &[]);
+    assert_eq!(Solver::Auto.resolve(&lp), SolverKind::RevisedSparse);
+    let auto = lp.solve();
+    assert_eq!(auto.stats.solver, SolverKind::RevisedSparse);
+    let dense = solve_lp(&lp, Solver::DenseTableau, PivotRule::Bland);
+    assert_eq!(auto.status, dense.status);
+    assert_eq!(auto.objective, dense.objective);
+    assert_eq!(auto.objective, ri(3)); // C(C_6) = 6/2
+                                       // The production wrapper agrees end to end.
+    assert_eq!(
+        color_number_lp(&parse_query(QUERIES[0]).unwrap()).value,
+        Rational::ratio(3, 2)
+    );
+}
+
+/// Beale's classic example cycles forever under naive Dantzig pricing
+/// with a textbook ratio test. Both engines guard it (Bland fallback
+/// after a degenerate stretch) — this fixture is the regression test
+/// that the guard stays in place in *both* code paths.
+#[test]
+fn beale_cycling_fixture_terminates_on_both_engines() {
+    let mut lp = LinearProgram::minimize();
+    let x1 = lp.add_var("x1");
+    let x2 = lp.add_var("x2");
+    let x3 = lp.add_var("x3");
+    let x4 = lp.add_var("x4");
+    let x5 = lp.add_var("x5");
+    let x6 = lp.add_var("x6");
+    let x7 = lp.add_var("x7");
+    lp.set_objective_coeff(x4, Rational::ratio(-3, 4));
+    lp.set_objective_coeff(x5, ri(150));
+    lp.set_objective_coeff(x6, Rational::ratio(-1, 50));
+    lp.set_objective_coeff(x7, ri(6));
+    lp.add_constraint(
+        vec![
+            (x1, ri(1)),
+            (x4, Rational::ratio(1, 4)),
+            (x5, ri(-60)),
+            (x6, Rational::ratio(-1, 25)),
+            (x7, ri(9)),
+        ],
+        Relation::Eq,
+        ri(0),
+    );
+    lp.add_constraint(
+        vec![
+            (x2, ri(1)),
+            (x4, Rational::ratio(1, 2)),
+            (x5, ri(-90)),
+            (x6, Rational::ratio(-1, 50)),
+            (x7, ri(3)),
+        ],
+        Relation::Eq,
+        ri(0),
+    );
+    lp.add_constraint(vec![(x3, ri(1)), (x6, ri(1))], Relation::Eq, ri(1));
+    assert_eq!(differential(&lp, "beale"), LpStatus::Optimal);
+    assert_eq!(
+        solve_revised(&lp, PivotRule::DantzigThenBland).objective,
+        Rational::ratio(-1, 20)
+    );
+}
+
+#[test]
+fn status_fixtures_agree() {
+    // Infeasible.
+    let mut lp = LinearProgram::maximize();
+    let x = lp.add_var("x");
+    lp.set_objective_coeff(x, ri(1));
+    lp.add_constraint(vec![(x, ri(1))], Relation::Le, ri(1));
+    lp.add_constraint(vec![(x, ri(1))], Relation::Ge, ri(2));
+    assert_eq!(differential(&lp, "infeasible"), LpStatus::Infeasible);
+
+    // Unbounded.
+    let mut lp = LinearProgram::maximize();
+    let x = lp.add_var("x");
+    let y = lp.add_var("y");
+    lp.set_objective_coeff(x, ri(1));
+    lp.add_constraint(vec![(x, ri(1)), (y, ri(-1))], Relation::Le, ri(1));
+    assert_eq!(differential(&lp, "unbounded"), LpStatus::Unbounded);
+
+    // Degenerate: redundant equalities stated three times.
+    let mut lp = LinearProgram::maximize();
+    let x = lp.add_var("x");
+    let y = lp.add_var("y");
+    lp.set_objective_coeff(x, ri(1));
+    for _ in 0..3 {
+        lp.add_constraint(vec![(x, ri(1)), (y, ri(1))], Relation::Eq, ri(2));
+    }
+    assert_eq!(differential(&lp, "redundant"), LpStatus::Optimal);
+    assert_eq!(solve_revised(&lp, PivotRule::Bland).objective, ri(2));
+}
+
+/// Random LP generator: `(objective, rows)` with mixed relations and
+/// signed RHS — every status class arises across the population.
+fn arb_lp() -> impl Strategy<Value = LinearProgram> {
+    (1usize..5, 0usize..7).prop_flat_map(|(nv, nc)| {
+        let obj = proptest::collection::vec(-3i64..5, nv);
+        let rows = proptest::collection::vec(
+            (
+                proptest::collection::vec(-3i64..4, nv),
+                0u8..3, // relation selector
+                -4i64..8,
+            ),
+            nc,
+        );
+        (obj, rows).prop_map(move |(obj, rows)| {
+            let mut lp = if (obj.iter().sum::<i64>()) % 2 == 0 {
+                LinearProgram::maximize()
+            } else {
+                LinearProgram::minimize()
+            };
+            let vars: Vec<_> = (0..nv).map(|i| lp.add_var(format!("x{i}"))).collect();
+            for (i, &c) in obj.iter().enumerate() {
+                lp.set_objective_coeff(vars[i], ri(c));
+            }
+            for (coeffs, rel, rhs) in rows {
+                let sparse: Vec<_> = coeffs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &c)| c != 0)
+                    .map(|(i, &c)| (vars[i], ri(c)))
+                    .collect();
+                if sparse.is_empty() {
+                    continue;
+                }
+                let rel = match rel {
+                    0 => Relation::Le,
+                    1 => Relation::Ge,
+                    _ => Relation::Eq,
+                };
+                lp.add_constraint(sparse, rel, ri(rhs));
+            }
+            lp
+        })
+    })
+}
+
+proptest! {
+    // Deliberately the *default* config: it honors the PROPTEST_CASES
+    // override, so CI's scheduled deep property job runs this
+    // differential at 4096 cases per week while PR runs stay at the
+    // pinned-seed default.
+    #[test]
+    fn random_lps_agree_across_engines(lp in arb_lp()) {
+        differential(&lp, "random");
+    }
+}
