@@ -1,0 +1,175 @@
+//! Distributed batch execution on 1/2/4 workers, cold vs
+//! snapshot-warmed caches.
+//!
+//! A 200-query isomorphic-family workload (20 relabeled copies each of
+//! ten structural templates — the template-generated shape cluster
+//! workloads take) is driven through `cq_cluster::ClusterClient` over
+//! in-process [`LocalWorker`]s: the identical `cq-serve` serving loop
+//! and wire protocol, minus process management, so the numbers isolate
+//! sharding/transport/merge cost from fork/exec noise.
+//!
+//! Scenarios, per worker count:
+//!
+//! - `cold`: fresh workers, empty caches — each isomorphism class is
+//!   solved once *per worker it lands on* (exactly once cluster-wide
+//!   under the canonical-key plan);
+//! - `warm`: fresh workers pre-loaded with a cache snapshot covering
+//!   the workload — zero LP solves anywhere, the steady state of a
+//!   pool whose daemons load `--cache-file` at boot.
+//!
+//! Inline acceptance asserts: a warmed pool hits at least as often as
+//! a cold one (more, in fact: every lookup), and per-worker hit rates
+//! are reported for eviction/skew inspection.
+
+use cq_bench::{cycle_query, isomorphic_workload, random_query, Table, Workload};
+use cq_cluster::{ClusterClient, ClusterRun, LocalWorker, WorkerAddr};
+use cq_engine::{LpCache, ServeEngine};
+use cq_relation::FdSet;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+/// 200 queries: 20 permuted copies each of ten templates.
+fn workload_200() -> Vec<(String, String)> {
+    let mut bases: Workload = vec![
+        ("cycle8".into(), cycle_query(8), FdSet::new()),
+        ("cycle11".into(), cycle_query(11), FdSet::new()),
+    ];
+    for seed in [3u64, 11, 13, 29, 31, 37, 41, 43] {
+        bases.push((
+            format!("template{seed}"),
+            random_query(seed, 8, 7),
+            FdSet::new(),
+        ));
+    }
+    let workload = isomorphic_workload(0xc1u64 << 8, &bases, 20);
+    assert_eq!(workload.len(), 200);
+    workload
+        .into_iter()
+        .map(|(name, query, _fds)| (name, query.to_string()))
+        .collect()
+}
+
+/// Boots `n` fresh in-process workers; `snapshot` pre-warms each cache.
+fn boot_workers(n: usize, snapshot: Option<&str>) -> Vec<LocalWorker> {
+    (0..n)
+        .map(|_| {
+            let engine = ServeEngine::new().with_workers(2);
+            if let Some(text) = snapshot {
+                engine
+                    .cache()
+                    .expect("cache enabled")
+                    .merge_snapshot(text)
+                    .expect("snapshot loads");
+            }
+            LocalWorker::spawn(engine).expect("bind loopback")
+        })
+        .collect()
+}
+
+fn run_once(workers: &[LocalWorker], inputs: &[(String, String)]) -> ClusterRun {
+    let addrs: Vec<WorkerAddr> = workers.iter().map(|w| w.addr().clone()).collect();
+    ClusterClient::new(addrs)
+        .run(inputs)
+        .expect("cluster run completes")
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster");
+    g.sample_size(10);
+
+    let inputs = workload_200();
+
+    // A snapshot covering the whole workload: warm one cache through
+    // one single-worker run, then serialize it.
+    let snapshot = {
+        let warmup = boot_workers(1, None);
+        run_once(&warmup, &inputs);
+        let text = warmup[0]
+            .engine()
+            .cache()
+            .expect("cache enabled")
+            .snapshot_string();
+        drop(warmup);
+        text
+    };
+    let full_cache_entries = LpCache::load_snapshot(&snapshot)
+        .expect("own snapshot loads")
+        .stats()
+        .entries;
+    assert!(full_cache_entries > 0);
+
+    let mut table = Table::new(&[
+        "workers",
+        "mode",
+        "hits",
+        "misses",
+        "resubmitted",
+        "per-worker hit rates",
+    ]);
+    for n_workers in [1usize, 2, 4] {
+        // Timed: one full cluster run per iteration over fresh workers
+        // (cold) or snapshot-warmed fresh workers (warm). Worker
+        // bring-up is inside the iteration for both, so the comparison
+        // isolates the cache temperature.
+        g.bench_function(&format!("cluster200_{n_workers}w_cold"), |b| {
+            b.iter(|| {
+                let workers = boot_workers(n_workers, None);
+                run_once(&workers, &inputs).reports.len()
+            })
+        });
+        g.bench_function(&format!("cluster200_{n_workers}w_warm"), |b| {
+            b.iter(|| {
+                let workers = boot_workers(n_workers, Some(&snapshot));
+                run_once(&workers, &inputs).reports.len()
+            })
+        });
+
+        // Untimed acceptance pass: warm must hit at least as often as
+        // cold — in fact every lookup, since the snapshot covers every
+        // class — and nothing may be resubmitted (no worker died).
+        for (mode, snapshot) in [("cold", None), ("warm", Some(snapshot.as_str()))] {
+            let workers = boot_workers(n_workers, snapshot);
+            let run = run_once(&workers, &inputs);
+            assert_eq!(run.reports.len(), inputs.len());
+            assert_eq!(run.resubmitted, 0);
+            let rates: Vec<String> = run
+                .workers
+                .iter()
+                .map(|w| {
+                    let looked = w.hits + w.misses;
+                    if looked == 0 {
+                        "-".to_owned()
+                    } else {
+                        format!("{:.0}%", 100.0 * w.hits as f64 / looked as f64)
+                    }
+                })
+                .collect();
+            table.row(&[
+                n_workers.to_string(),
+                mode.to_owned(),
+                run.cache.hits.to_string(),
+                run.cache.misses.to_string(),
+                run.resubmitted.to_string(),
+                rates.join(" "),
+            ]);
+            if mode == "warm" {
+                assert_eq!(
+                    run.cache.misses, 0,
+                    "a snapshot-warmed pool must not solve anything"
+                );
+                let cold_workers = boot_workers(n_workers, None);
+                let cold = run_once(&cold_workers, &inputs);
+                assert!(
+                    run.cache.hits >= cold.cache.hits,
+                    "warm ({}) must hit at least as often as cold ({})",
+                    run.cache.hits,
+                    cold.cache.hits
+                );
+            }
+        }
+    }
+    println!("{}", table.render());
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

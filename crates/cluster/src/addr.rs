@@ -1,0 +1,157 @@
+//! Worker addressing: one daemon, one address, two transports.
+//!
+//! `cq-serve` workers listen on TCP (`--tcp HOST:PORT`) or a
+//! Unix-domain socket (`--socket PATH`); the cluster layer treats both
+//! uniformly through [`WorkerAddr`] (parse/display) and [`WorkerConn`]
+//! (a connected stream with the clone/half-close surface the pipelined
+//! client needs).
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::os::unix::net::UnixStream;
+use std::str::FromStr;
+
+/// The address of one `cq-serve` worker daemon.
+///
+/// Textual forms (the `cq-cluster --worker` syntax):
+///
+/// - `tcp:HOST:PORT` or plain `HOST:PORT` — a TCP worker;
+/// - `unix:PATH` or any string containing `/` — a Unix-socket worker.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum WorkerAddr {
+    /// A `cq-serve --tcp` worker at `HOST:PORT`.
+    Tcp(String),
+    /// A `cq-serve --socket` worker at a filesystem path.
+    Unix(String),
+}
+
+impl FromStr for WorkerAddr {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<WorkerAddr, String> {
+        if let Some(rest) = s.strip_prefix("tcp:") {
+            return Ok(WorkerAddr::Tcp(rest.to_owned()));
+        }
+        if let Some(rest) = s.strip_prefix("unix:") {
+            return Ok(WorkerAddr::Unix(rest.to_owned()));
+        }
+        if s.contains('/') {
+            return Ok(WorkerAddr::Unix(s.to_owned()));
+        }
+        if s.contains(':') {
+            return Ok(WorkerAddr::Tcp(s.to_owned()));
+        }
+        Err(format!(
+            "unrecognized worker address {s:?} (expected HOST:PORT, tcp:HOST:PORT, \
+             unix:PATH, or a socket path containing '/')"
+        ))
+    }
+}
+
+impl fmt::Display for WorkerAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkerAddr::Tcp(hostport) => write!(f, "tcp:{hostport}"),
+            WorkerAddr::Unix(path) => write!(f, "unix:{path}"),
+        }
+    }
+}
+
+impl WorkerAddr {
+    /// Opens a connection to the worker.
+    pub fn connect(&self) -> io::Result<WorkerConn> {
+        match self {
+            WorkerAddr::Tcp(hostport) => TcpStream::connect(hostport).map(WorkerConn::Tcp),
+            WorkerAddr::Unix(path) => UnixStream::connect(path).map(WorkerConn::Unix),
+        }
+    }
+}
+
+/// A connected stream to one worker, transport-erased.
+#[derive(Debug)]
+pub enum WorkerConn {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl WorkerConn {
+    /// A second handle over the same connection (the client reads
+    /// responses on one clone while a writer thread streams requests
+    /// down the other).
+    pub fn try_clone(&self) -> io::Result<WorkerConn> {
+        match self {
+            WorkerConn::Tcp(s) => s.try_clone().map(WorkerConn::Tcp),
+            WorkerConn::Unix(s) => s.try_clone().map(WorkerConn::Unix),
+        }
+    }
+
+    /// Closes both directions; a blocked peer sees EOF.
+    pub fn shutdown(&self) {
+        match self {
+            WorkerConn::Tcp(s) => drop(s.shutdown(Shutdown::Both)),
+            WorkerConn::Unix(s) => drop(s.shutdown(Shutdown::Both)),
+        }
+    }
+}
+
+impl Read for WorkerConn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            WorkerConn::Tcp(s) => s.read(buf),
+            WorkerConn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for WorkerConn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            WorkerConn::Tcp(s) => s.write(buf),
+            WorkerConn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            WorkerConn::Tcp(s) => s.flush(),
+            WorkerConn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_both_transports() {
+        assert_eq!(
+            "127.0.0.1:7171".parse::<WorkerAddr>().unwrap(),
+            WorkerAddr::Tcp("127.0.0.1:7171".into())
+        );
+        assert_eq!(
+            "tcp:db.internal:9000".parse::<WorkerAddr>().unwrap(),
+            WorkerAddr::Tcp("db.internal:9000".into())
+        );
+        assert_eq!(
+            "/run/cq.sock".parse::<WorkerAddr>().unwrap(),
+            WorkerAddr::Unix("/run/cq.sock".into())
+        );
+        assert_eq!(
+            "unix:rel.sock".parse::<WorkerAddr>().unwrap(),
+            WorkerAddr::Unix("rel.sock".into())
+        );
+        assert!("justaword".parse::<WorkerAddr>().is_err());
+    }
+
+    #[test]
+    fn display_roundtrips_through_parse() {
+        for addr in [
+            WorkerAddr::Tcp("localhost:1".into()),
+            WorkerAddr::Unix("/tmp/x.sock".into()),
+        ] {
+            assert_eq!(addr.to_string().parse::<WorkerAddr>().unwrap(), addr);
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! [`LocalWorker`]: an in-process TCP worker over a [`ServeEngine`].
+//!
+//! `cq-cluster` in production connects to real `cq-serve` daemons (or
+//! spawns them as child processes); benches and tests want the same
+//! wire behavior without process management, so this module runs the
+//! identical serving loop — TCP listener, thread per connection, one
+//! shared engine — inside the current process. Because the engine is
+//! in reach, callers can also inspect per-worker cache statistics
+//! directly and pre-warm caches without touching the filesystem.
+
+use crate::addr::WorkerAddr;
+use cq_engine::ServeEngine;
+use std::collections::HashMap;
+use std::io::{self, BufReader, Write as _};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A `cq-serve`-equivalent worker on a loopback TCP port.
+pub struct LocalWorker {
+    addr: WorkerAddr,
+    engine: Arc<ServeEngine>,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl LocalWorker {
+    /// Binds `127.0.0.1:0` (a fresh port) and starts serving `engine`.
+    pub fn spawn(engine: ServeEngine) -> io::Result<LocalWorker> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = WorkerAddr::Tcp(listener.local_addr()?.to_string());
+        listener.set_nonblocking(true)?;
+        let engine = Arc::new(engine);
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let accept_engine = Arc::clone(&engine);
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_thread = std::thread::spawn(move || {
+            // Same structure as the cq-serve binary's loop: a registry
+            // of live connections, half-closed on shutdown so joined
+            // connection threads drain instead of hanging in read.
+            let connections: Arc<Mutex<HashMap<u64, TcpStream>>> =
+                Arc::new(Mutex::new(HashMap::new()));
+            let next_id = AtomicU64::new(0);
+            let mut conn_threads: Vec<JoinHandle<()>> = Vec::new();
+            while !accept_shutdown.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let id = next_id.fetch_add(1, Ordering::Relaxed);
+                        if let Ok(clone) = stream.try_clone() {
+                            connections.lock().expect("registry").insert(id, clone);
+                        }
+                        let engine = Arc::clone(&accept_engine);
+                        let connections = Arc::clone(&connections);
+                        conn_threads.push(std::thread::spawn(move || {
+                            if let Ok(read_half) = stream.try_clone() {
+                                let mut writer = stream;
+                                let _ =
+                                    engine.serve_connection(BufReader::new(read_half), &mut writer);
+                                let _ = writer.flush();
+                            }
+                            connections.lock().expect("registry").remove(&id);
+                        }));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+            for stream in connections.lock().expect("registry").values() {
+                let _ = stream.shutdown(Shutdown::Read);
+            }
+            for handle in conn_threads {
+                let _ = handle.join();
+            }
+        });
+
+        Ok(LocalWorker {
+            addr,
+            engine,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The worker's connectable address.
+    pub fn addr(&self) -> &WorkerAddr {
+        &self.addr
+    }
+
+    /// The engine behind the worker (cache statistics, pre-warming).
+    pub fn engine(&self) -> &Arc<ServeEngine> {
+        &self.engine
+    }
+
+    /// Stops accepting, drains live connections, joins every thread.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for LocalWorker {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, Write};
+
+    #[test]
+    fn serves_the_protocol_over_loopback() {
+        let worker = LocalWorker::spawn(ServeEngine::new().with_workers(2)).unwrap();
+        let mut conn = worker.addr().connect().unwrap();
+        conn.write_all(
+            b"{\"id\":1,\"cmd\":\"analyze\",\"query\":\"S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z)\"}\n",
+        )
+        .unwrap();
+        let mut reader = BufReader::new(conn.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"ok\":true"), "{line}");
+        assert!(line.contains("\"exponent\":\"3/2\""), "{line}");
+        drop(reader);
+        conn.shutdown();
+        assert_eq!(worker.engine().stats().analyses, 1);
+        worker.stop();
+    }
+}

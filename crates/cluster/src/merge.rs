@@ -1,0 +1,186 @@
+//! [`ReportMerger`]: input-ordered report sink plus summed statistics.
+//!
+//! Workers finish shards in whatever order the network decides; the
+//! merger is the deterministic end of the pipeline. Per-query reports
+//! land in their original input slot (so `cq-cluster` output lines up
+//! 1:1 with `cq-analyze` batch output), and the per-worker counters
+//! sum into cluster totals.
+//!
+//! The soundness argument for summing is the same canonical-key purity
+//! the cache rests on: a worker's report depends only on its query (and
+//! its cache can only substitute bit-equal LP *values*), never on which
+//! worker ran it or what else that worker analyzed — so reports merge
+//! by position and counters merge by addition, with no cross-worker
+//! reconciliation step.
+
+use cq_engine::Json;
+
+/// Collects per-query reports into their original input positions.
+#[derive(Debug)]
+pub struct ReportMerger {
+    slots: Vec<Option<Json>>,
+}
+
+impl ReportMerger {
+    /// A merger expecting `n` reports.
+    pub fn new(n: usize) -> ReportMerger {
+        ReportMerger {
+            slots: (0..n).map(|_| None).collect(),
+        }
+    }
+
+    /// Files the report for input `i`. Double delivery (a resubmitted
+    /// chunk whose first run partially completed) keeps the first copy:
+    /// analyses are deterministic, so both copies agree anyway.
+    pub fn insert(&mut self, i: usize, report: Json) -> bool {
+        let slot = &mut self.slots[i];
+        if slot.is_none() {
+            *slot = Some(report);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Input indices still missing a report.
+    pub fn missing(&self) -> Vec<usize> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.is_none().then_some(i))
+            .collect()
+    }
+
+    /// All reports, in input order.
+    ///
+    /// # Panics
+    /// Panics if any slot is still empty ([`ReportMerger::missing`]).
+    pub fn into_reports(self) -> Vec<Json> {
+        self.slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| s.unwrap_or_else(|| panic!("no report for input {i}")))
+            .collect()
+    }
+}
+
+/// Cluster-summed LP-cache counters (hit/miss/eviction *deltas* over
+/// the run, so long-lived external daemons don't smear their history
+/// into this run's numbers; `entries` is end-of-run residency).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheTotals {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub entries: u64,
+}
+
+/// Cluster-summed solver work, aggregated from every per-report
+/// `solver_stats` object (the distributed analogue of summing
+/// `SessionStats` across a batch).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverTotals {
+    pub pivots: u64,
+    pub refactorizations: u64,
+    pub dense_solves: u64,
+    pub sparse_solves: u64,
+}
+
+impl SolverTotals {
+    /// Sums the `solver_stats` objects across reports (parse-error
+    /// entries have none and contribute zero).
+    pub fn from_reports(reports: &[Json]) -> SolverTotals {
+        let mut totals = SolverTotals::default();
+        for report in reports {
+            let Some(stats) = report.get("solver_stats") else {
+                continue;
+            };
+            let field = |name: &str| {
+                stats
+                    .get(name)
+                    .and_then(Json::as_i64)
+                    .map_or(0, |n| n.max(0) as u64)
+            };
+            totals.pivots += field("pivots");
+            totals.refactorizations += field("refactorizations");
+            totals.dense_solves += field("dense_solves");
+            totals.sparse_solves += field("sparse_solves");
+        }
+        totals
+    }
+}
+
+/// The hit/miss/eviction delta between two `cache_stats` objects from
+/// the same daemon (`entries` is taken from `after`). Saturating: a
+/// daemon restarted mid-run shows a smaller `after`, which must not
+/// wrap into astronomical deltas.
+pub fn cache_stats_delta(before: &Json, after: &Json) -> CacheTotals {
+    let field = |obj: &Json, name: &str| {
+        obj.get(name)
+            .and_then(Json::as_i64)
+            .map_or(0, |n| n.max(0) as u64)
+    };
+    CacheTotals {
+        hits: field(after, "hits").saturating_sub(field(before, "hits")),
+        misses: field(after, "misses").saturating_sub(field(before, "misses")),
+        evictions: field(after, "evictions").saturating_sub(field(before, "evictions")),
+        entries: field(after, "entries"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merger_orders_and_tracks_missing() {
+        let mut m = ReportMerger::new(3);
+        assert!(m.insert(2, Json::int(2)));
+        assert_eq!(m.missing(), vec![0, 1]);
+        assert!(m.insert(0, Json::int(0)));
+        assert!(!m.insert(2, Json::int(99)), "first delivery wins");
+        assert!(m.insert(1, Json::int(1)));
+        assert!(m.missing().is_empty());
+        assert_eq!(
+            m.into_reports(),
+            vec![Json::int(0), Json::int(1), Json::int(2)]
+        );
+    }
+
+    #[test]
+    fn solver_totals_skip_error_entries() {
+        let report = Json::parse(
+            r#"{"solver_stats":{"pivots":3,"refactorizations":1,"dense_solves":1,"sparse_solves":2}}"#,
+        )
+        .unwrap();
+        let error = Json::parse(r#"{"name":"bad","error":"parse error"}"#).unwrap();
+        let totals = SolverTotals::from_reports(&[report.clone(), error, report]);
+        assert_eq!(
+            totals,
+            SolverTotals {
+                pivots: 6,
+                refactorizations: 2,
+                dense_solves: 2,
+                sparse_solves: 4
+            }
+        );
+    }
+
+    #[test]
+    fn cache_delta_subtracts_history() {
+        let before = Json::parse(r#"{"hits":100,"misses":40,"evictions":7,"entries":33}"#).unwrap();
+        let after = Json::parse(r#"{"hits":150,"misses":42,"evictions":7,"entries":35}"#).unwrap();
+        assert_eq!(
+            cache_stats_delta(&before, &after),
+            CacheTotals {
+                hits: 50,
+                misses: 2,
+                evictions: 0,
+                entries: 35
+            }
+        );
+        // restart mid-run: saturates instead of wrapping
+        let restarted = Json::parse(r#"{"hits":1,"misses":1,"evictions":0,"entries":1}"#).unwrap();
+        assert_eq!(cache_stats_delta(&before, &restarted).hits, 0);
+    }
+}

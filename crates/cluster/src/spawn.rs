@@ -1,0 +1,132 @@
+//! [`ServeChild`]: spawning real `cq-serve --tcp` worker processes.
+//!
+//! The self-hosting path of `cq-cluster` and the integration tests both
+//! need the same bring-up sequence: spawn the daemon on `127.0.0.1:0`,
+//! read the resolved address from its stderr announcement (`cq-serve:
+//! listening on HOST:PORT` — the discovery contract documented in
+//! `docs/PROTOCOL.md`), then keep stderr drained so the child can never
+//! block on a full pipe. Centralizing it here means a change to the
+//! announcement format has exactly one consumer to update.
+
+use crate::addr::WorkerAddr;
+use std::io::{self, BufRead, BufReader, Read};
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// How long a spawned daemon gets to announce its address before the
+/// spawner gives up and kills it — generous against a loaded machine,
+/// finite against a daemon that will never bind (or whose announcement
+/// format drifted).
+const ANNOUNCE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A spawned `cq-serve --tcp 127.0.0.1:0` child and its resolved
+/// address. Killed (SIGKILL) and reaped on drop — workers are
+/// stateless unless the caller passed `--cache-file`, so an abrupt
+/// stop loses nothing the cluster layer can't recompute.
+pub struct ServeChild {
+    child: Child,
+    addr: WorkerAddr,
+}
+
+impl ServeChild {
+    /// Spawns `serve_binary --tcp 127.0.0.1:0 <extra_args…>` and waits
+    /// for its address announcement.
+    pub fn spawn(serve_binary: &Path, extra_args: &[&str]) -> io::Result<ServeChild> {
+        let mut child = Command::new(serve_binary)
+            .args(["--tcp", "127.0.0.1:0"])
+            .args(extra_args)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .spawn()?;
+        let stderr = child.stderr.take().expect("stderr piped");
+        // The announcement is awaited on a thread so the spawner can
+        // bound the wait: a daemon that never binds (or whose
+        // announcement format drifted) must fail the spawn, not hang
+        // it. The thread reports either the address or everything the
+        // child said before going silent — the actual failure reason.
+        let (tx, rx) = mpsc::channel::<Result<String, String>>();
+        let reader_thread = std::thread::spawn(move || {
+            let mut reader = BufReader::new(stderr);
+            let mut line = String::new();
+            let mut said = String::new();
+            loop {
+                line.clear();
+                match reader.read_line(&mut line) {
+                    Ok(0) => {
+                        let _ = tx.send(Err(said));
+                        return;
+                    }
+                    Ok(_) => {
+                        if let Some(at) = line.find("listening on ") {
+                            let hostport = line[at + "listening on ".len()..].trim().to_owned();
+                            let _ = tx.send(Ok(hostport));
+                            // Stay on as the drain so the child can
+                            // never block on a full stderr pipe.
+                            let mut sink = Vec::new();
+                            let _ = reader.read_to_end(&mut sink);
+                            return;
+                        }
+                        said.push_str(&line);
+                    }
+                    Err(_) => {
+                        let _ = tx.send(Err(said));
+                        return;
+                    }
+                }
+            }
+        });
+        let announced = rx.recv_timeout(ANNOUNCE_TIMEOUT);
+        let fail = |mut child: Child, what: String| -> io::Error {
+            let _ = child.kill();
+            let _ = child.wait();
+            io::Error::other(what)
+        };
+        match announced {
+            Ok(Ok(hostport)) => Ok(ServeChild {
+                child,
+                addr: WorkerAddr::Tcp(hostport),
+            }),
+            Ok(Err(said)) => {
+                let _ = reader_thread.join();
+                Err(fail(
+                    child,
+                    format!(
+                        "spawned cq-serve exited before announcing its address; it said: {}",
+                        said.trim()
+                    ),
+                ))
+            }
+            Err(_) => {
+                // Killing the child EOFs its stderr, letting the reader
+                // thread exit; don't join before the kill.
+                Err(fail(
+                    child,
+                    format!(
+                        "spawned cq-serve did not announce its address within {}s",
+                        ANNOUNCE_TIMEOUT.as_secs()
+                    ),
+                ))
+            }
+        }
+    }
+
+    /// The worker's connectable address.
+    pub fn addr(&self) -> &WorkerAddr {
+        &self.addr
+    }
+
+    /// Kills (SIGKILL) and reaps the child now. Idempotent.
+    pub fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for ServeChild {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}

@@ -23,6 +23,7 @@
 //! optima), but the *value* — the exponent the paper's theorems care
 //! about — is the unique LP optimum either way.
 
+use crate::json::{obj, Json};
 use cq_arith::Rational;
 use cq_core::ConjunctiveQuery;
 use cq_core::{
@@ -30,6 +31,7 @@ use cq_core::{
 };
 use cq_hypergraph::{canonical_form, CanonicalKey};
 use cq_util::FxHashMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
 
@@ -40,13 +42,92 @@ const SHARDS: usize = 16;
 /// Default total entry capacity across all shards.
 pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
 
+/// Version tag of the [`LpCache::snapshot_string`] on-disk format. A
+/// loader seeing any other value refuses with
+/// [`SnapshotError::Version`] — entries from a future format are never
+/// silently reinterpreted.
+pub const SNAPSHOT_VERSION: i64 = 1;
+
+/// The `"format"` marker every snapshot document carries.
+const SNAPSHOT_FORMAT: &str = "cq-lpcache";
+
 /// Which structure-only LP an entry solves.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 enum LpKind {
     /// Proposition 3.6 coloring LP (per-vertex weights).
     Coloring,
     /// §3.1 minimal fractional edge cover of the head (per-edge weights).
     HeadCover,
+}
+
+impl LpKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            LpKind::Coloring => "coloring",
+            LpKind::HeadCover => "head_cover",
+        }
+    }
+
+    fn parse(s: &str) -> Option<LpKind> {
+        match s {
+            "coloring" => Some(LpKind::Coloring),
+            "head_cover" => Some(LpKind::HeadCover),
+            _ => None,
+        }
+    }
+
+    /// The weight-vector length a well-formed entry of this kind must
+    /// have for `key` (per-vertex vs per-edge data).
+    fn weights_len(self, key: &CanonicalKey) -> usize {
+        match self {
+            LpKind::Coloring => key.num_vertices as usize,
+            LpKind::HeadCover => key.num_edges as usize,
+        }
+    }
+}
+
+/// Why a snapshot could not be read. `Io` is the filesystem failing;
+/// the other two mean the *bytes* are not a usable snapshot (corrupted,
+/// truncated, or written by an incompatible version) — a daemon
+/// refuses to start over either rather than serving from a cache it
+/// cannot trust.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Reading or writing the file failed.
+    Io(std::io::Error),
+    /// The bytes do not parse as a well-formed snapshot (this includes
+    /// truncation: a cut-off document no longer parses as JSON).
+    Malformed(String),
+    /// A structurally valid snapshot written by an unknown format
+    /// version.
+    Version {
+        /// The version the file declares (rendered JSON).
+        found: String,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot io error: {e}"),
+            SnapshotError::Malformed(what) => {
+                write!(f, "malformed cache snapshot: {what}")
+            }
+            SnapshotError::Version { found } => write!(
+                f,
+                "cache snapshot version {found} is not supported \
+                 (this build reads v{SNAPSHOT_VERSION})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
 }
 
 /// One cached solution, stored in canonical vertex/edge order.
@@ -60,6 +141,9 @@ struct Entry {
 #[derive(Default)]
 struct Shard {
     map: FxHashMap<(LpKind, CanonicalKey), Entry>,
+    /// Entries this shard evicted to stay within its capacity slice
+    /// (mutated under the shard write lock, so a plain counter).
+    evictions: u64,
 }
 
 /// Counter snapshot of a cache's lifetime activity.
@@ -69,10 +153,24 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that had to solve the LP.
     pub misses: u64,
-    /// Entries evicted to respect the capacity bound.
+    /// Entries evicted to respect the capacity bound (summed over the
+    /// shards; [`LpCache::shard_stats`] has the per-shard split).
     pub evictions: u64,
     /// Entries currently resident.
     pub entries: u64,
+}
+
+/// Residency and eviction counters of one cache shard
+/// ([`LpCache::shard_stats`]). Eviction skew across shards is the
+/// signal warm-cache benchmarks read: a hot shard evicting while its
+/// neighbors idle means the capacity bound, not the workload, decided
+/// the hit rate.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Entries currently resident in this shard.
+    pub entries: u64,
+    /// Entries this shard has evicted.
+    pub evictions: u64,
 }
 
 /// A sharded, LRU-bounded, renaming-invariant LP solution cache.
@@ -86,7 +184,6 @@ pub struct LpCache {
     tick: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
-    evictions: AtomicU64,
 }
 
 impl Default for LpCache {
@@ -119,22 +216,40 @@ impl LpCache {
             tick: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
         }
     }
 
     /// Lifetime hit/miss/eviction counters and current residency.
     pub fn stats(&self) -> CacheStats {
+        let mut entries = 0;
+        let mut evictions = 0;
+        for shard in &self.shards {
+            let shard = shard.read().expect("cache lock");
+            entries += shard.map.len() as u64;
+            evictions += shard.evictions;
+        }
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            entries: self
-                .shards
-                .iter()
-                .map(|s| s.read().expect("cache lock").map.len() as u64)
-                .sum(),
+            evictions,
+            entries,
         }
+    }
+
+    /// Per-shard residency and eviction counters, in shard order (the
+    /// shard index is the low bits of the canonical hash, so skew here
+    /// is key-distribution skew).
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|shard| {
+                let shard = shard.read().expect("cache lock");
+                ShardStats {
+                    entries: shard.map.len() as u64,
+                    evictions: shard.evictions,
+                }
+            })
+            .collect()
     }
 
     /// The Proposition 3.6 color number of `q`, served from the cache
@@ -215,6 +330,39 @@ impl LpCache {
 
     fn insert(&self, kind: LpKind, key: CanonicalKey, value: Rational, weights: Vec<Rational>) {
         let mut shard = self.shard_of(&key).write().expect("cache lock");
+        self.insert_locked(&mut shard, kind, key, value, weights);
+    }
+
+    /// Inserts only if the key is absent (the snapshot/merge path:
+    /// entries are pure functions of their key, so an existing entry is
+    /// already the right one). The check and the insert happen under
+    /// one write-lock acquisition, so concurrent merges of overlapping
+    /// snapshots count each genuinely-new entry exactly once between
+    /// them. Returns whether an insert happened.
+    fn absorb(
+        &self,
+        kind: LpKind,
+        key: CanonicalKey,
+        value: Rational,
+        weights: Vec<Rational>,
+    ) -> bool {
+        let mut shard = self.shard_of(&key).write().expect("cache lock");
+        if shard.map.contains_key(&(kind, key)) {
+            return false;
+        }
+        self.insert_locked(&mut shard, kind, key, value, weights);
+        true
+    }
+
+    /// The insert body, under an already-held shard write lock.
+    fn insert_locked(
+        &self,
+        shard: &mut Shard,
+        kind: LpKind,
+        key: CanonicalKey,
+        value: Rational,
+        weights: Vec<Rational>,
+    ) {
         if shard.map.len() >= self.capacity_per_shard && !shard.map.contains_key(&(kind, key)) {
             // Evict the least-recently-used entry of this shard. A
             // linear scan is fine: shards are small (capacity/SHARDS)
@@ -226,7 +374,7 @@ impl LpCache {
                 .map(|(k, _)| *k)
             {
                 shard.map.remove(&old);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+                shard.evictions += 1;
             }
         }
         shard.map.insert(
@@ -238,6 +386,226 @@ impl LpCache {
             },
         );
     }
+
+    /// Serializes every resident entry as a versioned, stable JSON
+    /// document (format `cq-lpcache` v[`SNAPSHOT_VERSION`]). Entries
+    /// are sorted by `(kind, key)` so two caches holding the same
+    /// entries snapshot to byte-identical documents regardless of
+    /// insertion or eviction history. Hit/miss counters are *not*
+    /// serialized — a snapshot is the warm contents, not the history.
+    pub fn snapshot_string(&self) -> String {
+        self.snapshot_document().0
+    }
+
+    /// The snapshot text plus the entry count it actually serializes
+    /// (counted from the collected entries, not from a separate —
+    /// racily different — `stats()` pass).
+    fn snapshot_document(&self) -> (String, usize) {
+        let mut entries: Vec<SnapshotEntry> = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.read().expect("cache lock");
+            for ((kind, key), entry) in &shard.map {
+                entries.push((*kind, *key, entry.value.clone(), entry.weights.clone()));
+            }
+        }
+        entries.sort_by_key(|e| (e.0, e.1));
+        let entries: Vec<Json> = entries
+            .into_iter()
+            .map(|(kind, key, value, weights)| {
+                obj([
+                    ("kind", Json::str(kind.as_str())),
+                    ("key", Json::str(key.to_compact_string())),
+                    ("value", Json::str(value.to_string())),
+                    (
+                        "weights",
+                        Json::Arr(weights.iter().map(|w| Json::str(w.to_string())).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        let count = entries.len();
+        let text = obj([
+            ("format", Json::str(SNAPSHOT_FORMAT)),
+            ("version", Json::Int(SNAPSHOT_VERSION)),
+            ("count", Json::int(count)),
+            ("entries", Json::Arr(entries)),
+        ])
+        .render();
+        (text, count)
+    }
+
+    /// Parses a [`LpCache::snapshot_string`] document and absorbs its
+    /// entries (existing keys win — by canonical-key purity they hold
+    /// the same solution). Returns how many entries were actually
+    /// added. Nothing is absorbed unless the whole document validates:
+    /// a corrupted or truncated file changes the cache not at all.
+    pub fn merge_snapshot(&self, text: &str) -> Result<usize, SnapshotError> {
+        let entries = parse_snapshot(text)?;
+        let mut added = 0;
+        for (kind, key, value, weights) in entries {
+            if self.absorb(kind, key, value, weights) {
+                added += 1;
+            }
+        }
+        Ok(added)
+    }
+
+    /// A fresh default-capacity cache loaded from a snapshot document.
+    pub fn load_snapshot(text: &str) -> Result<LpCache, SnapshotError> {
+        let cache = LpCache::new();
+        cache.merge_snapshot(text)?;
+        Ok(cache)
+    }
+
+    /// Absorbs every entry resident in `other` (shard-merge for
+    /// multi-daemon cache gossip: entries are pure functions of their
+    /// canonical key, so merging caches from different processes is
+    /// sound in either direction). Returns how many entries were added.
+    pub fn merge(&self, other: &LpCache) -> usize {
+        let mut added = 0;
+        for shard in &other.shards {
+            // Clone out under the read lock, absorb after releasing it,
+            // so merging a cache into itself cannot deadlock.
+            let entries: Vec<_> = {
+                let shard = shard.read().expect("cache lock");
+                shard
+                    .map
+                    .iter()
+                    .map(|((kind, key), e)| (*kind, *key, e.value.clone(), e.weights.clone()))
+                    .collect()
+            };
+            for (kind, key, value, weights) in entries {
+                if self.absorb(kind, key, value, weights) {
+                    added += 1;
+                }
+            }
+        }
+        added
+    }
+
+    /// Writes [`LpCache::snapshot_string`] to `path` atomically (a
+    /// uniquely named temp file, fsynced, then renamed into place — so
+    /// neither a crash mid-write, a power loss around the rename, nor
+    /// two concurrent saves to the same path can leave a truncated or
+    /// interleaved snapshot where a good one was; the last completed
+    /// rename wins whole). Returns the entry count written.
+    pub fn save_to_file(&self, path: impl AsRef<Path>) -> Result<usize, SnapshotError> {
+        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        let path = path.as_ref();
+        let (text, entries) = self.snapshot_document();
+        let tmp = path.with_extension(format!(
+            "tmp.{}.{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let written: std::io::Result<()> = (|| {
+            let mut file = std::fs::File::create(&tmp)?;
+            use std::io::Write as _;
+            file.write_all(text.as_bytes())?;
+            // Data must be durable *before* the rename is journaled, or
+            // a power loss could publish a zero-length file — which a
+            // later boot would refuse as corrupt.
+            file.sync_all()?;
+            std::fs::rename(&tmp, path)?;
+            // Persist the directory entry too (best-effort: directory
+            // fds are not syncable on every platform).
+            if let Some(dir) = path.parent() {
+                if let Ok(dir) = std::fs::File::open(dir) {
+                    let _ = dir.sync_all();
+                }
+            }
+            Ok(())
+        })();
+        if let Err(e) = written {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(SnapshotError::Io(e));
+        }
+        Ok(entries)
+    }
+
+    /// Reads a snapshot file and absorbs its entries
+    /// ([`LpCache::merge_snapshot`] semantics). Returns entries added.
+    pub fn merge_from_file(&self, path: impl AsRef<Path>) -> Result<usize, SnapshotError> {
+        let text = std::fs::read_to_string(path)?;
+        self.merge_snapshot(&text)
+    }
+}
+
+/// One decoded snapshot entry: `(kind, key, value, weights)`.
+type SnapshotEntry = (LpKind, CanonicalKey, Rational, Vec<Rational>);
+
+/// Validates and decodes a snapshot document into its entries.
+fn parse_snapshot(text: &str) -> Result<Vec<SnapshotEntry>, SnapshotError> {
+    let doc = Json::parse(text).map_err(|e| SnapshotError::Malformed(e.to_string()))?;
+    match doc.get("format").and_then(Json::as_str) {
+        Some(SNAPSHOT_FORMAT) => {}
+        _ => {
+            return Err(SnapshotError::Malformed(format!(
+                "missing the {SNAPSHOT_FORMAT:?} format marker"
+            )))
+        }
+    }
+    match doc.get("version") {
+        Some(v) if v.as_i64() == Some(SNAPSHOT_VERSION) => {}
+        Some(v) => {
+            return Err(SnapshotError::Version { found: v.render() });
+        }
+        None => {
+            return Err(SnapshotError::Malformed(
+                "missing the version field".to_owned(),
+            ))
+        }
+    }
+    let items = doc
+        .get("entries")
+        .and_then(Json::as_array)
+        .ok_or_else(|| SnapshotError::Malformed("missing the entries array".to_owned()))?;
+    match doc.get("count").and_then(Json::as_usize) {
+        Some(count) if count == items.len() => {}
+        _ => {
+            return Err(SnapshotError::Malformed(format!(
+                "entry count mismatch: header declares {:?}, document holds {}",
+                doc.get("count").map(Json::render),
+                items.len()
+            )))
+        }
+    }
+    let mut entries = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let bad = |what: &str| SnapshotError::Malformed(format!("entry {i}: {what}"));
+        let kind = item
+            .get("kind")
+            .and_then(Json::as_str)
+            .and_then(LpKind::parse)
+            .ok_or_else(|| bad("unknown LP kind"))?;
+        let key = item
+            .get("key")
+            .and_then(Json::as_str)
+            .and_then(CanonicalKey::parse_compact)
+            .ok_or_else(|| bad("unparseable canonical key"))?;
+        let value: Rational = item
+            .get("value")
+            .and_then(Json::as_str)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("unparseable value"))?;
+        let weights = item
+            .get("weights")
+            .and_then(Json::as_array)
+            .ok_or_else(|| bad("missing weights"))?
+            .iter()
+            .map(|w| w.as_str().and_then(|s| s.parse::<Rational>().ok()))
+            .collect::<Option<Vec<Rational>>>()
+            .ok_or_else(|| bad("unparseable weight"))?;
+        if weights.len() != kind.weights_len(&key) {
+            return Err(bad(&format!(
+                "weight vector length {} does not fit the key ({} expected)",
+                weights.len(),
+                kind.weights_len(&key)
+            )));
+        }
+        entries.push((kind, key, value, weights));
+    }
+    Ok(entries)
 }
 
 #[cfg(test)]
@@ -327,6 +695,117 @@ mod tests {
         assert!(stats.evictions > 0, "{stats:?}");
         assert!(stats.entries <= SHARDS as u64, "{stats:?}");
         assert_eq!(stats.entries + stats.evictions, 40, "{stats:?}");
+    }
+
+    #[test]
+    fn evictions_are_counted_per_shard() {
+        let cache = LpCache::with_capacity(SHARDS); // one entry per shard
+        let chain = |n: usize| {
+            let atoms: Vec<String> = (0..n).map(|i| format!("R{i}(V{i},V{})", i + 1)).collect();
+            q(&format!("Q(V0) :- {}", atoms.join(", ")))
+        };
+        for n in 1..=40 {
+            cache.color_number(&chain(n));
+        }
+        let shards = cache.shard_stats();
+        assert_eq!(shards.len(), SHARDS);
+        let total: u64 = shards.iter().map(|s| s.evictions).sum();
+        assert_eq!(total, cache.stats().evictions);
+        assert!(total > 0);
+        // Every resident entry sits in some shard, and no shard is over
+        // its capacity slice (1 here).
+        assert_eq!(
+            shards.iter().map(|s| s.entries).sum::<u64>(),
+            cache.stats().entries
+        );
+        assert!(shards.iter().all(|s| s.entries <= 1), "{shards:?}");
+    }
+
+    #[test]
+    fn snapshot_roundtrips_and_serves_hits() {
+        let cache = LpCache::new();
+        cache.color_number(&q("S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z)"));
+        cache.edge_cover_head(&q("S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z)"));
+        cache.color_number(&q("Q(A) :- R(A,B), S(B,C)"));
+        let text = cache.snapshot_string();
+
+        let restored = LpCache::load_snapshot(&text).unwrap();
+        assert_eq!(restored.stats().entries, 3);
+        assert_eq!(restored.stats().hits, 0, "history is not serialized");
+        // A relabeled triangle against the restored cache: pure hit,
+        // same value, valid translated certificate.
+        let (cn, hit) = restored.color_number(&q("T(C,A,B) :- E(B,C), E(A,B), E(A,C)"));
+        assert!(hit);
+        assert_eq!(cn.value.to_string(), "3/2");
+        // Snapshots are canonical: same entries => same bytes, even
+        // from a cache that absorbed them in a different order.
+        assert_eq!(restored.snapshot_string(), text);
+    }
+
+    #[test]
+    fn merge_adds_only_missing_entries() {
+        let a = LpCache::new();
+        let b = LpCache::new();
+        a.color_number(&q("S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z)"));
+        b.color_number(&q("T(C,A,B) :- E(B,C), E(A,B), E(A,C)")); // isomorphic
+        b.color_number(&q("Q(A) :- R(A,B), S(B,C)"));
+        assert_eq!(a.merge(&b), 1, "the isomorphic entry already exists");
+        assert_eq!(a.stats().entries, 2);
+        assert_eq!(a.merge(&b), 0, "idempotent");
+        assert_eq!(a.merge(&a), 0, "self-merge is a no-op, not a deadlock");
+        // merge_snapshot agrees with merge
+        let c = LpCache::new();
+        assert_eq!(c.merge_snapshot(&a.snapshot_string()).unwrap(), 2);
+        assert_eq!(c.snapshot_string(), a.snapshot_string());
+    }
+
+    #[test]
+    fn corrupt_snapshots_are_rejected_structurally() {
+        let cache = LpCache::new();
+        cache.color_number(&q("S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z)"));
+        let good = cache.snapshot_string();
+
+        // Truncation: no prefix of the document loads.
+        let truncated = &good[..good.len() / 2];
+        assert!(matches!(
+            LpCache::load_snapshot(truncated),
+            Err(SnapshotError::Malformed(_))
+        ));
+        // A corrupted entry field is named in the error.
+        let dropped = good.replacen("{\"kind\":", "{\"kind0\":", 1);
+        let err = LpCache::load_snapshot(&dropped).unwrap_err();
+        assert!(
+            matches!(err, SnapshotError::Malformed(ref what) if what.contains("LP kind")),
+            "{err}"
+        );
+        // A count disagreeing with the entries array is a mismatch.
+        let miscounted = good.replacen("\"count\":1", "\"count\":2", 1);
+        let err = LpCache::load_snapshot(&miscounted).unwrap_err();
+        assert!(
+            matches!(err, SnapshotError::Malformed(ref what) if what.contains("count mismatch")),
+            "{err}"
+        );
+        // Version from the future: refused with the version error.
+        let future = good.replacen("\"version\":1", "\"version\":99", 1);
+        let err = LpCache::load_snapshot(&future).unwrap_err();
+        assert!(
+            matches!(err, SnapshotError::Version { ref found } if found == "99"),
+            "{err}"
+        );
+        // Wrong weights length for the key: rejected, not a later panic.
+        let target = cache.snapshot_string();
+        let short = target.replacen(",\"weights\":[\"", ",\"weights\":[\"0\",\"", 1);
+        let err = LpCache::load_snapshot(&short).unwrap_err();
+        assert!(
+            matches!(err, SnapshotError::Malformed(ref what) if what.contains("length")),
+            "{err}"
+        );
+        // And in every failure case, nothing was absorbed.
+        let sink = LpCache::new();
+        for bad in [truncated, &dropped, &future, &short] {
+            let _ = sink.merge_snapshot(bad);
+        }
+        assert_eq!(sink.stats().entries, 0);
     }
 
     #[test]

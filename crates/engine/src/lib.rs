@@ -44,7 +44,9 @@ pub mod serve;
 pub mod session;
 
 pub use batch::BatchAnalyzer;
-pub use cache::{CacheStats, LpCache, DEFAULT_CACHE_CAPACITY};
+pub use cache::{
+    CacheStats, LpCache, ShardStats, SnapshotError, DEFAULT_CACHE_CAPACITY, SNAPSHOT_VERSION,
+};
 pub use json::Json;
 pub use report::{
     AnalysisReport, ChaseReport, DataReport, EntropyReport, GrowthReport, ReportOptions,

@@ -2,22 +2,29 @@
 //!
 //! One process, one warm [`LpCache`], many requests: the daemon turns
 //! the cross-query cache from a per-invocation optimization into a
-//! serving asset. Requests arrive as newline-delimited JSON (over stdin
-//! or a Unix-domain socket — the transport is the binary's concern, this
-//! layer only sees `BufRead`/`Write` pairs) and every response is one
+//! serving asset. Requests arrive as newline-delimited JSON (over
+//! stdin, a Unix-domain socket or TCP — the transport is the binary's
+//! concern, this layer only sees `BufRead`/`Write` pairs) and every
+//! response is one
 //! JSON line carrying the request's `id`, the elapsed `micros`, and the
 //! rolling cache counters. The wire protocol is specified, shape by
 //! shape, in `docs/PROTOCOL.md`, and a test replays that document
 //! against the real daemon so the two cannot drift.
 //!
-//! Three commands exist in protocol version 1:
+//! Four commands exist in protocol version 1:
 //!
 //! - `analyze` — one query through a cache-attached
 //!   [`AnalysisSession`], returned as the same report object
 //!   `cq-analyze --json` prints;
 //! - `batch` — up to [`MAX_BATCH`] queries fanned out through
 //!   [`BatchAnalyzer`] over the shared cache, one reports array back;
-//! - `stats` — a [`ServeStats`] snapshot without analyzing anything.
+//! - `stats` — a [`ServeStats`] snapshot (plus per-shard cache
+//!   residency/eviction counters) without analyzing anything;
+//! - `cache` — `op: "save"` snapshots the warm [`LpCache`] to disk,
+//!   `op: "load"` merges a snapshot file back in (the persistence and
+//!   cache-sharing surface `cq-cluster` and multi-daemon deployments
+//!   build on; entries are pure functions of their canonical key, so
+//!   merging is always sound).
 //!
 //! Malformed lines never kill the process: every failure becomes an
 //! `{"ok":false,…}` response and the loop keeps serving. A connection
@@ -34,13 +41,14 @@
 //! pipeline see pure request/response and clients that do still get
 //! deterministic output.
 
-use crate::cache::LpCache;
+use crate::cache::{LpCache, SnapshotError};
 use crate::json::{obj, Json};
 use crate::report::ReportOptions;
 use crate::session::AnalysisSession;
 use crate::BatchAnalyzer;
 use std::collections::BTreeMap;
 use std::io::{self, BufRead, ErrorKind, Write};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
@@ -101,6 +109,15 @@ pub struct ServeStats {
 /// ```
 pub struct ServeEngine {
     cache: Option<Arc<LpCache>>,
+    /// Default snapshot path: loaded at attach time, written on
+    /// graceful shutdown, and the fallback for pathless `cache` ops.
+    cache_file: Option<PathBuf>,
+    /// Whether `cache` requests may name their own filesystem path.
+    /// `true` for the trust-implied transports (stdin, a
+    /// permission-gated Unix socket); the binary turns it off for TCP,
+    /// where an unauthenticated peer must not gain a file write/probe
+    /// primitive beyond the operator-chosen `--cache-file`.
+    request_paths: bool,
     workers: usize,
     requests: AtomicU64,
     analyses: AtomicU64,
@@ -122,6 +139,8 @@ impl ServeEngine {
     pub fn new() -> Self {
         ServeEngine {
             cache: Some(Arc::new(LpCache::new())),
+            cache_file: None,
+            request_paths: true,
             workers: std::thread::available_parallelism().map_or(4, |n| n.get()),
             requests: AtomicU64::new(0),
             analyses: AtomicU64::new(0),
@@ -146,9 +165,57 @@ impl ServeEngine {
         self
     }
 
+    /// Forbids client-chosen filesystem paths in `cache` requests:
+    /// `save`/`load` then work only against the configured
+    /// `--cache-file`. The binary applies this on the TCP transport,
+    /// where peers are unauthenticated — a network client must not get
+    /// an arbitrary-path file write (or existence-probe) primitive on
+    /// the daemon host.
+    pub fn restrict_cache_paths(mut self) -> Self {
+        self.request_paths = false;
+        self
+    }
+
     /// The shared LP cache, if enabled.
     pub fn cache(&self) -> Option<&Arc<LpCache>> {
         self.cache.as_ref()
+    }
+
+    /// Attaches a persistent snapshot path: entries from an existing
+    /// snapshot at `path` are merged into the cache right now (a
+    /// missing file is a cold start, not an error), and the path
+    /// becomes the default for [`ServeEngine::snapshot_to_cache_file`]
+    /// and pathless `cache` requests. Returns `(engine, entries
+    /// loaded)`. A present-but-unreadable snapshot is an error — a
+    /// daemon must not silently start cold over a corrupt cache file.
+    ///
+    /// # Panics
+    /// Panics if the cache was disabled with
+    /// [`ServeEngine::without_cache`]; callers decide that conflict at
+    /// the flag level.
+    pub fn with_cache_file(
+        mut self,
+        path: impl Into<PathBuf>,
+    ) -> Result<(Self, usize), SnapshotError> {
+        let path = path.into();
+        let cache = self.cache.as_ref().expect("--cache-file needs the cache");
+        let loaded = match std::fs::read_to_string(&path) {
+            Ok(text) => cache.merge_snapshot(&text)?,
+            Err(e) if e.kind() == ErrorKind::NotFound => 0,
+            Err(e) => return Err(SnapshotError::Io(e)),
+        };
+        self.cache_file = Some(path);
+        Ok((self, loaded))
+    }
+
+    /// Writes the cache to the configured cache file (`None` when no
+    /// file or no cache is configured — nothing to do). The binary
+    /// calls this on every graceful shutdown path: EOF, SIGINT and
+    /// SIGTERM all persist the warm cache.
+    pub fn snapshot_to_cache_file(&self) -> Option<Result<usize, SnapshotError>> {
+        let path = self.cache_file.as_ref()?;
+        let cache = self.cache.as_ref()?;
+        Some(cache.save_to_file(path))
     }
 
     /// Lifetime request counters.
@@ -238,7 +305,65 @@ impl ServeEngine {
             "analyze" => self.analyze(req).map(|body| ("analyze", body)),
             "batch" => self.batch(req).map(|body| ("batch", body)),
             "stats" => Ok(("stats", self.stats_body())),
+            "cache" => self.cache_cmd(req).map(|body| ("cache", body)),
             other => Err(format!("unknown cmd {:?}", other)),
+        }
+    }
+
+    /// The `cache` command: `op: "save"` snapshots to disk, `op:
+    /// "load"` merges a snapshot file in. `path` defaults to the
+    /// daemon's `--cache-file`; with neither, the request errors.
+    fn cache_cmd(&self, req: &Json) -> Result<ResponseBody, String> {
+        let cache = self
+            .cache
+            .as_ref()
+            .ok_or("the cache is disabled (--no-cache); nothing to save or load")?;
+        let op = req
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or("cache needs an \"op\" field: \"save\" or \"load\"")?;
+        if !matches!(op, "save" | "load") {
+            return Err(format!(
+                "unknown cache op {op:?} (expected \"save\" or \"load\")"
+            ));
+        }
+        let path = match req.get("path") {
+            Some(p) => {
+                if !self.request_paths {
+                    return Err("client-chosen cache paths are disabled on this transport; \
+                         the daemon's --cache-file is the only snapshot location \
+                         (omit \"path\")"
+                        .to_owned());
+                }
+                PathBuf::from(
+                    p.as_str()
+                        .ok_or("cache \"path\" must be a string when present")?,
+                )
+            }
+            None => self
+                .cache_file
+                .clone()
+                .ok_or("cache needs a \"path\" (no --cache-file default is configured)")?,
+        };
+        let path_str = path.display().to_string();
+        match op {
+            "save" => {
+                let entries = cache.save_to_file(&path).map_err(|e| e.to_string())?;
+                Ok(vec![
+                    ("op", Json::str("save")),
+                    ("path", Json::str(path_str)),
+                    ("entries", Json::int(entries)),
+                ])
+            }
+            "load" => {
+                let merged = cache.merge_from_file(&path).map_err(|e| e.to_string())?;
+                Ok(vec![
+                    ("op", Json::str("load")),
+                    ("path", Json::str(path_str)),
+                    ("merged", Json::int(merged)),
+                ])
+            }
+            _ => unreachable!("op validated above"),
         }
     }
 
@@ -321,6 +446,22 @@ impl ServeEngine {
 
     fn stats_body(&self) -> ResponseBody {
         let stats = self.stats();
+        // Per-shard cache residency/evictions: warm-cache benchmarks
+        // read the eviction split to tell "cold workload" apart from
+        // "capacity-bound workload". Empty array when the cache is off.
+        let shards: Vec<Json> = self
+            .cache
+            .as_deref()
+            .map(LpCache::shard_stats)
+            .unwrap_or_default()
+            .iter()
+            .map(|s| {
+                obj([
+                    ("entries", Json::int(s.entries as usize)),
+                    ("evictions", Json::int(s.evictions as usize)),
+                ])
+            })
+            .collect();
         vec![(
             "stats",
             obj([
@@ -334,6 +475,7 @@ impl ServeEngine {
                     "lp_sparse_solves",
                     Json::int(stats.lp_sparse_solves as usize),
                 ),
+                ("cache_shards", Json::Arr(shards)),
             ]),
         )]
     }
@@ -545,6 +687,148 @@ mod tests {
         let stats = engine.stats();
         assert_eq!(stats.batches, 1, "the oversized batch was refused");
         assert_eq!(stats.analyses, 3);
+    }
+
+    #[test]
+    fn cache_command_saves_and_loads_between_engines() {
+        let path =
+            std::env::temp_dir().join(format!("cq_engine_cache_cmd_{}.snap", std::process::id()));
+        let path_str = path.to_str().unwrap();
+
+        let warm = ServeEngine::new();
+        warm.handle_line(&format!(r#"{{"cmd":"analyze","query":"{TRIANGLE}"}}"#));
+        let resp = parse(&warm.handle_line(&format!(
+            r#"{{"cmd":"cache","op":"save","path":"{path_str}"}}"#
+        )));
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp:?}");
+        assert_eq!(resp.get("cmd").and_then(Json::as_str), Some("cache"));
+        assert_eq!(resp.get("entries").and_then(Json::as_i64), Some(1));
+
+        // A second engine loads the snapshot over the wire and then
+        // serves an isomorphic triangle as a pure hit.
+        let cold = ServeEngine::new();
+        let resp = parse(&cold.handle_line(&format!(
+            r#"{{"cmd":"cache","op":"load","path":"{path_str}"}}"#
+        )));
+        assert_eq!(resp.get("merged").and_then(Json::as_i64), Some(1));
+        let resp = parse(
+            &cold.handle_line(r#"{"cmd":"analyze","query":"T(C,A,B) :- E(B,C), E(A,B), E(A,C)"}"#),
+        );
+        let cache = resp.get("cache_stats").unwrap();
+        assert_eq!(cache.get("hits").and_then(Json::as_i64), Some(1));
+        assert_eq!(cache.get("misses").and_then(Json::as_i64), Some(0));
+        assert_eq!(cold.stats().lp_pivots, 0, "a loaded entry solves nothing");
+
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn cache_command_rejects_bad_requests() {
+        let engine = ServeEngine::new();
+        for (line, what) in [
+            (r#"{"cmd":"cache"}"#.to_owned(), "\"op\" field"),
+            (
+                r#"{"cmd":"cache","op":"gossip"}"#.to_owned(),
+                "unknown cache op",
+            ),
+            (
+                r#"{"cmd":"cache","op":"save"}"#.to_owned(),
+                "needs a \"path\"",
+            ),
+            (
+                r#"{"cmd":"cache","op":"load","path":"/nonexistent/cq.snap"}"#.to_owned(),
+                "io error",
+            ),
+        ] {
+            let resp = parse(&engine.handle_line(&line));
+            assert_eq!(resp.get("ok"), Some(&Json::Bool(false)), "{line}");
+            let error = resp.get("error").and_then(Json::as_str).unwrap();
+            assert!(error.contains(what), "{line}: {error}");
+        }
+        let no_cache = ServeEngine::new().without_cache();
+        let resp = parse(&no_cache.handle_line(r#"{"cmd":"cache","op":"save","path":"/tmp/x"}"#));
+        assert!(resp
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("disabled"));
+    }
+
+    #[test]
+    fn restricted_engines_reject_client_chosen_paths() {
+        let engine = ServeEngine::new().restrict_cache_paths();
+        let resp = parse(&engine.handle_line(r#"{"cmd":"cache","op":"save","path":"/tmp/x"}"#));
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
+        assert!(resp
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("disabled on this transport"));
+        // The pathless form still works once a --cache-file exists.
+        let path =
+            std::env::temp_dir().join(format!("cq_engine_restricted_{}.snap", std::process::id()));
+        let (engine, loaded) = ServeEngine::new()
+            .restrict_cache_paths()
+            .with_cache_file(&path)
+            .unwrap();
+        assert_eq!(loaded, 0);
+        engine.handle_line(&format!(r#"{{"cmd":"analyze","query":"{TRIANGLE}"}}"#));
+        let resp = parse(&engine.handle_line(r#"{"cmd":"cache","op":"save"}"#));
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{resp:?}");
+        assert_eq!(resp.get("entries").and_then(Json::as_i64), Some(1));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_snapshot_load_is_a_structured_error() {
+        let path = std::env::temp_dir().join(format!(
+            "cq_engine_cache_corrupt_{}.snap",
+            std::process::id()
+        ));
+        std::fs::write(&path, "{\"format\":\"cq-lpcache\",\"vers").unwrap();
+        let engine = ServeEngine::new();
+        let resp = parse(&engine.handle_line(&format!(
+            r#"{{"cmd":"cache","op":"load","path":"{}"}}"#,
+            path.to_str().unwrap()
+        )));
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
+        let error = resp.get("error").and_then(Json::as_str).unwrap();
+        assert!(error.contains("malformed cache snapshot"), "{error}");
+        // ... and the daemon keeps serving.
+        let resp =
+            parse(&engine.handle_line(&format!(r#"{{"cmd":"analyze","query":"{TRIANGLE}"}}"#)));
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stats_reports_per_shard_evictions() {
+        let engine = ServeEngine::new();
+        engine.handle_line(&format!(r#"{{"cmd":"analyze","query":"{TRIANGLE}"}}"#));
+        let resp = parse(&engine.handle_line(r#"{"cmd":"stats"}"#));
+        let shards = resp
+            .get("stats")
+            .and_then(|s| s.get("cache_shards"))
+            .and_then(Json::as_array)
+            .expect("stats carries cache_shards");
+        assert_eq!(shards.len(), 16);
+        let entries: i64 = shards
+            .iter()
+            .map(|s| s.get("entries").and_then(Json::as_i64).unwrap())
+            .sum();
+        assert_eq!(entries, 1);
+        assert!(shards
+            .iter()
+            .all(|s| s.get("evictions").and_then(Json::as_i64) == Some(0)));
+        // Cache off: the array is empty rather than 16 zeros.
+        let no_cache = ServeEngine::new().without_cache();
+        let resp = parse(&no_cache.handle_line(r#"{"cmd":"stats"}"#));
+        let shards = resp
+            .get("stats")
+            .and_then(|s| s.get("cache_shards"))
+            .and_then(Json::as_array)
+            .unwrap();
+        assert!(shards.is_empty());
     }
 
     #[test]

@@ -56,6 +56,48 @@ pub struct CanonicalKey {
     pub hash: u128,
 }
 
+impl CanonicalKey {
+    /// Renders the key as a compact, stable, self-delimiting token —
+    /// `v{n}e{m}d{degree_hash:016x}h{hash:032x}` — the on-disk form the
+    /// engine's LP-cache snapshots use. [`CanonicalKey::parse_compact`]
+    /// inverts it exactly.
+    pub fn to_compact_string(&self) -> String {
+        format!(
+            "v{}e{}d{:016x}h{:032x}",
+            self.num_vertices, self.num_edges, self.degree_hash, self.hash
+        )
+    }
+
+    /// Parses the [`CanonicalKey::to_compact_string`] form. Returns
+    /// `None` on any deviation (wrong markers, truncated digests,
+    /// non-hex digits, trailing bytes) — snapshot loaders turn that
+    /// into a structured corruption error.
+    pub fn parse_compact(s: &str) -> Option<CanonicalKey> {
+        let rest = s.strip_prefix('v')?;
+        let e_at = rest.find('e')?;
+        let num_vertices: u32 = rest[..e_at].parse().ok()?;
+        let rest = &rest[e_at + 1..];
+        let d_at = rest.find('d')?;
+        let num_edges: u32 = rest[..d_at].parse().ok()?;
+        let rest = &rest[d_at + 1..];
+        let (deg, rest) = (rest.get(..16)?, rest.get(16..)?);
+        let degree_hash = u64::from_str_radix(deg, 16).ok()?;
+        let rest = rest.strip_prefix('h')?;
+        if rest.len() != 32 {
+            return None;
+        }
+        let hash = u128::from_str_radix(rest, 16).ok()?;
+        // Digits must have been lowercase so render∘parse is identity.
+        let key = CanonicalKey {
+            num_vertices,
+            num_edges,
+            degree_hash,
+            hash,
+        };
+        (key.to_compact_string() == s).then_some(key)
+    }
+}
+
 /// A canonical form: the key plus the renamings that produced it.
 #[derive(Clone, Debug)]
 pub struct CanonicalForm {
@@ -503,6 +545,41 @@ mod tests {
             for (j, y) in all.iter().enumerate() {
                 assert_eq!(i == j, key(x, &[]) == key(y, &[]), "{i} vs {j}");
             }
+        }
+    }
+
+    #[test]
+    fn compact_string_roundtrips() {
+        let triangle = h(3, &[&[0, 1], &[0, 2], &[1, 2]]);
+        let k = key(&triangle, &[0, 1]);
+        let s = k.to_compact_string();
+        assert_eq!(CanonicalKey::parse_compact(&s), Some(k));
+        // also a key with small digest values: leading zeros must render
+        let tiny = CanonicalKey {
+            num_vertices: 1,
+            num_edges: 0,
+            degree_hash: 7,
+            hash: 1,
+        };
+        let s = tiny.to_compact_string();
+        assert_eq!(s.len(), "v1e0d".len() + 16 + 1 + 32);
+        assert_eq!(CanonicalKey::parse_compact(&s), Some(tiny));
+    }
+
+    #[test]
+    fn compact_string_rejects_corruption() {
+        let k = key(&h(3, &[&[0, 1], &[1, 2]]), &[]).to_compact_string();
+        for bad in [
+            "".to_owned(),
+            "v3e2".to_owned(),
+            k[..k.len() - 1].to_owned(),  // truncated
+            format!("{k}0"),              // trailing bytes
+            k.replacen('d', "x", 1),      // wrong marker
+            k.replacen('v', "V", 1),      // case matters
+            k.to_uppercase(),             // hex must be lowercase
+            k.replacen(&k[6..7], "g", 1), // non-hex digit
+        ] {
+            assert_eq!(CanonicalKey::parse_compact(&bad), None, "{bad:?}");
         }
     }
 

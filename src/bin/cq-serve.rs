@@ -1,28 +1,35 @@
 //! `cq-serve` — the long-lived analysis daemon.
 //!
 //! Speaks the newline-delimited JSON protocol of `docs/PROTOCOL.md`
-//! (analyze / batch / stats requests, one response line each) with every
-//! request routed through one process-wide warm
+//! (analyze / batch / stats / cache requests, one response line each)
+//! with every request routed through one process-wide warm
 //! [`cq_engine::LpCache`], so repeated and structurally isomorphic
 //! queries skip their LP solves entirely.
 //!
 //! ```text
-//! cq-serve                         # serve stdin/stdout, exit on EOF
-//! cq-serve --socket /run/cq.sock   # serve a Unix-domain socket
-//! cq-serve --threads 4             # cap the per-connection worker pool
-//! cq-serve --no-cache              # cold runs (benchmark baseline)
+//! cq-serve                          # serve stdin/stdout, exit on EOF
+//! cq-serve --socket /run/cq.sock    # serve a Unix-domain socket
+//! cq-serve --tcp 127.0.0.1:7171     # serve TCP (cq-cluster workers;
+//!                                   #  port 0 picks a free port, the
+//!                                   #  bound address is printed)
+//! cq-serve --cache-file warm.snap   # load the LP cache on start,
+//!                                   #  snapshot it on shutdown
+//! cq-serve --threads 4              # cap the per-connection worker pool
+//! cq-serve --no-cache               # cold runs (benchmark baseline)
 //! ```
 //!
-//! In socket mode each accepted connection gets its own thread over the
-//! shared engine; SIGTERM/SIGINT (or EOF on stdin in pipe mode) shut the
-//! daemon down gracefully — in-flight requests drain, the socket file is
-//! unlinked, and the exit code is 0. A client disconnecting mid-stream
-//! only ends that connection; the daemon keeps serving.
+//! In socket/TCP mode each accepted connection gets its own thread over
+//! the shared engine; SIGTERM and SIGINT (or EOF on stdin in pipe mode)
+//! shut the daemon down identically and gracefully — in-flight requests
+//! drain, the Unix socket file is unlinked, the cache is snapshotted to
+//! `--cache-file` if one is configured, and the exit code is 0. A
+//! client disconnecting mid-stream only ends that connection; the
+//! daemon keeps serving.
 
 use cq_engine::ServeEngine;
 use std::collections::HashMap;
 use std::io::{self, BufReader, Read, Write as _};
-use std::net::Shutdown;
+use std::net::{Shutdown, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -37,7 +44,9 @@ extern "C" fn request_shutdown(_signal: i32) {
 
 /// Installs [`request_shutdown`] for SIGINT (2) and SIGTERM (15) via the
 /// C `signal` entry point — the offline build has no `libc` crate, but
-/// std already links the platform libc that provides it.
+/// std already links the platform libc that provides it. Both signals
+/// share one handler on purpose: Ctrl-C and a supervisor's TERM must
+/// take the same drain/unlink/snapshot path.
 fn install_signal_handlers() {
     extern "C" {
         fn signal(signum: i32, handler: usize) -> usize;
@@ -52,8 +61,10 @@ fn install_signal_handlers() {
 
 struct Args {
     socket: Option<String>,
+    tcp: Option<String>,
     threads: Option<usize>,
     no_cache: bool,
+    cache_file: Option<String>,
 }
 
 fn main() -> ExitCode {
@@ -62,7 +73,10 @@ fn main() -> ExitCode {
         Ok(args) => args,
         Err(msg) => {
             eprintln!("{msg}");
-            eprintln!("usage: cq-serve [--socket PATH] [--threads N] [--no-cache]");
+            eprintln!(
+                "usage: cq-serve [--socket PATH | --tcp HOST:PORT] [--threads N] \
+                 [--no-cache] [--cache-file PATH]"
+            );
             return ExitCode::FAILURE;
         }
     };
@@ -74,12 +88,45 @@ fn main() -> ExitCode {
     if args.no_cache {
         engine = engine.without_cache();
     }
+    if args.tcp.is_some() {
+        // TCP peers are unauthenticated: `cache` requests may use the
+        // operator's --cache-file but not name their own paths.
+        engine = engine.restrict_cache_paths();
+    }
+    if let Some(path) = &args.cache_file {
+        match engine.with_cache_file(path) {
+            Ok((loaded, n)) => {
+                engine = loaded;
+                if n > 0 {
+                    eprintln!("cq-serve: loaded {n} cache entries from {path}");
+                }
+            }
+            Err(e) => {
+                eprintln!("cq-serve: cannot load --cache-file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     install_signal_handlers();
 
-    let served = match &args.socket {
-        None => serve_stdio(&engine),
-        Some(path) => serve_socket(&engine, path),
+    let served = match (&args.socket, &args.tcp) {
+        (None, None) => serve_stdio(&engine),
+        (Some(path), None) => serve_socket(&engine, path),
+        (None, Some(addr)) => serve_tcp(&engine, addr),
+        (Some(_), Some(_)) => unreachable!("rejected by parse_args"),
     };
+    // Every graceful exit path persists the warm cache (EOF, SIGINT and
+    // SIGTERM alike); failures to write are reported but do not turn a
+    // clean shutdown into a dirty one retroactively.
+    if let Some(result) = engine.snapshot_to_cache_file() {
+        match result {
+            Ok(entries) => eprintln!(
+                "cq-serve: snapshot {entries} cache entries to {}",
+                args.cache_file.as_deref().unwrap_or("?")
+            ),
+            Err(e) => eprintln!("cq-serve: cache snapshot failed: {e}"),
+        }
+    }
     match served {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -158,6 +205,50 @@ fn serve_stdio(engine: &ServeEngine) -> io::Result<()> {
     engine.serve_connection(stdin, stdout)
 }
 
+/// What the generic accept loop needs from a connection-oriented
+/// transport: nonblocking accept, fd-sharing clones (reader/writer
+/// halves and the shutdown registry), and a read-side half-close (the
+/// shutdown nudge for threads parked in `read_line`).
+trait ServeListener {
+    type Stream: Read + io::Write + Send;
+    fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()>;
+    fn accept_stream(&self) -> io::Result<Self::Stream>;
+    fn try_clone_stream(stream: &Self::Stream) -> io::Result<Self::Stream>;
+    fn shutdown_read(stream: &Self::Stream);
+}
+
+impl ServeListener for UnixListener {
+    type Stream = UnixStream;
+    fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        UnixListener::set_nonblocking(self, nonblocking)
+    }
+    fn accept_stream(&self) -> io::Result<UnixStream> {
+        self.accept().map(|(stream, _addr)| stream)
+    }
+    fn try_clone_stream(stream: &UnixStream) -> io::Result<UnixStream> {
+        stream.try_clone()
+    }
+    fn shutdown_read(stream: &UnixStream) {
+        let _ = stream.shutdown(Shutdown::Read);
+    }
+}
+
+impl ServeListener for TcpListener {
+    type Stream = TcpStream;
+    fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        TcpListener::set_nonblocking(self, nonblocking)
+    }
+    fn accept_stream(&self) -> io::Result<TcpStream> {
+        self.accept().map(|(stream, _addr)| stream)
+    }
+    fn try_clone_stream(stream: &TcpStream) -> io::Result<TcpStream> {
+        stream.try_clone()
+    }
+    fn shutdown_read(stream: &TcpStream) {
+        let _ = stream.shutdown(Shutdown::Read);
+    }
+}
+
 /// Socket mode: accept until SIGTERM/SIGINT, one thread per connection
 /// over the shared engine, unlink the socket on the way out.
 fn serve_socket(engine: &ServeEngine, path: &str) -> io::Result<()> {
@@ -169,37 +260,65 @@ fn serve_socket(engine: &ServeEngine, path: &str) -> io::Result<()> {
         std::fs::remove_file(path)?;
     }
     let listener = UnixListener::bind(path)?;
-    listener.set_nonblocking(true)?; // poll so shutdown is observed
     eprintln!("cq-serve: listening on {path}");
+    let result = serve_listener(engine, &listener);
+    let _ = std::fs::remove_file(path);
+    eprintln!("cq-serve: shut down");
+    result
+}
+
+/// TCP mode: the same accept loop over an internet socket — the
+/// transport `cq-cluster` workers speak. The *actual* bound address is
+/// printed (so `--tcp 127.0.0.1:0` both works and is discoverable:
+/// spawners read the port from this line).
+fn serve_tcp(engine: &ServeEngine, addr: &str) -> io::Result<()> {
+    let listener = TcpListener::bind(addr)?;
+    eprintln!("cq-serve: listening on {}", listener.local_addr()?);
+    let result = serve_listener(engine, &listener);
+    eprintln!("cq-serve: shut down");
+    result
+}
+
+/// The accept loop shared by the Unix and TCP transports: poll accept
+/// until a shutdown signal, one thread per connection over the shared
+/// engine, half-close every resident connection on the way out so the
+/// scope join drains in-flight work instead of hanging on blocked
+/// readers.
+fn serve_listener<L: ServeListener>(engine: &ServeEngine, listener: &L) -> io::Result<()> {
+    listener.set_nonblocking(true)?; // poll so shutdown is observed
 
     // Live-connection registry: on shutdown, half-close (read side)
     // every resident connection so its thread — likely parked in
     // read_line — sees EOF, drains its in-flight requests, flushes the
-    // responses, and exits. Without this, scope-join would wait on
-    // blocked readers forever and SIGTERM would hang the daemon.
-    let connections: Mutex<HashMap<u64, UnixStream>> = Mutex::new(HashMap::new());
+    // responses, and exits.
+    let connections: Mutex<HashMap<u64, L::Stream>> = Mutex::new(HashMap::new());
     let mut next_id: u64 = 0;
 
-    let result = std::thread::scope(|scope| -> io::Result<()> {
+    std::thread::scope(|scope| -> io::Result<()> {
         while !SHUTDOWN.load(Ordering::SeqCst) {
-            match listener.accept() {
-                Ok((stream, _addr)) => {
+            match listener.accept_stream() {
+                Ok(stream) => {
                     // Accepted sockets are blocking (O_NONBLOCK does not
                     // inherit through accept on Linux).
                     let id = next_id;
                     next_id += 1;
-                    if let Ok(clone) = stream.try_clone() {
+                    if let Ok(clone) = L::try_clone_stream(&stream) {
                         connections.lock().expect("registry").insert(id, clone);
                     }
                     let connections = &connections;
                     scope.spawn(move || {
-                        let reader = BufReader::new(&stream);
-                        let mut writer = &stream;
-                        if let Err(e) = engine.serve_connection(reader, writer) {
-                            // The peer vanished mid-response; their loss.
-                            eprintln!("cq-serve: connection ended: {e}");
+                        let mut writer = stream;
+                        match L::try_clone_stream(&writer) {
+                            Ok(read_half) => {
+                                let reader = BufReader::new(read_half);
+                                if let Err(e) = engine.serve_connection(reader, &mut writer) {
+                                    // The peer vanished mid-response; their loss.
+                                    eprintln!("cq-serve: connection ended: {e}");
+                                }
+                                let _ = writer.flush();
+                            }
+                            Err(e) => eprintln!("cq-serve: cannot clone connection: {e}"),
                         }
-                        let _ = writer.flush();
                         connections.lock().expect("registry").remove(&id);
                     });
                 }
@@ -211,27 +330,30 @@ fn serve_socket(engine: &ServeEngine, path: &str) -> io::Result<()> {
             }
         }
         for stream in connections.lock().expect("registry").values() {
-            let _ = stream.shutdown(Shutdown::Read);
+            L::shutdown_read(stream);
         }
         Ok(())
         // Scope exit joins the connection threads: in-flight requests
         // drain before the daemon reports a clean shutdown.
-    });
-    let _ = std::fs::remove_file(path);
-    eprintln!("cq-serve: shut down");
-    result
+    })
 }
 
 fn parse_args(args: &[String]) -> Result<Args, String> {
     let mut socket = None;
+    let mut tcp = None;
     let mut threads = None;
     let mut no_cache = false;
+    let mut cache_file = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--socket" => {
                 i += 1;
                 socket = Some(args.get(i).ok_or("--socket needs a path")?.to_string());
+            }
+            "--tcp" => {
+                i += 1;
+                tcp = Some(args.get(i).ok_or("--tcp needs HOST:PORT")?.to_string());
             }
             "--threads" => {
                 i += 1;
@@ -246,13 +368,25 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                 threads = Some(n);
             }
             "--no-cache" => no_cache = true,
+            "--cache-file" => {
+                i += 1;
+                cache_file = Some(args.get(i).ok_or("--cache-file needs a path")?.to_string());
+            }
             other => return Err(format!("unexpected argument {other}")),
         }
         i += 1;
     }
+    if socket.is_some() && tcp.is_some() {
+        return Err("--socket and --tcp are mutually exclusive (one transport per daemon)".into());
+    }
+    if no_cache && cache_file.is_some() {
+        return Err("--cache-file needs the cache; drop --no-cache".to_string());
+    }
     Ok(Args {
         socket,
+        tcp,
         threads,
         no_cache,
+        cache_file,
     })
 }

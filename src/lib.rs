@@ -5,6 +5,9 @@
 //! - [`engine`] — the unified analysis layer: memoized
 //!   [`engine::AnalysisSession`]s, serializable reports and batch
 //!   analysis (what the CLI, examples and benches run on);
+//! - [`cluster`] — sharded distributed batch execution over `cq-serve`
+//!   workers (shard planning, a retrying connection-pool client, and
+//!   an input-ordered report merger);
 //! - [`core`] — the paper's contribution: colorings, the chase,
 //!   exact LP size bounds, treewidth-preservation analysis, entropy
 //!   bounds, tightness constructions and decision procedures;
@@ -19,6 +22,7 @@
 //! example and theorem-check of the paper.
 
 pub use cq_arith as arith;
+pub use cq_cluster as cluster;
 pub use cq_core as core;
 pub use cq_engine as engine;
 pub use cq_hypergraph as hypergraph;

@@ -10,6 +10,7 @@ mod common;
 
 use cq_engine::Json;
 use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
 use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
@@ -83,14 +84,29 @@ fn protocol_doc_examples_match_daemon_output() {
     );
     assert!(requests.len() >= 8, "the documented session shrank?");
 
+    // The documented `cache` examples use a fixed illustrative path;
+    // replaying that verbatim would collide between users on a shared
+    // machine and litter /tmp. Substitute a per-process path on the way
+    // in and normalize it back before comparing (the response echoes
+    // the path, so both sides need the mapping).
+    const DOC_SNAPSHOT_PATH: &str = "/tmp/cq-protocol-demo.snap";
+    let real_path =
+        std::env::temp_dir().join(format!("cq_protocol_demo_{}.snap", std::process::id()));
+    let real = real_path.to_str().unwrap();
+    let requests: Vec<String> = requests
+        .iter()
+        .map(|r| r.replace(DOC_SNAPSHOT_PATH, real))
+        .collect();
+
     // The documented session ran against `cq-serve --threads 1` (a
     // deterministic, strictly sequential daemon); replay it the same way.
     let (lines, ok) = run_session(&["--threads", "1"], &requests);
+    std::fs::remove_file(&real_path).ok();
     assert!(ok, "daemon must exit cleanly on EOF");
     assert_eq!(lines.len(), expected.len(), "one response per request");
     for (i, (actual, documented)) in lines.iter().zip(&expected).enumerate() {
         assert_eq!(
-            normalize_micros(actual),
+            normalize_micros(&actual.replace(real, DOC_SNAPSHOT_PATH)),
             normalize_micros(documented),
             "response #{i} drifted from docs/PROTOCOL.md — update the doc \
              session (and keep `micros` as the only nondeterministic field)"
@@ -389,6 +405,271 @@ fn socket_mode_survives_disconnects_and_sigterm() {
         .read_to_string(&mut stderr)
         .unwrap();
     assert!(stderr.contains("shut down"), "{stderr}");
+}
+
+/// Sends `signum` to `child` and waits (bounded) for a clean exit.
+fn signal_and_await_clean_exit(child: &mut Child, signum: &str, what: &str) {
+    let killed = Command::new("sh")
+        .args(["-c", &format!("kill -{signum} {}", child.id())])
+        .status()
+        .expect("send signal");
+    assert!(killed.success());
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let status = loop {
+        if let Some(status) = child.try_wait().unwrap() {
+            break status;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "daemon ignored SIG{signum} ({what})"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(
+        status.success(),
+        "SIG{signum} must be a clean exit ({what}), got {status:?}"
+    );
+}
+
+/// SIGINT takes the same graceful path as SIGTERM in pipe mode — the
+/// Ctrl-C counterpart of `stdio_mode_sigterm_is_a_graceful_exit`.
+#[test]
+fn stdio_mode_sigint_is_a_graceful_exit() {
+    let mut child = daemon(&[]);
+    let mut stdin = child.stdin.take().unwrap();
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    stdin
+        .write_all(b"{\"id\":1,\"cmd\":\"analyze\",\"query\":\"Q(X,Y) :- R(X,Y)\"}\n")
+        .unwrap();
+    let mut response = String::new();
+    stdout.read_line(&mut response).unwrap();
+    assert!(response.contains("\"ok\":true"), "{response}");
+    // stdin stays OPEN: the daemon must notice the signal anyway.
+    signal_and_await_clean_exit(&mut child, "INT", "pipe mode");
+    drop(stdin);
+}
+
+/// ... and in socket mode: drain, unlink, exit 0 — symmetric with the
+/// SIGTERM path covered by `socket_mode_survives_disconnects_and_sigterm`.
+#[test]
+fn socket_mode_sigint_unlinks_and_exits_cleanly() {
+    let path = std::env::temp_dir().join(format!("cq_serve_int_{}.sock", std::process::id()));
+    let mut child = daemon(&["--socket", path.to_str().unwrap()]);
+    let mut conn = connect_when_ready(&path);
+    let resp = request_over(
+        &mut conn,
+        r#"{"id":1,"cmd":"analyze","query":"Q(X,Y) :- R(X,Y)"}"#,
+    );
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    signal_and_await_clean_exit(&mut child, "INT", "socket mode");
+    assert!(!path.exists(), "socket file must be unlinked on SIGINT too");
+}
+
+/// Polls until the TCP daemon accepts connections.
+fn connect_tcp_when_ready(addr: &str) -> TcpStream {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if let Ok(stream) = TcpStream::connect(addr) {
+            return stream;
+        }
+        assert!(Instant::now() < deadline, "daemon never bound {addr}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn request_over_tcp(stream: &mut TcpStream, line: &str) -> String {
+    stream.write_all(line.as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut response = String::new();
+    reader.read_line(&mut response).unwrap();
+    response.trim_end().to_owned()
+}
+
+/// The TCP transport speaks the identical protocol: per-connection
+/// request/response, a process-wide warm cache across connections,
+/// pipelined ordering, graceful SIGTERM.
+#[test]
+fn tcp_mode_serves_the_same_protocol() {
+    let mut child = daemon(&["--tcp", "127.0.0.1:0"]);
+    // The daemon announces its resolved address on stderr (that is the
+    // `--tcp HOST:0` discovery contract spawners rely on).
+    let mut stderr = BufReader::new(child.stderr.take().unwrap());
+    let addr = {
+        let mut line = String::new();
+        stderr.read_line(&mut line).unwrap();
+        let at = line.find("listening on ").expect("announcement line");
+        line[at + "listening on ".len()..].trim().to_owned()
+    };
+    assert!(
+        addr.starts_with("127.0.0.1:") && !addr.ends_with(":0"),
+        "resolved port announced: {addr}"
+    );
+
+    // Connection 1: analyze, then pipeline a burst and check ordering.
+    let mut c1 = connect_tcp_when_ready(&addr);
+    let resp = request_over_tcp(
+        &mut c1,
+        r#"{"id":1,"cmd":"analyze","query":"S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z)"}"#,
+    );
+    assert!(resp.contains("\"exponent\":\"3/2\""), "{resp}");
+    let mut blob = String::new();
+    for i in 10..30 {
+        blob.push_str(&format!(
+            "{{\"id\":{i},\"cmd\":\"analyze\",\"query\":\"Q(X,Y) :- R{i}(X,Y)\"}}\n"
+        ));
+    }
+    c1.write_all(blob.as_bytes()).unwrap();
+    let mut reader = BufReader::new(c1.try_clone().unwrap());
+    for i in 10..30 {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let resp = parse(line.trim_end());
+        assert_eq!(resp.get("id").and_then(Json::as_i64), Some(i), "ordering");
+    }
+    drop(reader);
+    drop(c1);
+
+    // Connection 2: the cache is process-wide, so a relabeled triangle
+    // from a fresh connection hits connection 1's solve.
+    let mut c2 = connect_tcp_when_ready(&addr);
+    let resp = request_over_tcp(
+        &mut c2,
+        r#"{"id":2,"cmd":"analyze","query":"T(C,A,B) :- E(B,C), E(A,B), E(A,C)"}"#,
+    );
+    let parsed = parse(&resp);
+    let hits = parsed
+        .get("cache_stats")
+        .and_then(|c| c.get("hits"))
+        .and_then(Json::as_i64)
+        .unwrap();
+    assert!(hits >= 1, "{resp}");
+    // Unauthenticated TCP peers may not choose filesystem paths: the
+    // `cache` command is restricted to the daemon's --cache-file (none
+    // here, so the pathless form errors too — but differently).
+    let resp = request_over_tcp(
+        &mut c2,
+        r#"{"id":3,"cmd":"cache","op":"save","path":"/tmp/evil.snap"}"#,
+    );
+    assert!(resp.contains("disabled on this transport"), "{resp}");
+    assert!(!std::path::Path::new("/tmp/evil.snap").exists());
+    drop(c2);
+
+    signal_and_await_clean_exit(&mut child, "TERM", "tcp mode");
+}
+
+/// The cache-persistence acceptance test: a snapshot written by one
+/// daemon (on SIGTERM) and loaded by another yields verified cache hits
+/// with **zero LP solves** on the replayed workload, proven by the
+/// session-level `lp_*` counters in `stats`.
+#[test]
+fn cache_file_snapshot_survives_into_a_new_daemon() {
+    let snap = std::env::temp_dir().join(format!("cq_serve_persist_{}.snap", std::process::id()));
+    std::fs::remove_file(&snap).ok();
+    let sock1 = std::env::temp_dir().join(format!("cq_serve_p1_{}.sock", std::process::id()));
+
+    // Daemon 1 solves the triangle's LP, then is SIGTERMed: the warm
+    // cache must land in the snapshot file.
+    let mut d1 = daemon(&[
+        "--socket",
+        sock1.to_str().unwrap(),
+        "--cache-file",
+        snap.to_str().unwrap(),
+    ]);
+    let mut c = connect_when_ready(&sock1);
+    let resp = request_over(
+        &mut c,
+        r#"{"id":1,"cmd":"analyze","query":"S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z)"}"#,
+    );
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    drop(c);
+    signal_and_await_clean_exit(&mut d1, "TERM", "snapshot on shutdown");
+    assert!(snap.exists(), "SIGTERM must write the snapshot");
+
+    // Daemon 2 — a different process — loads it and replays an
+    // isomorphic workload: all hits, no solves.
+    let replay = [
+        r#"{"id":1,"cmd":"analyze","query":"T(C,A,B) :- E(B,C), E(A,B), E(A,C)"}"#.to_owned(),
+        r#"{"id":2,"cmd":"analyze","query":"U(P,Q,W) :- F(Q,W), F(P,W), F(P,Q)"}"#.to_owned(),
+        r#"{"id":3,"cmd":"stats"}"#.to_owned(),
+    ];
+    let (lines, ok) = run_session(
+        &["--threads", "1", "--cache-file", snap.to_str().unwrap()],
+        &replay,
+    );
+    assert!(ok);
+    assert_eq!(lines.len(), 3);
+    for line in &lines[..2] {
+        let resp = parse(line);
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{line}");
+        assert_eq!(
+            resp.get("report")
+                .and_then(|r| r.get("size_bound"))
+                .and_then(|b| b.get("exponent"))
+                .and_then(Json::as_str),
+            Some("3/2")
+        );
+    }
+    let stats = parse(&lines[2]);
+    let cache = stats.get("cache_stats").unwrap();
+    assert_eq!(
+        cache.get("hits").and_then(Json::as_i64),
+        Some(2),
+        "both replayed queries hit the loaded snapshot: {cache:?}"
+    );
+    assert_eq!(cache.get("misses").and_then(Json::as_i64), Some(0));
+    // Zero LP solves, per the SessionStats-derived serving counters.
+    let counters = stats.get("stats").unwrap();
+    for key in ["lp_pivots", "lp_dense_solves", "lp_sparse_solves"] {
+        assert_eq!(
+            counters.get(key).and_then(Json::as_i64),
+            Some(0),
+            "{key} must stay zero on a snapshot-served workload"
+        );
+    }
+
+    std::fs::remove_file(&snap).ok();
+}
+
+/// SIGINT also snapshots (the shutdown paths are symmetric).
+#[test]
+fn sigint_also_writes_the_cache_snapshot() {
+    let snap = std::env::temp_dir().join(format!("cq_serve_intsnap_{}.snap", std::process::id()));
+    std::fs::remove_file(&snap).ok();
+    let mut child = daemon(&["--cache-file", snap.to_str().unwrap()]);
+    let mut stdin = child.stdin.take().unwrap();
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    stdin
+        .write_all(b"{\"id\":1,\"cmd\":\"analyze\",\"query\":\"Q(X,Y) :- R(X,Y)\"}\n")
+        .unwrap();
+    let mut response = String::new();
+    stdout.read_line(&mut response).unwrap();
+    assert!(response.contains("\"ok\":true"), "{response}");
+    signal_and_await_clean_exit(&mut child, "INT", "snapshot on SIGINT");
+    assert!(snap.exists(), "SIGINT must write the snapshot too");
+    drop(stdin);
+    std::fs::remove_file(&snap).ok();
+}
+
+/// A corrupt `--cache-file` refuses to boot, with the structured
+/// snapshot error on stderr — never a silent cold start.
+#[test]
+fn corrupt_cache_file_fails_startup() {
+    let snap = std::env::temp_dir().join(format!("cq_serve_corrupt_{}.snap", std::process::id()));
+    std::fs::write(
+        &snap,
+        "{\"format\":\"cq-lpcache\",\"version\":1,\"count\":1,",
+    )
+    .unwrap();
+    let output = Command::new(env!("CARGO_BIN_EXE_cq-serve"))
+        .args(["--cache-file", snap.to_str().unwrap()])
+        .stdin(Stdio::null())
+        .output()
+        .expect("run cq-serve");
+    assert!(!output.status.success(), "corrupt snapshot must not boot");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("malformed cache snapshot"), "{stderr}");
+    std::fs::remove_file(&snap).ok();
 }
 
 #[test]
