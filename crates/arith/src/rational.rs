@@ -162,20 +162,69 @@ impl Rational {
     }
 
     /// Approximate `f64` value.
+    ///
+    /// Values outside `f64` range saturate to `±inf` (or underflow to 0);
+    /// values *inside* the range convert faithfully no matter how large the
+    /// numerator and denominator are individually — e.g. `2^600 / 1` and
+    /// `1 / 2^600` both come back finite and nonzero.
     pub fn to_f64(&self) -> f64 {
-        // Scale so both parts fit comfortably in f64 before dividing.
-        let nb = self.num.bits();
-        let db = self.den.bits();
-        let shift = nb.max(db).saturating_sub(500);
-        if shift == 0 {
-            self.num.to_f64() / self.den.to_f64()
+        // Scale numerator and denominator independently down to <= 64
+        // significant bits, then reapply the dropped powers of two as an
+        // f64 exponent. Scaling both sides by a shared power would
+        // truncate the smaller one to 0 and turn representable values
+        // into inf (or their reciprocals into 0).
+        let ns = self.num.bits().saturating_sub(64);
+        let ds = self.den.bits().saturating_sub(64);
+        let two = BigInt::from(2u64);
+        let n = if ns == 0 {
+            self.num.to_f64()
         } else {
-            let two = BigInt::from(2u64);
-            let scale = two.pow(shift as u32);
-            let n = (&self.num / &scale).to_f64();
-            let d = (&self.den / &scale).to_f64();
-            n / d
+            (&self.num / &two.pow(ns as u32)).to_f64()
+        };
+        let d = if ds == 0 {
+            self.den.to_f64()
+        } else {
+            (&self.den / &two.pow(ds as u32)).to_f64()
+        };
+        // |n/d| is within 2^±64 of the true magnitude, so any exponent
+        // beyond ±2200 is already past f64 range and the clamp only
+        // changes *how far* past; powi then saturates to inf / 0.
+        let e = (ns as i64 - ds as i64).clamp(-2200, 2200) as i32;
+        (n / d) * 2f64.powi(e)
+    }
+
+    /// The exact rational value of a finite `f64` (`None` for NaN/±inf).
+    ///
+    /// Every finite float is a dyadic rational `m · 2^e`, so the result
+    /// round-trips: `Rational::from_f64_approx(x).unwrap().to_f64() == x`.
+    /// The name says "approx" because the *intended* real number is
+    /// usually only approximated by `x` itself — e.g. warm-starting the
+    /// exact simplex from a float basis.
+    pub fn from_f64_approx(x: f64) -> Option<Rational> {
+        if !x.is_finite() {
+            return None;
         }
+        if x == 0.0 {
+            return Some(Rational::zero());
+        }
+        let bits = x.to_bits();
+        let exp = ((bits >> 52) & 0x7ff) as i64;
+        let frac = bits & ((1u64 << 52) - 1);
+        // Subnormals have an implicit leading 0 and a fixed exponent;
+        // normals an implicit leading 1. Either way `x = ±m · 2^e`.
+        let (m, e) = if exp == 0 {
+            (frac, -1074i64)
+        } else {
+            (frac | (1u64 << 52), exp - 1075)
+        };
+        let m = BigInt::from(m);
+        let m = if bits >> 63 == 1 { -m } else { m };
+        let two = BigInt::from(2u64);
+        Some(if e >= 0 {
+            Rational::from(&m * &two.pow(e as u32))
+        } else {
+            Rational::new(m, two.pow((-e) as u32))
+        })
     }
 
     /// The minimum of two rationals (by value).
@@ -467,6 +516,58 @@ mod tests {
         // huge values scale correctly
         let big = Rational::new(BigInt::from(2).pow(600), BigInt::from(2).pow(599));
         assert!((big.to_f64() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn to_f64_extreme_magnitudes() {
+        // A huge but representable value must not overflow to inf...
+        let huge = Rational::from(BigInt::from(2).pow(600));
+        assert_eq!(huge.to_f64(), 2f64.powi(600));
+        // ...and its reciprocal must not truncate to 0.
+        let tiny = Rational::new(BigInt::one(), BigInt::from(2).pow(600));
+        assert_eq!(tiny.to_f64(), 2f64.powi(-600));
+        // Both sides huge, quotient ~1 (odd numerator, so it stays huge
+        // after reduction and exercises the two-sided scaling path).
+        let near_one = Rational::new(
+            &BigInt::from(2).pow(600) + &BigInt::one(),
+            BigInt::from(2).pow(600),
+        );
+        assert!((near_one.to_f64() - 1.0).abs() < 1e-12);
+        // Sign survives the scaled path.
+        let neg = Rational::new(-BigInt::from(2).pow(700), BigInt::from(2).pow(699));
+        assert_eq!(neg.to_f64(), -2.0);
+        // Truly out-of-range magnitudes saturate instead of panicking.
+        assert_eq!(
+            Rational::from(BigInt::from(2).pow(40_000)).to_f64(),
+            f64::INFINITY
+        );
+        assert_eq!(
+            Rational::new(BigInt::one(), BigInt::from(2).pow(40_000)).to_f64(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn from_f64_approx_roundtrip() {
+        for x in [
+            0.0,
+            -0.0,
+            1.5,
+            -22.0 / 7.0,
+            2f64.powi(600),
+            2f64.powi(-600),
+            f64::MIN_POSITIVE,
+            5e-324, // smallest subnormal
+            f64::MAX,
+        ] {
+            let r = Rational::from_f64_approx(x).expect("finite input");
+            assert_eq!(r.to_f64(), x, "round-trip failed for {x}");
+        }
+        assert_eq!(Rational::from_f64_approx(0.5), Some(Rational::ratio(1, 2)));
+        assert_eq!(Rational::from_f64_approx(-3.0), Some(Rational::int(-3)));
+        assert!(Rational::from_f64_approx(f64::NAN).is_none());
+        assert!(Rational::from_f64_approx(f64::INFINITY).is_none());
+        assert!(Rational::from_f64_approx(f64::NEG_INFINITY).is_none());
     }
 
     fn arb_rational() -> impl Strategy<Value = Rational> {

@@ -1,0 +1,22 @@
+//! Scratch profiler for the hybrid engine on the 6.10 entropy family.
+use cq_bench::cycle_query;
+use cq_core::build_color_number_entropy_lp;
+use cq_lp::{solve_lp, PivotRule, Solver};
+use std::time::Instant;
+
+fn main() {
+    let k: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12);
+    let lp = build_color_number_entropy_lp(&cycle_query(k), &[]);
+    let t = Instant::now();
+    let s = solve_lp(&lp, Solver::HybridFloat, PivotRule::DantzigThenBland);
+    eprintln!(
+        "k={k} total {:?} verified={} fallbacks={} float_pivots={}",
+        t.elapsed(),
+        s.stats.float_verified,
+        s.stats.exact_fallbacks,
+        s.stats.float_pivots
+    );
+}

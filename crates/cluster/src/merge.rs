@@ -84,6 +84,10 @@ pub struct SolverTotals {
     pub refactorizations: u64,
     pub dense_solves: u64,
     pub sparse_solves: u64,
+    pub hybrid_solves: u64,
+    pub float_pivots: u64,
+    pub float_verified: u64,
+    pub exact_fallbacks: u64,
 }
 
 impl SolverTotals {
@@ -105,6 +109,10 @@ impl SolverTotals {
             totals.refactorizations += field("refactorizations");
             totals.dense_solves += field("dense_solves");
             totals.sparse_solves += field("sparse_solves");
+            totals.hybrid_solves += field("hybrid_solves");
+            totals.float_pivots += field("float_pivots");
+            totals.float_verified += field("float_verified");
+            totals.exact_fallbacks += field("exact_fallbacks");
         }
         totals
     }
@@ -150,18 +158,27 @@ mod tests {
     #[test]
     fn solver_totals_skip_error_entries() {
         let report = Json::parse(
-            r#"{"solver_stats":{"pivots":3,"refactorizations":1,"dense_solves":1,"sparse_solves":2}}"#,
+            r#"{"solver_stats":{"pivots":3,"refactorizations":1,"dense_solves":1,"sparse_solves":2,"hybrid_solves":1,"float_pivots":40,"float_verified":1,"exact_fallbacks":0}}"#,
+        )
+        .unwrap();
+        // A report predating the hybrid keys sums as zero for them.
+        let old = Json::parse(
+            r#"{"solver_stats":{"pivots":1,"refactorizations":0,"dense_solves":1,"sparse_solves":0}}"#,
         )
         .unwrap();
         let error = Json::parse(r#"{"name":"bad","error":"parse error"}"#).unwrap();
-        let totals = SolverTotals::from_reports(&[report.clone(), error, report]);
+        let totals = SolverTotals::from_reports(&[report.clone(), error, old, report]);
         assert_eq!(
             totals,
             SolverTotals {
-                pivots: 6,
+                pivots: 7,
                 refactorizations: 2,
-                dense_solves: 2,
-                sparse_solves: 4
+                dense_solves: 3,
+                sparse_solves: 4,
+                hybrid_solves: 2,
+                float_pivots: 80,
+                float_verified: 2,
+                exact_fallbacks: 0
             }
         );
     }

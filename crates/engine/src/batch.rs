@@ -5,12 +5,24 @@
 //! pulls the next input off a shared atomic cursor, runs a full session
 //! to a report, and pushes the result into a shared sink. Reports come
 //! back in input order regardless of which worker finished first.
+//!
+//! With a shared [`LpCache`] attached, the batch is scheduled in two
+//! waves keyed by each query's renaming-invariant canonical form: wave
+//! one runs one representative of every structural-isomorphism class —
+//! so the *independent* cache misses solve concurrently — and wave two
+//! runs the remaining inputs, which find their class's LPs already
+//! cached. The cache has no miss coalescing, so without the planner
+//! concurrent isomorphic inputs race the first lookup and every racer
+//! solves the same LP; with it, a batch performs at most one miss per
+//! class *and* keeps full parallelism across classes.
 
 use crate::cache::LpCache;
 use crate::report::{AnalysisReport, ReportOptions};
 use crate::session::AnalysisSession;
 use cq_core::{ConjunctiveQuery, ParseError};
+use cq_hypergraph::{canonical_key, CanonicalKey};
 use cq_relation::FdSet;
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -65,9 +77,23 @@ impl BatchAnalyzer {
         inputs: &[(String, String)],
         opts: &ReportOptions<'_>,
     ) -> Vec<Result<AnalysisReport, ParseError>> {
-        self.run(inputs.len(), |i| {
-            let (query, fds) = cq_core::parse_program(&inputs[i].1)?;
-            Ok(self.session(&inputs[i].0, query, fds).report(opts))
+        // Parse up front (cheap next to any LP solve) so the miss
+        // planner can see each query's canonical key before scheduling.
+        let parsed: Vec<Result<(ConjunctiveQuery, FdSet), ParseError>> = inputs
+            .iter()
+            .map(|(_, text)| cq_core::parse_program(text))
+            .collect();
+        let waves = self.plan_waves(parsed.len(), |i| {
+            parsed[i]
+                .as_ref()
+                .ok()
+                .map(|(q, _)| canonical_key(&q.hypergraph(), &q.head_var_set()))
+        });
+        self.run_waves(&waves, parsed.len(), |i| match &parsed[i] {
+            Ok((query, fds)) => Ok(self
+                .session(&inputs[i].0, query.clone(), fds.clone())
+                .report(opts)),
+            Err(e) => Err(e.clone()),
         })
     }
 
@@ -78,36 +104,78 @@ impl BatchAnalyzer {
         items: &[(String, ConjunctiveQuery, FdSet)],
         opts: &ReportOptions<'_>,
     ) -> Vec<AnalysisReport> {
-        self.run(items.len(), |i| {
+        let waves = self.plan_waves(items.len(), |i| {
+            let q = &items[i].1;
+            Some(canonical_key(&q.hypergraph(), &q.head_var_set()))
+        });
+        self.run_waves(&waves, items.len(), |i| {
             let (name, query, fds) = &items[i];
-            Ok::<_, ParseError>(self.session(name, query.clone(), fds.clone()).report(opts))
+            self.session(name, query.clone(), fds.clone()).report(opts)
         })
-        .into_iter()
-        .map(|r| r.expect("from_parts cannot fail"))
-        .collect()
     }
 
-    /// The shared work loop: `produce(i)` runs on some worker thread for
-    /// every `i < n`; results land at index `i` of the returned vec.
-    fn run<T: Send>(&self, n: usize, produce: impl Fn(usize) -> T + Sync) -> Vec<T> {
-        if n == 0 {
-            return Vec::new();
+    /// The cache-miss plan: with a shared cache attached, wave one holds
+    /// the first input of every canonical class (plus unparseable inputs,
+    /// which solve no LPs), wave two the repeats. Wave one's misses are
+    /// pairwise non-isomorphic, so they parallelize without duplicating
+    /// work; by wave two every class's LPs are cached. Classes are keyed
+    /// on the *input* query — sessions cache under the chased/FD-reduced
+    /// form, which isomorphic inputs reach identically, so the ≤1-miss-
+    /// per-class guarantee survives the rewrite steps. Without a cache
+    /// (or with no repeats) everything runs in a single wave.
+    fn plan_waves(
+        &self,
+        n: usize,
+        key_of: impl Fn(usize) -> Option<CanonicalKey>,
+    ) -> Vec<Vec<usize>> {
+        if self.cache.is_none() || n < 2 {
+            return vec![(0..n).collect()];
         }
-        let workers = self.workers_for(n);
-        let cursor = AtomicUsize::new(0);
-        let sink: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let result = produce(i);
-                    sink.lock().expect("sink poisoned")[i] = Some(result);
-                });
+        let mut seen: HashSet<CanonicalKey> = HashSet::new();
+        let mut first = Vec::new();
+        let mut rest = Vec::new();
+        for i in 0..n {
+            match key_of(i) {
+                Some(key) if !seen.insert(key) => rest.push(i),
+                _ => first.push(i),
             }
-        });
+        }
+        if rest.is_empty() {
+            vec![first]
+        } else {
+            vec![first, rest]
+        }
+    }
+
+    /// The shared work loop: each wave runs to completion before the
+    /// next starts; within a wave, `produce(i)` runs on some worker
+    /// thread for every listed index. Results land at index `i` of the
+    /// returned vec, so output order is input order regardless of the
+    /// schedule.
+    fn run_waves<T: Send>(
+        &self,
+        waves: &[Vec<usize>],
+        n: usize,
+        produce: impl Fn(usize) -> T + Sync,
+    ) -> Vec<T> {
+        let sink: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+        for wave in waves.iter().filter(|w| !w.is_empty()) {
+            let workers = self.workers_for(wave.len());
+            let cursor = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let w = cursor.fetch_add(1, Ordering::Relaxed);
+                        if w >= wave.len() {
+                            break;
+                        }
+                        let i = wave[w];
+                        let result = produce(i);
+                        sink.lock().expect("sink poisoned")[i] = Some(result);
+                    });
+                }
+            });
+        }
         sink.into_inner()
             .expect("sink poisoned")
             .into_iter()
@@ -179,10 +247,11 @@ mod tests {
         .enumerate()
         .map(|(i, t)| (format!("tri{i}"), t.to_string()))
         .collect();
-        // Single worker so the hit count is deterministic (concurrent
-        // workers can race the first lookup and all miss before any
-        // insert lands — the cache has no miss coalescing).
-        let reports = BatchAnalyzer::with_threads(1)
+        // Parallel workers are safe: the miss planner runs one triangle
+        // in wave one (the class's single miss) and the other two in
+        // wave two, where the cache is already warm — the count stays
+        // deterministic even though the cache has no miss coalescing.
+        let reports = BatchAnalyzer::with_threads(8)
             .with_cache(Arc::clone(&cache))
             .analyze_texts(&inputs, &ReportOptions::default());
         for r in &reports {
@@ -200,6 +269,31 @@ mod tests {
             .with_cache(Arc::clone(&cache))
             .analyze_texts(&inputs, &ReportOptions::default());
         assert_eq!(cache.stats().hits, stats.hits + 3);
+    }
+
+    #[test]
+    fn miss_planner_defers_repeats_to_a_second_wave() {
+        let key = |text: &str| {
+            let (q, _) = cq_core::parse_program(text).unwrap();
+            canonical_key(&q.hypergraph(), &q.head_var_set())
+        };
+        let tri = key("S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z)");
+        let path = key("Q(X,Y,Z) :- S(X,Y), T(Y,Z)");
+        // Index 3 is a parse failure (no key): it solves no LPs, so it
+        // rides along in wave one.
+        let keys = [Some(tri), Some(path), Some(tri), None, Some(tri)];
+        let planned = BatchAnalyzer::new().with_cache(Arc::new(LpCache::new()));
+        assert_eq!(
+            planned.plan_waves(5, |i| keys[i]),
+            vec![vec![0, 1, 3], vec![2, 4]]
+        );
+        // All-distinct prefix collapses back to a single wave.
+        assert_eq!(planned.plan_waves(2, |i| keys[i]), vec![vec![0, 1]]);
+        // No cache attached: nothing to protect, single wave.
+        assert_eq!(
+            BatchAnalyzer::new().plan_waves(5, |i| keys[i]),
+            vec![vec![0, 1, 2, 3, 4]]
+        );
     }
 
     #[test]

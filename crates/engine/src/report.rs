@@ -76,6 +76,14 @@ pub struct SolverReport {
     pub dense_solves: usize,
     /// LPs solved by the sparse revised simplex.
     pub sparse_solves: usize,
+    /// LPs solved by the hybrid float/exact engine.
+    pub hybrid_solves: usize,
+    /// Pivots performed by hybrid solves' `f64` phase.
+    pub float_pivots: usize,
+    /// Hybrid solves whose float basis passed exact verification.
+    pub float_verified: usize,
+    /// Hybrid solves that fell back to the full exact engine.
+    pub exact_fallbacks: usize,
 }
 
 /// Theorem 7.2 facts.
@@ -188,6 +196,10 @@ impl AnalysisSession {
             refactorizations: stats.lp_refactorizations,
             dense_solves: stats.lp_dense_solves,
             sparse_solves: stats.lp_sparse_solves,
+            hybrid_solves: stats.lp_hybrid_solves,
+            float_pivots: stats.lp_float_pivots,
+            float_verified: stats.lp_float_verified,
+            exact_fallbacks: stats.lp_exact_fallbacks,
         };
 
         let witness = opts.witness_m.and_then(|m| {
@@ -257,13 +269,13 @@ fn entropy_size_warning(k: usize) -> Option<String> {
         Some(format!(
             "Prop 6.9 Shannon LP skipped above {ENTROPY_BOUND_VAR_CAP} variables \
              (k(k-1)*2^(k-3) constraints); Prop 6.10 solved at {k} variables via \
-             the sparse revised simplex"
+             the hybrid float/exact simplex"
         ))
     } else if k > ENTROPY_BOUND_DENSE_CAP {
         Some(format!(
             "large entropy LPs ({k} variables, 2^k LP columns): beyond the old \
              dense-tableau cap of {ENTROPY_BOUND_DENSE_CAP}, solved via the \
-             sparse revised simplex"
+             hybrid float/exact simplex"
         ))
     } else {
         None
@@ -450,6 +462,10 @@ impl AnalysisReport {
                     ("refactorizations", Json::int(self.solver.refactorizations)),
                     ("dense_solves", Json::int(self.solver.dense_solves)),
                     ("sparse_solves", Json::int(self.solver.sparse_solves)),
+                    ("hybrid_solves", Json::int(self.solver.hybrid_solves)),
+                    ("float_pivots", Json::int(self.solver.float_pivots)),
+                    ("float_verified", Json::int(self.solver.float_verified)),
+                    ("exact_fallbacks", Json::int(self.solver.exact_fallbacks)),
                 ]),
             ),
             (

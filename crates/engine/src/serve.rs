@@ -94,6 +94,12 @@ pub struct ServeStats {
     pub lp_dense_solves: u64,
     /// LPs solved by the sparse revised simplex.
     pub lp_sparse_solves: u64,
+    /// LPs solved by the hybrid float/exact engine.
+    pub lp_hybrid_solves: u64,
+    /// Hybrid solves whose float basis passed exact verification.
+    pub lp_float_verified: u64,
+    /// Hybrid solves that fell back to the full exact engine.
+    pub lp_exact_fallbacks: u64,
 }
 
 /// The serving layer: a shared LP cache plus request dispatch.
@@ -126,6 +132,9 @@ pub struct ServeEngine {
     lp_pivots: AtomicU64,
     lp_dense_solves: AtomicU64,
     lp_sparse_solves: AtomicU64,
+    lp_hybrid_solves: AtomicU64,
+    lp_float_verified: AtomicU64,
+    lp_exact_fallbacks: AtomicU64,
 }
 
 impl Default for ServeEngine {
@@ -149,6 +158,9 @@ impl ServeEngine {
             lp_pivots: AtomicU64::new(0),
             lp_dense_solves: AtomicU64::new(0),
             lp_sparse_solves: AtomicU64::new(0),
+            lp_hybrid_solves: AtomicU64::new(0),
+            lp_float_verified: AtomicU64::new(0),
+            lp_exact_fallbacks: AtomicU64::new(0),
         }
     }
 
@@ -228,6 +240,9 @@ impl ServeEngine {
             lp_pivots: self.lp_pivots.load(Ordering::Relaxed),
             lp_dense_solves: self.lp_dense_solves.load(Ordering::Relaxed),
             lp_sparse_solves: self.lp_sparse_solves.load(Ordering::Relaxed),
+            lp_hybrid_solves: self.lp_hybrid_solves.load(Ordering::Relaxed),
+            lp_float_verified: self.lp_float_verified.load(Ordering::Relaxed),
+            lp_exact_fallbacks: self.lp_exact_fallbacks.load(Ordering::Relaxed),
         }
     }
 
@@ -240,6 +255,12 @@ impl ServeEngine {
             .fetch_add(report.solver.dense_solves as u64, Ordering::Relaxed);
         self.lp_sparse_solves
             .fetch_add(report.solver.sparse_solves as u64, Ordering::Relaxed);
+        self.lp_hybrid_solves
+            .fetch_add(report.solver.hybrid_solves as u64, Ordering::Relaxed);
+        self.lp_float_verified
+            .fetch_add(report.solver.float_verified as u64, Ordering::Relaxed);
+        self.lp_exact_fallbacks
+            .fetch_add(report.solver.exact_fallbacks as u64, Ordering::Relaxed);
     }
 
     /// Handles one request line, returning the one response line (no
@@ -474,6 +495,18 @@ impl ServeEngine {
                 (
                     "lp_sparse_solves",
                     Json::int(stats.lp_sparse_solves as usize),
+                ),
+                (
+                    "lp_hybrid_solves",
+                    Json::int(stats.lp_hybrid_solves as usize),
+                ),
+                (
+                    "lp_float_verified",
+                    Json::int(stats.lp_float_verified as usize),
+                ),
+                (
+                    "lp_exact_fallbacks",
+                    Json::int(stats.lp_exact_fallbacks as usize),
                 ),
                 ("cache_shards", Json::Arr(shards)),
             ]),

@@ -34,19 +34,20 @@ use std::cell::{Cell, OnceCell};
 use std::sync::Arc;
 
 /// Variable cap for the Proposition 6.10 entropy characterization of the
-/// color number (the LP has `2^k` variables). Raised from
-/// [`ENTROPY_COLOR_DENSE_CAP`] when the sparse revised simplex became
-/// the default engine for these programs — measured on the k-cycle
-/// family: k = 10 in ~3 s, k = 12 in ~80 s (`bench_simplex`), where the
-/// dense tableau was already impractical below the old cap.
-pub const ENTROPY_COLOR_VAR_CAP: usize = 12;
+/// color number (the LP has `2^k` variables). Raised twice: to 12 when
+/// the sparse revised simplex became the default engine (k = 12 in
+/// ~80 s), and to 14 with the hybrid float/exact engine, which verifies
+/// the float-proposed basis exactly and cuts k = 12 to single-digit
+/// seconds (`bench_simplex`, `BENCH_2026-08-07.json`).
+pub const ENTROPY_COLOR_VAR_CAP: usize = 14;
 
 /// Variable cap for the Proposition 6.9 Shannon upper bound (the
 /// elemental family has `k(k−1)·2^{k−3}` constraints). Raised from
-/// [`ENTROPY_BOUND_DENSE_CAP`] with the sparse engine — measured on the
-/// k-cycle family: k = 8 in ~0.2 s where the dense tableau needed
-/// minutes at k = 7.
-pub const ENTROPY_BOUND_VAR_CAP: usize = 8;
+/// [`ENTROPY_BOUND_DENSE_CAP`] with the sparse engine (k = 8 in ~0.2 s
+/// where the dense tableau needed minutes at k = 7), then to 9 with the
+/// hybrid engine — the constraint count grows so much faster than the
+/// 6.10 family's that one extra k is the honest step.
+pub const ENTROPY_BOUND_VAR_CAP: usize = 9;
 
 /// The Proposition 6.10 ceiling of the dense-tableau era. Between this
 /// and [`ENTROPY_COLOR_VAR_CAP`] the LP still solves (sparse engine),
@@ -94,6 +95,16 @@ pub struct SessionStats {
     pub lp_dense_solves: usize,
     /// Coloring/entropy LPs solved by the sparse revised simplex.
     pub lp_sparse_solves: usize,
+    /// Coloring/entropy LPs solved by the hybrid float/exact engine.
+    pub lp_hybrid_solves: usize,
+    /// Pivots performed by hybrid solves' `f64` phase (exact-phase
+    /// pivots stay in `lp_pivots`).
+    pub lp_float_pivots: usize,
+    /// Hybrid solves whose float-proposed basis passed exact
+    /// verification (one rational factorization, no exact pivoting).
+    pub lp_float_verified: usize,
+    /// Hybrid solves that fell back to the full exact engine.
+    pub lp_exact_fallbacks: usize,
 }
 
 #[derive(Default)]
@@ -110,6 +121,10 @@ struct Counters {
     lp_refactorizations: Cell<usize>,
     lp_dense_solves: Cell<usize>,
     lp_sparse_solves: Cell<usize>,
+    lp_hybrid_solves: Cell<usize>,
+    lp_float_pivots: Cell<usize>,
+    lp_float_verified: Cell<usize>,
+    lp_exact_fallbacks: Cell<usize>,
 }
 
 impl Counters {
@@ -122,8 +137,16 @@ impl Counters {
         let engine = match stats.solver {
             SolverKind::DenseTableau => &self.lp_dense_solves,
             SolverKind::RevisedSparse => &self.lp_sparse_solves,
+            SolverKind::HybridFloat => &self.lp_hybrid_solves,
         };
         bump(engine);
+        self.lp_float_pivots
+            .set(self.lp_float_pivots.get() + stats.float_pivots);
+        if stats.float_verified {
+            bump(&self.lp_float_verified);
+        }
+        self.lp_exact_fallbacks
+            .set(self.lp_exact_fallbacks.get() + stats.exact_fallbacks);
     }
 }
 
@@ -226,6 +249,10 @@ impl AnalysisSession {
             lp_refactorizations: self.counters.lp_refactorizations.get(),
             lp_dense_solves: self.counters.lp_dense_solves.get(),
             lp_sparse_solves: self.counters.lp_sparse_solves.get(),
+            lp_hybrid_solves: self.counters.lp_hybrid_solves.get(),
+            lp_float_pivots: self.counters.lp_float_pivots.get(),
+            lp_float_verified: self.counters.lp_float_verified.get(),
+            lp_exact_fallbacks: self.counters.lp_exact_fallbacks.get(),
         }
     }
 

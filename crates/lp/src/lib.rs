@@ -12,7 +12,7 @@
 //! quantities: color weights, cover weights, entropies). Constraints may be
 //! `<=`, `>=`, or `=`; both maximization and minimization are supported.
 //!
-//! Two engines implement the same exact two-phase method:
+//! Three engines produce the same exact answers:
 //!
 //! - the **dense tableau** ([`simplex`]) — lowest constant factors,
 //!   right for the paper's small combinatorial LPs;
@@ -20,7 +20,12 @@
 //!   basis with eta updates and periodic refactorization over a CSC
 //!   constraint matrix ([`sparse`]), which is what lets the entropy LPs
 //!   (`2^k − 1` variables, constraints touching 2–4 of them) scale past
-//!   the dense ceiling.
+//!   the dense ceiling;
+//! - the **float/exact hybrid** ([`hybrid`]) — an `f64` run of the
+//!   revised machinery proposes the optimal basis, one exact rational
+//!   factorization verifies it (falling back to the exact engine when
+//!   it can't), cutting another order of magnitude off the large
+//!   entropy programs without giving up a single bit of exactness.
 //!
 //! [`LinearProgram::solve`] picks automatically by a size/density
 //! heuristic ([`Solver::Auto`]); both engines agree on status and
@@ -28,12 +33,15 @@
 //! [`SolveStats`] saying which engine ran and how hard it worked. The
 //! full policy is documented in `docs/SOLVER.md`.
 
+pub(crate) mod float;
+pub mod hybrid;
 pub mod problem;
 pub mod revised;
 pub mod simplex;
 pub mod solver;
 pub mod sparse;
 
+pub use hybrid::solve_hybrid;
 pub use problem::{Constraint, LinearProgram, Objective, Relation, VarId};
 pub use revised::solve_revised;
 pub use simplex::{solve_with, LpSolution, LpStatus, PivotRule};

@@ -70,7 +70,7 @@ struct LuStep {
 
 /// Sparse LU factorization of a basis matrix (columns indexed by basis
 /// position, rows by constraint index).
-struct SparseLu {
+pub(crate) struct SparseLu {
     m: usize,
     steps: Vec<LuStep>,
 }
@@ -80,6 +80,19 @@ impl SparseLu {
     /// (row-sorted nonzeros). Panics if the matrix is singular — a
     /// simplex basis never is, so a failure here is a bookkeeping bug.
     fn factorize(m: usize, cols: impl Fn(usize) -> Vec<(usize, Rational)>) -> SparseLu {
+        SparseLu::try_factorize(m, cols).expect("singular basis")
+    }
+
+    /// Fallible [`SparseLu::factorize`]: `None` if the matrix is
+    /// singular. The engine's own bases are never singular, but a
+    /// *candidate* basis proposed by the float phase (see
+    /// [`crate::hybrid`]) carries no such guarantee — float round-off
+    /// can nominate an exactly dependent column set, and that must
+    /// read as "verification failed", not a panic.
+    pub(crate) fn try_factorize(
+        m: usize,
+        cols: impl Fn(usize) -> Vec<(usize, Rational)>,
+    ) -> Option<SparseLu> {
         // Row-major working form; each row stays sorted by column.
         let mut rows: Vec<Vec<(usize, Rational)>> = vec![Vec::new(); m];
         for j in 0..m {
@@ -117,8 +130,10 @@ impl SparseLu {
                     }
                 }
             }
-            let (cc, active_idx) = best.expect("singular basis: no active column");
-            assert!(cc > 0, "singular basis: empty active column");
+            let (cc, active_idx) = best?;
+            if cc == 0 {
+                return None; // a column lost all its nonzeros: singular
+            }
             let pj = active.swap_remove(active_idx);
             // … then its entry in the sparsest active row.
             let mut best_row: Option<(usize, usize)> = None; // (count, row)
@@ -131,7 +146,7 @@ impl SparseLu {
                     best_row = Some((rc, i));
                 }
             }
-            let (_, pi) = best_row.expect("singular basis: column lost its rows");
+            let (_, pi) = best_row?;
 
             row_done[pi] = true;
             col_done[pj] = true;
@@ -219,12 +234,12 @@ impl SparseLu {
             });
         }
         debug_assert!(col_done.iter().all(|&d| d) && row_done.iter().all(|&d| d));
-        SparseLu { m, steps }
+        Some(SparseLu { m, steps })
     }
 
     /// Solves `B x = v`: `v` is indexed by constraint rows, the result by
     /// basis positions.
-    fn ftran(&self, mut v: Vec<Rational>) -> Vec<Rational> {
+    pub(crate) fn ftran(&self, mut v: Vec<Rational>) -> Vec<Rational> {
         for step in &self.steps {
             if !v[step.prow].is_zero() {
                 let pv = v[step.prow].clone();
@@ -250,7 +265,7 @@ impl SparseLu {
 
     /// Solves `Bᵀ y = c`: `c` is indexed by basis positions, the result
     /// by constraint rows.
-    fn btran(&self, mut c: Vec<Rational>) -> Vec<Rational> {
+    pub(crate) fn btran(&self, mut c: Vec<Rational>) -> Vec<Rational> {
         let mut z = vec![Rational::zero(); self.m];
         for step in &self.steps {
             if !c[step.pcol].is_zero() {
@@ -344,21 +359,26 @@ impl Basis {
     }
 }
 
-struct Revised<'a> {
-    lp: &'a LinearProgram,
-    m: usize,
-    n: usize,
+/// The exact revised-simplex state. `pub(crate)` so the hybrid engine
+/// ([`crate::hybrid`]) can build the canonicalized sparse form once,
+/// hand it to the float phase ([`crate::float`]), verify the candidate
+/// basis exactly against it, and only on failure consume it via
+/// [`Revised::run`] — all without re-canonicalizing the program.
+pub(crate) struct Revised<'a> {
+    pub(crate) lp: &'a LinearProgram,
+    pub(crate) m: usize,
+    pub(crate) n: usize,
     /// Columns `< first_art` are structural + slack; the rest artificial.
-    first_art: usize,
-    cols: usize,
-    a: SparseMatrix,
-    b_rhs: Vec<Rational>,
-    basis: Vec<usize>,
-    in_basis: Vec<bool>,
+    pub(crate) first_art: usize,
+    pub(crate) cols: usize,
+    pub(crate) a: SparseMatrix,
+    pub(crate) b_rhs: Vec<Rational>,
+    pub(crate) basis: Vec<usize>,
+    pub(crate) in_basis: Vec<bool>,
     x_b: Vec<Rational>,
     basis_factors: Basis,
-    any_artificial: bool,
-    stats: SolveStats,
+    pub(crate) any_artificial: bool,
+    pub(crate) stats: SolveStats,
 }
 
 /// Canonical orientation of one constraint row: `(negate, rel, rhs)`
@@ -391,7 +411,7 @@ fn canonical_row(c: &Constraint) -> (bool, Relation, Rational) {
 }
 
 impl<'a> Revised<'a> {
-    fn new(lp: &'a LinearProgram) -> Self {
+    pub(crate) fn new(lp: &'a LinearProgram) -> Self {
         let n = lp.num_vars();
         let m = lp.num_constraints();
         let canonical: Vec<(bool, Relation, Rational)> =
@@ -456,11 +476,10 @@ impl<'a> Revised<'a> {
         let lu = SparseLu::factorize(m, |p| a.col(basis[p]).to_vec());
         let stats = SolveStats {
             solver: SolverKind::RevisedSparse,
-            pivots: 0,
-            refactorizations: 0,
             nonzeros: constraint_nonzeros(lp),
             rows: m,
             cols: n,
+            ..SolveStats::default()
         };
         Revised {
             lp,
@@ -592,8 +611,10 @@ impl<'a> Revised<'a> {
         }
     }
 
-    fn run(mut self, rule: PivotRule) -> LpSolution {
-        // Phase-2 costs in maximization sense, zero on slacks/artificials.
+    /// Phase-2 costs in maximization sense, zero on slacks/artificials.
+    /// Shared with the hybrid engine's verification and float phase so
+    /// all three price against the identical vector.
+    pub(crate) fn phase2_costs(&self) -> Vec<Rational> {
         let mut phase2 = vec![Rational::zero(); self.cols];
         for (j, c) in self.lp.objective_coeffs().iter().enumerate() {
             phase2[j] = match self.lp.objective() {
@@ -601,6 +622,11 @@ impl<'a> Revised<'a> {
                 Objective::Minimize => -c,
             };
         }
+        phase2
+    }
+
+    pub(crate) fn run(mut self, rule: PivotRule) -> LpSolution {
+        let phase2 = self.phase2_costs();
 
         if self.any_artificial {
             // Phase 1 only has work to do when some artificial starts

@@ -196,11 +196,10 @@ pub fn solve_with(lp: &LinearProgram, rule: PivotRule) -> LpSolution {
     let m = lp.num_constraints();
     let mut stats = SolveStats {
         solver: SolverKind::DenseTableau,
-        pivots: 0,
-        refactorizations: 0,
         nonzeros: constraint_nonzeros(lp),
         rows: m,
         cols: n,
+        ..SolveStats::default()
     };
 
     // Canonicalize each row: dense coefficients with nonnegative RHS.

@@ -31,6 +31,10 @@ pub enum SolverKind {
     DenseTableau,
     /// The sparse revised simplex of [`crate::revised`].
     RevisedSparse,
+    /// The float-first hybrid of [`crate::hybrid`]: an `f64` revised
+    /// simplex proposes a basis, one exact factorization verifies it,
+    /// and the exact engine backstops any failure.
+    HybridFloat,
 }
 
 impl SolverKind {
@@ -39,6 +43,7 @@ impl SolverKind {
         match self {
             SolverKind::DenseTableau => "dense_tableau",
             SolverKind::RevisedSparse => "revised_sparse",
+            SolverKind::HybridFloat => "hybrid_float",
         }
     }
 }
@@ -53,6 +58,8 @@ pub enum Solver {
     DenseTableau,
     /// Force the sparse revised simplex.
     RevisedSparse,
+    /// Force the float-first hybrid with exact basis verification.
+    HybridFloat,
 }
 
 impl Solver {
@@ -65,10 +72,19 @@ impl Solver {
     pub const AUTO_MAX_DENSITY_INV: usize = 4;
 
     /// Resolves `Auto` against a concrete program.
+    ///
+    /// Large sparse programs go to the hybrid float/exact engine unless
+    /// the `CQ_LP_ENGINE` environment variable (read fresh per resolve,
+    /// so tests and CI can toggle it in-process) asks for the pure exact
+    /// path: `exact` keeps the sparse rational engine, `hybrid` (or
+    /// unset, or anything else) keeps the default routing. Small or
+    /// dense programs always use the dense tableau — at that size the
+    /// float phase cannot beat its constant factors.
     pub fn resolve(self, lp: &LinearProgram) -> SolverKind {
         match self {
             Solver::DenseTableau => SolverKind::DenseTableau,
             Solver::RevisedSparse => SolverKind::RevisedSparse,
+            Solver::HybridFloat => SolverKind::HybridFloat,
             Solver::Auto => {
                 let m = lp.num_constraints();
                 let n = lp.num_vars();
@@ -77,7 +93,7 @@ impl Solver {
                 if m.max(n) >= Self::AUTO_MIN_DIM
                     && nnz.saturating_mul(Self::AUTO_MAX_DENSITY_INV) <= cells
                 {
-                    SolverKind::RevisedSparse
+                    auto_large_engine(std::env::var("CQ_LP_ENGINE").ok().as_deref())
                 } else {
                     SolverKind::DenseTableau
                 }
@@ -107,6 +123,30 @@ pub struct SolveStats {
     pub rows: usize,
     /// Variable count of the program (structural only).
     pub cols: usize,
+    /// Pivots performed by the hybrid engine's `f64` phase (0 for the
+    /// pure exact engines). The exact-phase count stays in `pivots`, so
+    /// the two phases are separately attributable.
+    pub float_pivots: usize,
+    /// `true` iff the hybrid engine's float-proposed basis passed exact
+    /// verification — the solution came from one rational factorization
+    /// instead of a full exact solve.
+    pub float_verified: bool,
+    /// 1 when the hybrid engine had to fall back to the exact revised
+    /// simplex (verification failed, or the float phase gave up or
+    /// claimed infeasible/unbounded — claims the hybrid never trusts).
+    pub exact_fallbacks: usize,
+}
+
+/// The engine `Auto` uses in the large-sparse regime, given the
+/// `CQ_LP_ENGINE` value. Split out as a pure function so the policy is
+/// unit-testable without mutating the process environment (concurrent
+/// `setenv`/`getenv` is undefined behavior on glibc, so tests must not
+/// call `set_var`).
+fn auto_large_engine(env: Option<&str>) -> SolverKind {
+    match env {
+        Some("exact") => SolverKind::RevisedSparse,
+        _ => SolverKind::HybridFloat,
+    }
 }
 
 /// Nonzero coefficient entries across all constraints — the numerator of
@@ -128,6 +168,7 @@ pub fn solve_lp(lp: &LinearProgram, solver: Solver, rule: PivotRule) -> LpSoluti
     match solver.resolve(lp) {
         SolverKind::DenseTableau => crate::simplex::solve_with(lp, rule),
         SolverKind::RevisedSparse => crate::revised::solve_revised(lp, rule),
+        SolverKind::HybridFloat => crate::hybrid::solve_hybrid(lp, rule),
     }
 }
 
@@ -138,7 +179,7 @@ pub fn solve_lp(lp: &LinearProgram, solver: Solver, rule: PivotRule) -> LpSoluti
 pub fn solve_auto(lp: &LinearProgram, solver: Solver) -> LpSolution {
     let rule = match solver.resolve(lp) {
         SolverKind::DenseTableau => PivotRule::Bland,
-        SolverKind::RevisedSparse => PivotRule::DantzigThenBland,
+        SolverKind::RevisedSparse | SolverKind::HybridFloat => PivotRule::DantzigThenBland,
     };
     solve_lp(lp, solver, rule)
 }
@@ -169,10 +210,21 @@ mod tests {
     }
 
     #[test]
-    fn auto_picks_sparse_for_large_sparse_programs() {
+    fn auto_picks_hybrid_for_large_sparse_programs() {
         // 128 vars, 200 constraints touching 3 each: density 3/128.
         let lp = lp_shape(128, 200, 3);
-        assert_eq!(Solver::Auto.resolve(&lp), SolverKind::RevisedSparse);
+        // Env-aware so the suite also passes under a CQ_LP_ENGINE run.
+        let expected = auto_large_engine(std::env::var("CQ_LP_ENGINE").ok().as_deref());
+        assert_eq!(Solver::Auto.resolve(&lp), expected);
+    }
+
+    #[test]
+    fn engine_env_knob_policy() {
+        assert_eq!(auto_large_engine(None), SolverKind::HybridFloat);
+        assert_eq!(auto_large_engine(Some("hybrid")), SolverKind::HybridFloat);
+        assert_eq!(auto_large_engine(Some("exact")), SolverKind::RevisedSparse);
+        // Unknown values keep the default rather than erroring.
+        assert_eq!(auto_large_engine(Some("bogus")), SolverKind::HybridFloat);
     }
 
     #[test]

@@ -218,6 +218,19 @@ fn summary_json(run: &ClusterRun) -> Json {
                             "sparse_solves",
                             Json::int(run.solver.sparse_solves as usize),
                         ),
+                        (
+                            "hybrid_solves",
+                            Json::int(run.solver.hybrid_solves as usize),
+                        ),
+                        ("float_pivots", Json::int(run.solver.float_pivots as usize)),
+                        (
+                            "float_verified",
+                            Json::int(run.solver.float_verified as usize),
+                        ),
+                        (
+                            "exact_fallbacks",
+                            Json::int(run.solver.exact_fallbacks as usize),
+                        ),
                     ]),
                 ),
                 ("per_worker", Json::Arr(per_worker)),

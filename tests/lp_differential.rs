@@ -1,12 +1,16 @@
-//! The solver differential layer: the dense tableau and the sparse
-//! revised simplex must agree **exactly** on every program.
+//! The solver differential layer: the dense tableau, the sparse revised
+//! simplex, and the hybrid float/exact engine must agree **exactly** on
+//! every program.
 //!
 //! Exact rationals make the contract sharp — the LP optimum is a unique
-//! number, so the two engines must return bit-identical statuses and
-//! objectives (no tolerance). Optimal *points* may differ (alternative
-//! optima), so witnesses are checked semantically instead: every
-//! reported solution must be exactly feasible, nonnegative, and attain
-//! the reported objective.
+//! number, so all engines must return bit-identical statuses and
+//! objectives (no tolerance). The hybrid engine is held to the same
+//! standard: its float phase only *proposes* a basis, and everything it
+//! reports comes from an exact refactorization of that basis or from a
+//! full exact fallback, so float rounding can never leak into a result.
+//! Optimal *points* may differ (alternative optima), so witnesses are
+//! checked semantically instead: every reported solution must be
+//! exactly feasible, nonnegative, and attain the reported objective.
 //!
 //! Layers:
 //! - a property over random LPs (mixed `<=`/`>=`/`=`, negative RHS,
@@ -71,6 +75,14 @@ fn differential(lp: &LinearProgram, label: &str) -> LpStatus {
         ("dense/dtb", solve_with(lp, PivotRule::DantzigThenBland)),
         ("sparse/bland", solve_revised(lp, PivotRule::Bland)),
         ("sparse/dtb", solve_revised(lp, PivotRule::DantzigThenBland)),
+        (
+            "hybrid/bland",
+            solve_lp(lp, Solver::HybridFloat, PivotRule::Bland),
+        ),
+        (
+            "hybrid/dtb",
+            solve_lp(lp, Solver::HybridFloat, PivotRule::DantzigThenBland),
+        ),
     ];
     let status = runs[0].1.status;
     for (name, sol) in &runs {
@@ -84,6 +96,22 @@ fn differential(lp: &LinearProgram, label: &str) -> LpStatus {
                 "{label}/{name}: engines disagree on the optimum for\n{lp}"
             );
             verify_witness(lp, sol, &format!("{label}/{name}"));
+        }
+        if name.starts_with("hybrid") {
+            // A hybrid answer is either a verified float basis or an
+            // exact fallback — exactly one, never neither or both.
+            assert!(
+                sol.stats.float_verified != (sol.stats.exact_fallbacks > 0),
+                "{label}/{name}: hybrid solve neither verified nor fell back\n{lp}"
+            );
+            // Non-optimal float outcomes are untrusted hints, so any
+            // non-Optimal status must have come from the exact engine.
+            if status != LpStatus::Optimal {
+                assert!(
+                    sol.stats.exact_fallbacks > 0,
+                    "{label}/{name}: non-optimal status without exact fallback\n{lp}"
+                );
+            }
         }
     }
     status
@@ -157,16 +185,22 @@ fn entropy_lp_constructions_agree_across_engines() {
 }
 
 #[test]
-fn auto_routed_sparse_solve_matches_forced_dense() {
+fn auto_routed_solve_matches_forced_dense() {
     // Prop 6.10 at k = 6 is past the Auto thresholds: the default
-    // `solve()` must take the sparse engine and land on the same
+    // `solve()` must take the large-program engine — hybrid, or the
+    // exact sparse engine when `CQ_LP_ENGINE=exact` pins it (CI's deep
+    // job runs this suite under both settings) — and land on the same
     // optimum as a forced dense solve.
     let q =
         parse_query("C(A,B,X,D,E,F) :- R(A,B), R(B,X), R(X,D), R(D,E), R(E,F), R(F,A)").unwrap();
     let lp = build_color_number_entropy_lp(&q, &[]);
-    assert_eq!(Solver::Auto.resolve(&lp), SolverKind::RevisedSparse);
+    let expected = match std::env::var("CQ_LP_ENGINE").ok().as_deref() {
+        Some("exact") => SolverKind::RevisedSparse,
+        _ => SolverKind::HybridFloat,
+    };
+    assert_eq!(Solver::Auto.resolve(&lp), expected);
     let auto = lp.solve();
-    assert_eq!(auto.stats.solver, SolverKind::RevisedSparse);
+    assert_eq!(auto.stats.solver, expected);
     let dense = solve_lp(&lp, Solver::DenseTableau, PivotRule::Bland);
     assert_eq!(auto.status, dense.status);
     assert_eq!(auto.objective, dense.objective);
@@ -176,6 +210,37 @@ fn auto_routed_sparse_solve_matches_forced_dense() {
         color_number_lp(&parse_query(QUERIES[0]).unwrap()).value,
         Rational::ratio(3, 2)
     );
+}
+
+/// An LP crafted so the float phase confidently proposes the *wrong*
+/// basis: maximize `x + (1+ε)y` under `x + y <= 1` with ε far below
+/// f64 resolution. In f64 both objective coefficients round to exactly
+/// 1.0, both pivot rules enter `x` first (lowest index on the tie), and
+/// the float phase declares the `x` basis optimal. Exact verification
+/// computes `y`'s true reduced cost ε > 0, rejects the certificate, and
+/// the exact engine must recover the true optimum `1 + ε`.
+#[test]
+fn sub_epsilon_objective_forces_exact_fallback() {
+    let eps = Rational::ratio(1, 2).pow(130);
+    let mut lp = LinearProgram::maximize();
+    let x = lp.add_var("x");
+    let y = lp.add_var("y");
+    lp.set_objective_coeff(x, ri(1));
+    lp.set_objective_coeff(y, &ri(1) + &eps);
+    lp.add_constraint(vec![(x, ri(1)), (y, ri(1))], Relation::Le, ri(1));
+    for rule in [PivotRule::Bland, PivotRule::DantzigThenBland] {
+        let sol = solve_lp(&lp, Solver::HybridFloat, rule);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_eq!(sol.objective, &ri(1) + &eps, "float rounding leaked");
+        assert!(
+            sol.stats.exact_fallbacks >= 1,
+            "verification accepted a basis that is off by ε"
+        );
+        assert!(!sol.stats.float_verified);
+        verify_witness(&lp, &sol, "sub-epsilon fallback");
+    }
+    // The full differential still holds on the fixture.
+    assert_eq!(differential(&lp, "sub-epsilon"), LpStatus::Optimal);
 }
 
 /// Beale's classic example cycles forever under naive Dantzig pricing
