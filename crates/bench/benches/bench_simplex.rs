@@ -18,17 +18,26 @@
 //! this container; the inline assertions below enforce the italicized
 //! parts on every run):
 //!
-//! - Prop 6.10, k = 8: dense ≈ 1.7 s vs exact sparse ≈ 0.14 s (*≥ 2x*).
-//! - Prop 6.10, k = 12: exact sparse ≈ 125 s vs hybrid ≈ 7 s, a 17x
-//!   (*≥ 10x for k ≥ 11*, and *the float basis verifies* — no exact
-//!   fallback on this family). This gap is what paid for raising the
-//!   engine's entropy caps.
+//! - Prop 6.10, k = 8: dense ≈ 1.7 s vs exact sparse ≈ 0.14 s.
+//! - Prop 6.10, k = 12: exact sparse ≈ 125 s vs hybrid ≈ 7 s, a 17x —
+//!   and *the float basis verifies* (no exact fallback on this family,
+//!   so *the hybrid engine spends zero exact pivots*). This gap is
+//!   what paid for raising the engine's entropy caps.
 //! - Prop 6.9, k = 7: dense ≈ 200 s (not benched — see the k cap
 //!   below) vs sparse ≈ 40 ms; the dense engine spends thousands of
 //!   phase-1 pivots on the all-zero-RHS inequality rows that the
 //!   revised engine starts feasible on.
 //! - *`Auto` routes the k ≥ 8 family to the hybrid engine* (to the
 //!   exact sparse engine under `CQ_LP_ENGINE=exact`).
+//!
+//! The inline assertions are deliberately *structural* (engine routing,
+//! basis verification, pivot counts) — properties of the algorithms,
+//! stable on any machine. Wall-clock acceptance (the ≥ 10x hybrid
+//! speedup at k ≥ 11, regressions against the committed record) lives
+//! in the `cq-lab` harness, which compares dated `BENCH_*.json`
+//! trajectories under an explicit threshold: timing ratios asserted
+//! inline here were flaky under load and invisible once they passed.
+//! See `docs/LAB.md` and `lab/tasks-entropy.jsonl`.
 
 use cq_bench::cycle_query;
 use cq_core::{build_color_number_entropy_lp, build_entropy_upper_lp};
@@ -119,8 +128,9 @@ fn family_table(c: &mut Criterion) {
     }
 
     // Exact sparse vs hybrid, head to head on the 6.10 family at the
-    // caps the engine actually runs with. The ≥ 10x floor at k ≥ 11 is
-    // the acceptance ratio the hybrid engine shipped under.
+    // caps the engine actually runs with. Acceptance here is the
+    // structure that *causes* the speedup — a verified float basis and
+    // zero exact pivots — not the ratio itself, which cq-lab gates.
     println!("prop-6.10 exact-vs-hybrid head-to-head (DantzigThenBland):");
     let mut records = Vec::new();
     for k in 8..=12usize {
@@ -139,15 +149,16 @@ fn family_table(c: &mut Criterion) {
             hybrid.stats.float_verified && hybrid.stats.exact_fallbacks == 0,
             "acceptance: hybrid must verify its float basis on 6.10 k = {k}"
         );
+        assert_eq!(
+            hybrid.stats.pivots, 0,
+            "acceptance: a verified hybrid run pays zero exact pivots (k = {k})"
+        );
+        assert!(
+            exact.stats.pivots > 0 && hybrid.stats.float_pivots > 0,
+            "acceptance: both engines actually pivot on 6.10 k = {k}"
+        );
         let ratio = exact_time.as_secs_f64() / hybrid_time.as_secs_f64();
         println!("  k={k:>2}: exact {exact_time:?} vs hybrid {hybrid_time:?} ({ratio:.1}x)");
-        if k >= 11 {
-            assert!(
-                ratio >= 10.0,
-                "acceptance: >= 10x speedup at k = {k} \
-                 (exact {exact_time:?}, hybrid {hybrid_time:?})"
-            );
-        }
         records.push(format!(
             "{{\"family\":\"prop-6.10\",\"k\":{k},\"exact_secs\":{:.3},\"hybrid_secs\":{:.3},\
              \"speedup\":{ratio:.1},\"exact_pivots\":{},\"float_pivots\":{},\
@@ -161,9 +172,11 @@ fn family_table(c: &mut Criterion) {
     println!("perf record (the \"runs\" array of BENCH_<date>.json):");
     println!("[{}]", records.join(",\n "));
 
-    // The original dense-vs-sparse acceptance ratio, still enforced at
-    // k = 8 on the 6.10 family (the only family where dense terminates
-    // quickly enough to measure at k = 8).
+    // The original dense-vs-sparse head-to-head, still printed at k = 8
+    // on the 6.10 family (the only family where dense terminates
+    // quickly enough to measure at k = 8). The exact-agreement assert
+    // is the structural half of the old ≥ 2x acceptance; the timing
+    // half is cq-lab's.
     let lp = lp_6_10(8);
     let start = Instant::now();
     let dense = solve_lp(&lp, Solver::DenseTableau, PivotRule::DantzigThenBland);
@@ -175,10 +188,6 @@ fn family_table(c: &mut Criterion) {
     println!(
         "prop-6.10 k=8 head-to-head: dense {dense_time:?} vs sparse {sparse_time:?} ({:.1}x)",
         dense_time.as_secs_f64() / sparse_time.as_secs_f64()
-    );
-    assert!(
-        sparse_time * 2 <= dense_time,
-        "acceptance: >= 2x speedup at k = 8 (dense {dense_time:?}, sparse {sparse_time:?})"
     );
 }
 

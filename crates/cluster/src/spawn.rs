@@ -34,13 +34,33 @@ impl ServeChild {
     /// Spawns `serve_binary --tcp 127.0.0.1:0 <extra_args…>` and waits
     /// for its address announcement.
     pub fn spawn(serve_binary: &Path, extra_args: &[&str]) -> io::Result<ServeChild> {
-        let mut child = Command::new(serve_binary)
+        ServeChild::spawn_with_env(serve_binary, extra_args, &[])
+    }
+
+    /// [`ServeChild::spawn`] with explicit control over named
+    /// environment variables: `Some(value)` pins the variable on the
+    /// child, `None` removes it (so the spawner's own environment —
+    /// e.g. a CI job's `CQ_LP_ENGINE` — cannot leak into a trial that
+    /// must run the default). Variables not named inherit as usual.
+    pub fn spawn_with_env(
+        serve_binary: &Path,
+        extra_args: &[&str],
+        env: &[(&str, Option<&str>)],
+    ) -> io::Result<ServeChild> {
+        let mut command = Command::new(serve_binary);
+        command
             .args(["--tcp", "127.0.0.1:0"])
             .args(extra_args)
             .stdin(Stdio::null())
             .stdout(Stdio::null())
-            .stderr(Stdio::piped())
-            .spawn()?;
+            .stderr(Stdio::piped());
+        for (name, value) in env {
+            match value {
+                Some(value) => command.env(name, value),
+                None => command.env_remove(name),
+            };
+        }
+        let mut child = command.spawn()?;
         let stderr = child.stderr.take().expect("stderr piped");
         // The announcement is awaited on a thread so the spawner can
         // bound the wait: a daemon that never binds (or whose

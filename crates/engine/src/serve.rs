@@ -279,7 +279,12 @@ impl ServeEngine {
             Err(e) => Err(format!("malformed request: {e}")),
             Ok(req) => self.dispatch(req),
         };
-        let micros = Json::int(start.elapsed().as_micros().min(i64::MAX as u128) as usize);
+        // Saturate in two explicit steps: u128 -> u64 -> i64. The old
+        // `min(i64::MAX as u128) as usize` truncated on 32-bit targets,
+        // where usize cannot hold i64::MAX.
+        let micros = start.elapsed().as_micros();
+        let micros = u64::try_from(micros).unwrap_or(u64::MAX);
+        let micros = Json::Int(i64::try_from(micros).unwrap_or(i64::MAX));
         match result {
             Ok((cmd, body)) => {
                 let mut fields = vec![

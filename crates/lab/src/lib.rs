@@ -1,0 +1,32 @@
+//! `cq-lab`: the reproducible experiment harness for this workspace.
+//!
+//! The lab layer answers one question the unit suites cannot: *is the
+//! system, measured as its real binaries, still as fast and as correct
+//! as the committed record says?* It does so with three pieces:
+//!
+//! * **Tasks** ([`task`]) — a workload spec (`tasks.jsonl`): a query
+//!   family at a scale plus a variant plan (solver engine, cache
+//!   on/off, worker count). Families materialize deterministically, so
+//!   a committed spec pins its workload byte for byte.
+//! * **The harness** ([`harness`]) — `cq-lab run`: one task in, one
+//!   `{outcome, objective, metrics}` result row out. Variants are
+//!   applied at the invocation layer of the real `cq-analyze` /
+//!   `cq-serve` / `cq-cluster` binaries (environment and flags on
+//!   child processes), never by calling library internals, so rows
+//!   measure exactly what an operator would observe.
+//! * **Trajectories** ([`trajectory`]) — `cq-lab report`: result rows
+//!   aggregate into a dated `BENCH_<date>.json` (the schema PR 6's
+//!   hand-recorded `BENCH_2026-08-07.json` established) and compare
+//!   against a baseline record with a thresholded regression gate.
+//!
+//! Timing acceptance lives here — in the durable trajectory and its
+//! explicit thresholds — not in inline benchmark asserts, which are
+//! flaky under load and invisible once they pass. See `docs/LAB.md`.
+
+pub mod harness;
+pub mod task;
+pub mod trajectory;
+
+pub use harness::{run_task, validate_result, Binaries};
+pub use task::{Engine, Family, Task};
+pub use trajectory::{aggregate, compare, utc_date_string, Comparison, Gate, Trajectory};

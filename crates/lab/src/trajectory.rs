@@ -1,0 +1,577 @@
+//! Perf trajectories: dated `BENCH_<date>.json` records and the
+//! comparison that turns two of them into a regression verdict.
+//!
+//! The file schema is the one the repo's first perf record
+//! (`BENCH_2026-08-07.json`, PR 6) established: a small header
+//! (`date`, `bench`, `command`, `subject`, `note`) plus a `runs` array
+//! of flat rows. Rows are schema-light on purpose — identity fields
+//! (family, scale, variant) name *what* was measured, every other
+//! numeric field is a measurement — so one comparison routine serves
+//! both the hand-recorded PR 6 rows and the rows `cq-lab report`
+//! aggregates from harness results.
+
+use crate::harness::{round3, validate_result};
+use cq_engine::Json;
+use std::fmt::Write as _;
+
+/// Keys that identify a run row (never compared numerically). A row's
+/// identity is every one of these it carries, in this order.
+const IDENTITY_KEYS: [&str; 8] = [
+    "family", "k", "n", "task_id", "engine", "cache", "workers", "queries",
+];
+
+/// Is this measurement a wall-clock duration (lower is better, subject
+/// to the regression threshold)?
+fn is_timing(key: &str) -> bool {
+    key == "secs" || key.ends_with("_secs")
+}
+
+/// One dated perf record: the parsed form of a `BENCH_<date>.json`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Trajectory {
+    pub date: String,
+    pub bench: String,
+    pub command: String,
+    pub subject: String,
+    pub note: String,
+    pub runs: Vec<Json>,
+}
+
+impl Trajectory {
+    /// Parses a trajectory file. `date` and a nonempty `runs` array of
+    /// objects are required; the prose header fields default to empty.
+    pub fn load(text: &str) -> Result<Trajectory, String> {
+        let doc = Json::parse(text).map_err(|e| e.to_string())?;
+        let field = |name: &str| {
+            doc.get(name)
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_owned()
+        };
+        let date = doc
+            .get("date")
+            .and_then(Json::as_str)
+            .ok_or("trajectory needs a \"date\" string")?
+            .to_owned();
+        let runs = doc
+            .get("runs")
+            .and_then(Json::as_array)
+            .ok_or("trajectory needs a \"runs\" array")?
+            .to_vec();
+        if runs.is_empty() {
+            return Err("trajectory \"runs\" must be nonempty".into());
+        }
+        for (i, run) in runs.iter().enumerate() {
+            if !matches!(run, Json::Obj(_)) {
+                return Err(format!("runs[{i}] is not an object"));
+            }
+        }
+        Ok(Trajectory {
+            date,
+            bench: field("bench"),
+            command: field("command"),
+            subject: field("subject"),
+            note: field("note"),
+            runs,
+        })
+    }
+
+    /// Serializes in the committed `BENCH_*.json` layout: header fields
+    /// one per line, then one line per run row.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n");
+        for (key, value) in [
+            ("date", &self.date),
+            ("bench", &self.bench),
+            ("command", &self.command),
+            ("subject", &self.subject),
+            ("note", &self.note),
+        ] {
+            let _ = writeln!(
+                out,
+                "  {}: {},",
+                Json::str(key).render(),
+                Json::str(value).render()
+            );
+        }
+        out.push_str("  \"runs\": [\n");
+        for (i, run) in self.runs.iter().enumerate() {
+            let comma = if i + 1 < self.runs.len() { "," } else { "" };
+            let _ = writeln!(out, "    {}{comma}", run.render());
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Aggregates harness result rows into trajectory run rows.
+///
+/// Rows are grouped by identity-minus-engine (family, scale, cache,
+/// workers, queries); within a group each engine contributes its
+/// objective as `<engine>_secs`, and when both `exact` and `hybrid`
+/// are present the row gains a `speedup` column — reproducing the
+/// layout of the PR 6 record, where the engine comparison *is* the
+/// experiment. Solver structure comes along: `exact_pivots` from the
+/// exact run, `float_pivots` / `float_verified` / `exact_fallbacks`
+/// from the hybrid (or auto) run, cache counters from the preferred
+/// single run (auto, then hybrid, then exact).
+///
+/// Returns the run rows plus the ids of non-`success` rows (excluded
+/// from aggregation; the caller decides how loudly to complain).
+pub fn aggregate(rows: &[Json]) -> Result<(Vec<Json>, Vec<String>), String> {
+    for row in rows {
+        validate_result(row)?;
+    }
+    let mut skipped: Vec<String> = Vec::new();
+    // Group keys in first-appearance order (i.e. tasks.jsonl order).
+    let mut groups: Vec<(String, Vec<&Json>)> = Vec::new();
+    for row in rows {
+        let outcome = row.get("outcome").and_then(Json::as_str).unwrap_or("");
+        if outcome != "success" {
+            skipped.push(
+                row.get("task_id")
+                    .and_then(Json::as_str)
+                    .unwrap_or("?")
+                    .to_owned(),
+            );
+            continue;
+        }
+        let task = row.get("task").expect("validated");
+        let mut key = String::new();
+        for id_key in IDENTITY_KEYS {
+            if id_key == "engine" {
+                continue;
+            }
+            if let Some(v) = task.get(id_key) {
+                let _ = write!(key, "{id_key}={};", v.render());
+            }
+        }
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, members)) => members.push(row),
+            None => groups.push((key, vec![row])),
+        }
+    }
+
+    let metric =
+        |row: &Json, name: &str| -> Option<i64> { row.get("metrics")?.get(name)?.as_i64() };
+    let objective_secs = |row: &Json| -> f64 {
+        row.get("objective")
+            .and_then(|o| o.get("value"))
+            .and_then(num)
+            .unwrap_or(0.0)
+    };
+
+    let mut runs: Vec<Json> = Vec::new();
+    for (_, members) in &groups {
+        let task = members[0].get("task").expect("validated");
+        let mut fields: Vec<(String, Json)> = Vec::new();
+        for id_key in IDENTITY_KEYS {
+            if id_key == "engine" {
+                continue;
+            }
+            if let Some(v) = task.get(id_key) {
+                fields.push((id_key.to_owned(), v.clone()));
+            }
+        }
+        fields.push((
+            "queries".to_owned(),
+            Json::int(metric(members[0], "queries").unwrap_or(0).max(0) as usize),
+        ));
+
+        let by_engine = |engine: &str| -> Option<&Json> {
+            members.iter().copied().find(|r| {
+                r.get("task")
+                    .and_then(|t| t.get("engine"))
+                    .and_then(Json::as_str)
+                    == Some(engine)
+            })
+        };
+        for engine in ["exact", "hybrid", "auto"] {
+            let same: Vec<_> = members
+                .iter()
+                .filter(|r| {
+                    r.get("task")
+                        .and_then(|t| t.get("engine"))
+                        .and_then(Json::as_str)
+                        == Some(engine)
+                })
+                .collect();
+            if same.len() > 1 {
+                return Err(format!(
+                    "two successful {engine:?} rows for one workload \
+                     (task_ids {:?} and {:?}) — task identities must be distinct",
+                    same[0].get("task_id").and_then(Json::as_str).unwrap_or("?"),
+                    same[1].get("task_id").and_then(Json::as_str).unwrap_or("?"),
+                ));
+            }
+        }
+        let (exact, hybrid, auto) = (by_engine("exact"), by_engine("hybrid"), by_engine("auto"));
+        for (engine, row) in [("exact", exact), ("hybrid", hybrid), ("auto", auto)] {
+            if let Some(row) = row {
+                fields.push((
+                    format!("{engine}_secs"),
+                    Json::Float(round3(objective_secs(row))),
+                ));
+            }
+        }
+        if let (Some(e), Some(h)) = (exact, hybrid) {
+            let (es, hs) = (objective_secs(e), objective_secs(h));
+            if hs > 0.0 {
+                fields.push((
+                    "speedup".to_owned(),
+                    Json::Float((es / hs * 10.0).round() / 10.0),
+                ));
+            }
+        }
+        if let Some(e) = exact {
+            if let Some(pivots) = metric(e, "pivots") {
+                fields.push(("exact_pivots".to_owned(), Json::Int(pivots)));
+            }
+        }
+        if let Some(h) = hybrid.or(auto) {
+            for name in ["float_pivots", "exact_fallbacks"] {
+                if let Some(v) = metric(h, name) {
+                    fields.push((name.to_owned(), Json::Int(v)));
+                }
+            }
+            if let Some(solves) = metric(h, "hybrid_solves") {
+                if solves > 0 {
+                    let verified = metric(h, "float_verified") == Some(solves)
+                        && metric(h, "exact_fallbacks") == Some(0);
+                    fields.push(("float_verified".to_owned(), Json::Bool(verified)));
+                }
+            }
+        }
+        if let Some(preferred) = auto.or(hybrid).or(exact) {
+            for name in ["cache_hits", "cache_misses"] {
+                if let Some(v) = metric(preferred, name) {
+                    fields.push((name.to_owned(), Json::Int(v)));
+                }
+            }
+        }
+        runs.push(Json::Obj(fields));
+    }
+    Ok((runs, skipped))
+}
+
+/// The outcome of comparing a current trajectory to a baseline.
+#[derive(Debug)]
+pub struct Comparison {
+    /// The human-readable comparison table, one block per row.
+    pub table: String,
+    /// Threshold violations (empty means the gate passes).
+    pub regressions: Vec<String>,
+    pub matched: usize,
+    pub only_current: usize,
+    pub only_baseline: usize,
+}
+
+/// Below this, a timing measurement is process-spawn noise, not solver
+/// work: a current value under the floor never trips the gate no matter
+/// the ratio (a 3 ms row going to 60 ms on a loaded CI machine is
+/// scheduler jitter; a 600 ms solve going to 15 s is a regression).
+pub const NOISE_FLOOR_SECS: f64 = 0.25;
+
+/// What the regression gate enforces.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Gate {
+    /// Max allowed `current/baseline` ratio on timing fields
+    /// (`*_secs`), for current values above [`NOISE_FLOOR_SECS`].
+    /// `None` disables the timing gate (report-only).
+    pub threshold: Option<f64>,
+    /// Min required value of any current row's `speedup` field —
+    /// the structural successor of the old inline `>= 10x` bench
+    /// assert.
+    pub min_speedup: Option<f64>,
+}
+
+/// Compares two trajectories row by row.
+///
+/// Rows pair up by identity (every `IDENTITY_KEYS` field they carry,
+/// rendered); paired rows compare every numeric field present in both.
+/// Timing fields additionally pass through the [`Gate`]. Comparing a
+/// trajectory against itself therefore yields all-1.00x ratios and an
+/// empty regression list — the round-trip property `cq-lab report`'s
+/// tests pin against the committed PR 6 record.
+pub fn compare(current: &Trajectory, baseline: &Trajectory, gate: Gate) -> Comparison {
+    let identity = |run: &Json| -> String {
+        let mut id = String::new();
+        for key in IDENTITY_KEYS {
+            if let Some(v) = run.get(key) {
+                if !id.is_empty() {
+                    id.push(' ');
+                }
+                let rendered = v.render();
+                let _ = write!(id, "{key}={}", rendered.trim_matches('"'));
+            }
+        }
+        if id.is_empty() {
+            "(no identity fields)".to_owned()
+        } else {
+            id
+        }
+    };
+
+    let mut table = String::new();
+    let _ = writeln!(
+        table,
+        "trajectory comparison: current {} vs baseline {}",
+        current.date, baseline.date
+    );
+    let mut regressions: Vec<String> = Vec::new();
+    let mut matched = 0usize;
+    let mut only_current = 0usize;
+
+    let baseline_rows: Vec<(String, &Json)> =
+        baseline.runs.iter().map(|r| (identity(r), r)).collect();
+    let mut seen_baseline: Vec<bool> = vec![false; baseline_rows.len()];
+
+    for run in &current.runs {
+        let id = identity(run);
+        let _ = writeln!(table, "row {id}");
+        let Some(pos) = baseline_rows.iter().position(|(bid, _)| *bid == id) else {
+            only_current += 1;
+            let _ = writeln!(table, "  (new row — not in baseline)");
+            check_speedup(run, &id, gate, &mut regressions);
+            continue;
+        };
+        seen_baseline[pos] = true;
+        matched += 1;
+        let base = baseline_rows[pos].1;
+        let Json::Obj(fields) = run else { continue };
+        for (key, value) in fields {
+            if IDENTITY_KEYS.contains(&key.as_str()) {
+                continue;
+            }
+            let (Some(cur), Some(prev)) = (num(value), base.get(key).and_then(num)) else {
+                continue;
+            };
+            if prev != 0.0 {
+                let ratio = cur / prev;
+                let _ = writeln!(table, "  {key}: {prev} -> {cur} ({ratio:.2}x)");
+                if let Some(threshold) = gate.threshold {
+                    if is_timing(key) && ratio > threshold && cur > NOISE_FLOOR_SECS {
+                        regressions.push(format!(
+                            "{id}: {key} regressed {ratio:.2}x \
+                             ({prev}s -> {cur}s, threshold {threshold}x)"
+                        ));
+                    }
+                }
+            } else {
+                let _ = writeln!(table, "  {key}: {prev} -> {cur}");
+            }
+        }
+        check_speedup(run, &id, gate, &mut regressions);
+    }
+    let only_baseline = seen_baseline.iter().filter(|seen| !**seen).count();
+    for (pos, (id, _)) in baseline_rows.iter().enumerate() {
+        if !seen_baseline[pos] {
+            let _ = writeln!(table, "row {id}\n  (baseline only — not measured now)");
+        }
+    }
+    let _ = writeln!(
+        table,
+        "rows: {matched} matched, {only_current} only-current, {only_baseline} only-baseline"
+    );
+    match (gate.threshold, regressions.is_empty()) {
+        (None, _) => {
+            let _ = writeln!(table, "regression gate: off (no threshold)");
+        }
+        (Some(t), true) => {
+            let _ = writeln!(table, "regression gate: pass (threshold {t}x)");
+        }
+        (Some(t), false) => {
+            let _ = writeln!(table, "regression gate: FAIL (threshold {t}x)");
+            for r in &regressions {
+                let _ = writeln!(table, "  {r}");
+            }
+        }
+    }
+    Comparison {
+        table,
+        regressions,
+        matched,
+        only_current,
+        only_baseline,
+    }
+}
+
+fn check_speedup(run: &Json, id: &str, gate: Gate, regressions: &mut Vec<String>) {
+    if let (Some(min), Some(speedup)) = (gate.min_speedup, run.get("speedup").and_then(num)) {
+        if speedup < min {
+            regressions.push(format!(
+                "{id}: speedup {speedup:.1}x below the required {min:.1}x"
+            ));
+        }
+    }
+}
+
+fn num(j: &Json) -> Option<f64> {
+    match j {
+        Json::Int(n) => Some(*n as f64),
+        Json::Float(x) => Some(*x),
+        _ => None,
+    }
+}
+
+/// `YYYY-MM-DD` (UTC) from seconds since the Unix epoch — the stamp in
+/// `BENCH_<date>.json` names. Civil-from-days after Howard Hinnant's
+/// algorithm; exact over the whole i64 day range we can reach.
+pub fn utc_date_string(secs_since_epoch: u64) -> String {
+    let days = (secs_since_epoch / 86_400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let year = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let day = doy - (153 * mp + 2) / 5 + 1;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 };
+    let year = if month <= 2 { year + 1 } else { year };
+    format!("{year:04}-{month:02}-{day:02}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result_row(task_id: &str, engine: &str, secs: f64, pivots: i64) -> Json {
+        Json::parse(&format!(
+            r#"{{"task_id":"{task_id}","outcome":"success",
+                "objective":{{"name":"wall_secs","value":{secs}}},
+                "task":{{"family":"cycle-fd","k":8,"engine":"{engine}",
+                         "cache":true,"workers":1}},
+                "metrics":{{"queries":1,"pivots":{pivots},"hybrid_solves":2,
+                            "float_pivots":500,"float_verified":2,
+                            "exact_fallbacks":0,"cache_hits":0,"cache_misses":2}}}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn aggregate_pivots_engines_into_one_row() {
+        let rows = vec![
+            result_row("e", "exact", 0.6, 800),
+            result_row("h", "hybrid", 0.06, 0),
+        ];
+        let (runs, skipped) = aggregate(&rows).unwrap();
+        assert!(skipped.is_empty());
+        assert_eq!(runs.len(), 1);
+        let run = &runs[0];
+        assert_eq!(run.get("family").and_then(Json::as_str), Some("cycle-fd"));
+        assert_eq!(run.get("exact_secs"), Some(&Json::Float(0.6)));
+        assert_eq!(run.get("hybrid_secs"), Some(&Json::Float(0.06)));
+        assert_eq!(run.get("speedup"), Some(&Json::Float(10.0)));
+        assert_eq!(run.get("exact_pivots"), Some(&Json::Int(800)));
+        assert_eq!(run.get("float_verified"), Some(&Json::Bool(true)));
+        assert_eq!(run.get("exact_fallbacks"), Some(&Json::Int(0)));
+    }
+
+    #[test]
+    fn aggregate_skips_failures_and_rejects_duplicates() {
+        let mut failed = result_row("f", "exact", 1.0, 1);
+        if let Json::Obj(fields) = &mut failed {
+            for (k, v) in fields.iter_mut() {
+                if k == "outcome" {
+                    *v = Json::str("failure");
+                }
+            }
+        }
+        let (runs, skipped) = aggregate(&[failed, result_row("h", "hybrid", 0.1, 0)]).unwrap();
+        assert_eq!(skipped, vec!["f".to_owned()]);
+        assert_eq!(runs.len(), 1);
+        assert!(runs[0].get("exact_secs").is_none());
+
+        let dup = aggregate(&[
+            result_row("a", "exact", 1.0, 1),
+            result_row("b", "exact", 2.0, 1),
+        ])
+        .unwrap_err();
+        assert!(dup.contains("distinct"), "{dup}");
+    }
+
+    #[test]
+    fn self_comparison_is_all_ones_and_gate_passes() {
+        let t = Trajectory::load(include_str!("../../../BENCH_2026-08-07.json")).unwrap();
+        let cmp = compare(
+            &t,
+            &t,
+            Gate {
+                threshold: Some(1.01),
+                min_speedup: Some(8.0),
+            },
+        );
+        assert_eq!(cmp.matched, t.runs.len());
+        assert_eq!(cmp.only_current, 0);
+        assert_eq!(cmp.only_baseline, 0);
+        assert!(cmp.regressions.is_empty(), "{:?}", cmp.regressions);
+        assert!(cmp.table.contains("(1.00x)"), "{}", cmp.table);
+        assert!(!cmp.table.contains("FAIL"), "{}", cmp.table);
+    }
+
+    #[test]
+    fn regressions_trip_the_gate() {
+        let base = Trajectory::load(
+            r#"{"date":"2026-01-01","runs":[{"family":"cycle-fd","k":8,"exact_secs":1.0,"speedup":12.0}]}"#,
+        )
+        .unwrap();
+        let mut cur = base.clone();
+        cur.runs =
+            vec![
+                Json::parse(r#"{"family":"cycle-fd","k":8,"exact_secs":3.0,"speedup":4.0}"#)
+                    .unwrap(),
+            ];
+        let cmp = compare(
+            &cur,
+            &base,
+            Gate {
+                threshold: Some(2.0),
+                min_speedup: Some(10.0),
+            },
+        );
+        assert_eq!(cmp.regressions.len(), 2, "{:?}", cmp.regressions);
+        assert!(cmp.regressions[0].contains("exact_secs regressed 3.00x"));
+        assert!(cmp.regressions[1].contains("speedup 4.0x below"));
+        assert!(cmp.table.contains("FAIL"));
+    }
+
+    #[test]
+    fn sub_noise_floor_timings_never_regress() {
+        let base = Trajectory::load(
+            r#"{"date":"2026-01-01","runs":[{"family":"clique","k":5,"auto_secs":0.003}]}"#,
+        )
+        .unwrap();
+        let mut cur = base.clone();
+        cur.runs = vec![Json::parse(r#"{"family":"clique","k":5,"auto_secs":0.09}"#).unwrap()];
+        let cmp = compare(
+            &cur,
+            &base,
+            Gate {
+                threshold: Some(5.0),
+                min_speedup: None,
+            },
+        );
+        // 30x worse, but still under NOISE_FLOOR_SECS: spawn jitter.
+        assert!(cmp.regressions.is_empty(), "{:?}", cmp.regressions);
+    }
+
+    #[test]
+    fn trajectory_round_trips_through_render() {
+        let t = Trajectory::load(include_str!("../../../BENCH_2026-08-07.json")).unwrap();
+        let again = Trajectory::load(&t.render()).unwrap();
+        assert_eq!(t, again);
+        // And the comparison table is identical for both copies.
+        let a = compare(&t, &t, Gate::default());
+        let b = compare(&again, &again, Gate::default());
+        assert_eq!(a.table, b.table);
+    }
+
+    #[test]
+    fn dates_render_correctly() {
+        assert_eq!(utc_date_string(0), "1970-01-01");
+        assert_eq!(utc_date_string(1_765_000_000), "2025-12-06");
+        // 2026-08-07 12:00:00 UTC
+        assert_eq!(utc_date_string(1_786_104_000), "2026-08-07");
+    }
+}

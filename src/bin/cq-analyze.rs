@@ -28,6 +28,9 @@ use std::io::Read;
 use std::process::ExitCode;
 use std::sync::Arc;
 
+const USAGE: &str =
+    "usage: cq-analyze <file|-> [<file>...] [--json] [--witness M] [--db FILE] [--no-cache]";
+
 struct Args {
     paths: Vec<String>,
     json: bool,
@@ -38,13 +41,19 @@ struct Args {
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    if argv.iter().any(|a| a == "--version") {
+        println!("cq-analyze {}", env!("CARGO_PKG_VERSION"));
+        return ExitCode::SUCCESS;
+    }
     let args = match parse_args(&argv) {
         Ok(a) => a,
         Err(msg) => {
             eprintln!("{msg}");
-            eprintln!(
-                "usage: cq-analyze <file|-> [<file>...] [--json] [--witness M] [--db FILE] [--no-cache]"
-            );
+            eprintln!("{USAGE}");
             return ExitCode::FAILURE;
         }
     };

@@ -39,16 +39,24 @@ struct Args {
     plan: PlanMode,
 }
 
+const USAGE: &str = "usage: cq-cluster <file|-> [<file>...] [--worker ADDR]... [--spawn N] \
+                     [--json] [--witness M] [--chunk N] [--plan key|roundrobin]";
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    if argv.iter().any(|a| a == "--version") {
+        println!("cq-cluster {}", env!("CARGO_PKG_VERSION"));
+        return ExitCode::SUCCESS;
+    }
     let args = match parse_args(&argv) {
         Ok(a) => a,
         Err(msg) => {
             eprintln!("{msg}");
-            eprintln!(
-                "usage: cq-cluster <file|-> [<file>...] [--worker ADDR]... [--spawn N] \
-                 [--json] [--witness M] [--chunk N] [--plan key|roundrobin]"
-            );
+            eprintln!("{USAGE}");
             return ExitCode::FAILURE;
         }
     };

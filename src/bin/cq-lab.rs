@@ -1,0 +1,304 @@
+//! `cq-lab` — the reproducible experiment harness CLI.
+//!
+//! Two subcommands, mirroring the two halves of `cq_lab`:
+//!
+//! ```text
+//! cq-lab run --input task.json --output result.json
+//! cq-lab run --tasks lab/tasks.jsonl --out-dir results/
+//! cq-lab report --results results/ --baseline BENCH_2026-08-07.json --threshold 3
+//! ```
+//!
+//! `run` executes tasks against the real `cq-analyze` / `cq-serve` /
+//! `cq-cluster` binaries (found next to this executable, or under
+//! `--bin-dir`) and writes one `{outcome, objective, metrics}` result
+//! row per task. In single-task mode the result file is always written
+//! and the exit code is 0 — the row's `outcome` carries the verdict.
+//! In batch mode the exit code is 1 if any task failed, so CI can gate
+//! on it directly.
+//!
+//! `report` validates result rows, aggregates them into a dated
+//! `BENCH_<date>.json` trajectory (the PR 6 record schema), and — given
+//! `--baseline` — prints the comparison table and enforces the
+//! regression gate (`--threshold`, `--min-speedup`). Schemas and
+//! variant semantics are documented in `docs/LAB.md`.
+
+use cq_engine::Json;
+use cq_lab::trajectory::{aggregate, compare, utc_date_string, Gate, Trajectory};
+use cq_lab::{run_task, validate_result, Binaries, Task};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+const USAGE: &str = "usage: cq-lab <run|report> [options]
+
+  cq-lab run --input task.json --output result.json [--bin-dir DIR]
+      Run one task; write its result row. Exits 0 once the row is
+      written — the row's \"outcome\" field carries the verdict.
+
+  cq-lab run --tasks tasks.jsonl --out-dir DIR [--bin-dir DIR]
+      Run every task in the spec; write DIR/<task_id>.json per task.
+      Exits 1 if any task's outcome is not \"success\".
+
+  cq-lab report (--results DIR | result.json ...) [--output FILE]
+                [--date YYYY-MM-DD] [--baseline FILE]
+                [--threshold X] [--min-speedup X]
+      Aggregate result rows into a dated BENCH_<date>.json trajectory.
+      With --baseline, print the comparison table and fail (exit 1) on
+      timing regressions beyond X times the baseline, or on any row
+      whose speedup column falls below --min-speedup.
+
+  cq-lab --help | --version";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(first) = argv.first() {
+        match first.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--version" => {
+                println!("cq-lab {}", env!("CARGO_PKG_VERSION"));
+                return ExitCode::SUCCESS;
+            }
+            _ => {}
+        }
+    }
+    let result = match argv.first().map(String::as_str) {
+        Some("run") => cmd_run(&argv[1..]),
+        Some("report") => cmd_report(&argv[1..]),
+        Some(other) => Err(format!("unknown subcommand {other:?}\n{USAGE}")),
+        None => Err(format!("missing subcommand\n{USAGE}")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("cq-lab: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
+    let mut input: Option<PathBuf> = None;
+    let mut output: Option<PathBuf> = None;
+    let mut tasks_file: Option<PathBuf> = None;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut bin_dir: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: &mut usize| -> Result<PathBuf, String> {
+            *i += 1;
+            args.get(*i)
+                .map(PathBuf::from)
+                .ok_or_else(|| format!("{} needs a value", args[*i - 1]))
+        };
+        match args[i].as_str() {
+            "--input" => input = Some(value(&mut i)?),
+            "--output" => output = Some(value(&mut i)?),
+            "--tasks" => tasks_file = Some(value(&mut i)?),
+            "--out-dir" => out_dir = Some(value(&mut i)?),
+            "--bin-dir" => bin_dir = Some(value(&mut i)?),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unexpected argument {other:?}\n{USAGE}")),
+        }
+        i += 1;
+    }
+    let bins = match &bin_dir {
+        Some(dir) => Binaries::in_dir(dir),
+        None => Binaries::discover(),
+    }
+    .map_err(|e| e.to_string())?;
+
+    match (input, output, tasks_file, out_dir) {
+        (Some(input), Some(output), None, None) => {
+            let text = std::fs::read_to_string(&input)
+                .map_err(|e| format!("cannot read {}: {e}", input.display()))?;
+            let obj = Json::parse(&text).map_err(|e| format!("{}: {e}", input.display()))?;
+            let task = Task::parse(&obj).map_err(|e| format!("{}: {e}", input.display()))?;
+            let row = run_task(&task, &bins);
+            write_text(&output, &format!("{}\n", row.render()))?;
+            let outcome = row.get("outcome").and_then(Json::as_str).unwrap_or("?");
+            eprintln!("cq-lab: {} -> {} ({outcome})", task.id, output.display());
+            Ok(ExitCode::SUCCESS)
+        }
+        (None, None, Some(tasks_file), Some(out_dir)) => {
+            let text = std::fs::read_to_string(&tasks_file)
+                .map_err(|e| format!("cannot read {}: {e}", tasks_file.display()))?;
+            let tasks =
+                Task::parse_jsonl(&text).map_err(|e| format!("{}: {e}", tasks_file.display()))?;
+            std::fs::create_dir_all(&out_dir)
+                .map_err(|e| format!("cannot create {}: {e}", out_dir.display()))?;
+            let mut all_success = true;
+            for task in &tasks {
+                let row = run_task(task, &bins);
+                let outcome = row.get("outcome").and_then(Json::as_str).unwrap_or("?");
+                let secs = row
+                    .get("objective")
+                    .and_then(|o| o.get("value"))
+                    .map(Json::render)
+                    .unwrap_or_else(|| "-".into());
+                eprintln!("cq-lab: {} {outcome} ({secs}s)", task.id);
+                if outcome != "success" {
+                    all_success = false;
+                    if let Some(error) = row.get("error").and_then(Json::as_str) {
+                        eprintln!("cq-lab:   {error}");
+                    }
+                }
+                write_text(
+                    &out_dir.join(format!("{}.json", task.id)),
+                    &format!("{}\n", row.render()),
+                )?;
+            }
+            Ok(if all_success {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            })
+        }
+        _ => Err(format!(
+            "run needs either --input + --output or --tasks + --out-dir\n{USAGE}"
+        )),
+    }
+}
+
+fn cmd_report(args: &[String]) -> Result<ExitCode, String> {
+    let mut results_dir: Option<PathBuf> = None;
+    let mut result_files: Vec<PathBuf> = Vec::new();
+    let mut output: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut date: Option<String> = None;
+    let mut gate = Gate::default();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("{} needs a value", args[*i - 1]))
+        };
+        match args[i].as_str() {
+            "--results" => results_dir = Some(PathBuf::from(value(&mut i)?)),
+            "--output" => output = Some(PathBuf::from(value(&mut i)?)),
+            "--baseline" => baseline = Some(PathBuf::from(value(&mut i)?)),
+            "--date" => date = Some(value(&mut i)?),
+            "--threshold" => gate.threshold = Some(parse_positive(&value(&mut i)?, "--threshold")?),
+            "--min-speedup" => {
+                gate.min_speedup = Some(parse_positive(&value(&mut i)?, "--min-speedup")?)
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unexpected argument {flag:?}\n{USAGE}"));
+            }
+            file => result_files.push(PathBuf::from(file)),
+        }
+        i += 1;
+    }
+    if let Some(dir) = &results_dir {
+        let mut found: Vec<PathBuf> = std::fs::read_dir(dir)
+            .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+            .collect();
+        found.sort();
+        result_files.extend(found);
+    }
+    if result_files.is_empty() {
+        return Err(format!(
+            "no result files (use --results DIR or list files)\n{USAGE}"
+        ));
+    }
+
+    let mut rows: Vec<Json> = Vec::with_capacity(result_files.len());
+    for file in &result_files {
+        let text = std::fs::read_to_string(file)
+            .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+        let row = Json::parse(&text).map_err(|e| format!("{}: {e}", file.display()))?;
+        validate_result(&row).map_err(|e| format!("{}: {e}", file.display()))?;
+        rows.push(row);
+    }
+    let (runs, skipped) = aggregate(&rows)?;
+    for task_id in &skipped {
+        eprintln!("cq-lab: warning: excluding non-success row {task_id:?}");
+    }
+    if runs.is_empty() {
+        return Err("no successful result rows to aggregate".into());
+    }
+
+    let date = match date {
+        Some(date) => date,
+        None => {
+            let now = SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map_err(|e| e.to_string())?;
+            utc_date_string(now.as_secs())
+        }
+    };
+    let note = if skipped.is_empty() {
+        "Generated by cq-lab report from harness result rows. Timings are \
+         child-process wall clock (spawn to exit) as measured by cq-lab run; \
+         solver and cache counters come from the binaries' --json output."
+            .to_owned()
+    } else {
+        format!(
+            "Generated by cq-lab report from harness result rows; {} \
+             non-success row(s) excluded: {}.",
+            skipped.len(),
+            skipped.join(", ")
+        )
+    };
+    let trajectory = Trajectory {
+        date: date.clone(),
+        bench: "cq-lab".to_owned(),
+        command:
+            "cq-lab run --tasks <tasks.jsonl> --out-dir <dir> && cq-lab report --results <dir>"
+                .to_owned(),
+        subject: "wall clock and solver structure of the real binaries over the lab task grid"
+            .to_owned(),
+        note,
+        runs,
+    };
+    let output = output.unwrap_or_else(|| PathBuf::from(format!("BENCH_{date}.json")));
+    write_text(&output, &trajectory.render())?;
+    eprintln!(
+        "cq-lab: wrote {} ({} runs)",
+        output.display(),
+        trajectory.runs.len()
+    );
+
+    let Some(baseline_path) = baseline else {
+        return Ok(ExitCode::SUCCESS);
+    };
+    let text = std::fs::read_to_string(&baseline_path)
+        .map_err(|e| format!("cannot read {}: {e}", baseline_path.display()))?;
+    let baseline =
+        Trajectory::load(&text).map_err(|e| format!("{}: {e}", baseline_path.display()))?;
+    let comparison = compare(&trajectory, &baseline, gate);
+    print!("{}", comparison.table);
+    Ok(if comparison.regressions.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn parse_positive(text: &str, flag: &str) -> Result<f64, String> {
+    let x: f64 = text
+        .parse()
+        .map_err(|_| format!("{flag} needs a number, got {text:?}"))?;
+    if x > 0.0 && x.is_finite() {
+        Ok(x)
+    } else {
+        Err(format!("{flag} needs a positive finite number"))
+    }
+}
+
+fn write_text(path: &Path, text: &str) -> Result<(), String> {
+    std::fs::write(path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}

@@ -59,6 +59,9 @@ fn install_signal_handlers() {
     }
 }
 
+const USAGE: &str = "usage: cq-serve [--socket PATH | --tcp HOST:PORT] [--threads N] \
+                     [--no-cache] [--cache-file PATH]";
+
 struct Args {
     socket: Option<String>,
     tcp: Option<String>,
@@ -69,14 +72,19 @@ struct Args {
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    if argv.iter().any(|a| a == "--version") {
+        println!("cq-serve {}", env!("CARGO_PKG_VERSION"));
+        return ExitCode::SUCCESS;
+    }
     let args = match parse_args(&argv) {
         Ok(args) => args,
         Err(msg) => {
             eprintln!("{msg}");
-            eprintln!(
-                "usage: cq-serve [--socket PATH | --tcp HOST:PORT] [--threads N] \
-                 [--no-cache] [--cache-file PATH]"
-            );
+            eprintln!("{USAGE}");
             return ExitCode::FAILURE;
         }
     };

@@ -320,3 +320,73 @@ fn bad_usage_fails_cleanly() {
     assert!(!ok);
     assert!(stderr.contains("usage"), "{stderr}");
 }
+
+fn run_bin(bin: &str, args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(bin)
+        .args(args)
+        .stdin(Stdio::null())
+        .output()
+        .unwrap_or_else(|e| panic!("spawn {bin}: {e}"));
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+/// `--help`/`-h` print usage to **stdout** and exit 0 on every binary
+/// (they used to exit 1 as "unexpected argument"); `--version` likewise.
+#[test]
+fn help_and_version_exit_zero_on_stdout() {
+    for (name, bin) in [
+        ("cq-analyze", env!("CARGO_BIN_EXE_cq-analyze")),
+        ("cq-serve", env!("CARGO_BIN_EXE_cq-serve")),
+        ("cq-cluster", env!("CARGO_BIN_EXE_cq-cluster")),
+        ("cq-lab", env!("CARGO_BIN_EXE_cq-lab")),
+    ] {
+        for flag in ["--help", "-h"] {
+            let (stdout, stderr, ok) = run_bin(bin, &[flag]);
+            assert!(ok, "{name} {flag} must exit 0 (stderr: {stderr})");
+            assert!(stdout.contains("usage"), "{name} {flag}: {stdout}");
+            assert!(stderr.is_empty(), "{name} {flag} wrote to stderr: {stderr}");
+        }
+        let (stdout, stderr, ok) = run_bin(bin, &["--version"]);
+        assert!(ok, "{name} --version must exit 0 (stderr: {stderr})");
+        assert!(
+            stdout.trim() == format!("{name} {}", env!("CARGO_PKG_VERSION")),
+            "{name} --version: {stdout}"
+        );
+    }
+}
+
+/// In `--json` mode stdout is machine-consumable: every line parses as
+/// JSON even when inputs fail (errors go to stderr, the exit code says
+/// the batch failed). Checked on both cq-analyze and cq-cluster.
+#[test]
+fn json_stdout_carries_only_json_lines() {
+    let dir = std::env::temp_dir();
+    let good = dir.join("cq_stream_good.cq");
+    let bad = dir.join("cq_stream_bad.cq");
+    std::fs::write(&good, "Q(X,Y) :- R(X,Y)\n").unwrap();
+    std::fs::write(&bad, "not a query\n").unwrap();
+    for (name, bin, extra) in [
+        ("cq-analyze", env!("CARGO_BIN_EXE_cq-analyze"), &[][..]),
+        (
+            "cq-cluster",
+            env!("CARGO_BIN_EXE_cq-cluster"),
+            &["--spawn", "1"][..],
+        ),
+    ] {
+        let mut args = vec![good.to_str().unwrap(), bad.to_str().unwrap(), "--json"];
+        args.extend_from_slice(extra);
+        let (stdout, stderr, ok) = run_bin(bin, &args);
+        assert!(!ok, "{name}: a parse error must fail the batch");
+        let lines: Vec<&str> = stdout.lines().collect();
+        assert_eq!(lines.len(), 3, "{name}: 2 reports + summary: {stdout}");
+        for line in &lines {
+            cq_engine::Json::parse(line)
+                .unwrap_or_else(|e| panic!("{name} stdout line is not JSON ({e}): {line}"));
+        }
+        assert!(stderr.contains("parse error"), "{name}: {stderr}");
+    }
+}
