@@ -1,0 +1,75 @@
+//! E22: decomposition-guided evaluation vs the backtracking engine and
+//! the binary join-project plan, head to head on the cycle / clique /
+//! star families over seeded random databases.
+//!
+//! The decomposition evaluator pays an up-front cost (width search,
+//! per-bag WCOJ materialization) and wins it back on queries whose
+//! hypertree width is far below their atom count — the cycle family is
+//! its home turf, the clique family its worst case (one bag, pure
+//! overhead), and the star family the acyclic baseline where it
+//! degenerates to Yannakakis.
+//!
+//! Acceptance: all three evaluators must agree on every benched
+//! instance — asserted here, so `cargo bench --no-run` CI plus a local
+//! run both re-check the differential at bench scale.
+
+use cq_bench::{clique_query, cycle_query, random_database, star_query};
+use cq_core::{evaluate, evaluate_by_plan, evaluate_decomposed, ConjunctiveQuery};
+use cq_relation::{Database, FdSet};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn instances() -> Vec<(&'static str, ConjunctiveQuery, Database)> {
+    let no_fds = FdSet::new();
+    let mut out = Vec::new();
+    for k in [4usize, 6] {
+        let q = cycle_query(k);
+        let db = random_database(k as u64, &q, &no_fds, 6, 36);
+        out.push(("cycle", q, db));
+    }
+    let q = clique_query(4);
+    let db = random_database(17, &q, &no_fds, 6, 24);
+    out.push(("clique", q, db));
+    let (q, _) = star_query(4, false);
+    let db = random_database(23, &q, &no_fds, 6, 36);
+    out.push(("star", q, db));
+    out
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("decomp_eval");
+    g.sample_size(10);
+    for (family, q, db) in instances() {
+        let id = format!("{family}-{}v{}a", q.num_vars(), q.body().len());
+        // The bench-scale differential: same tuples from all three.
+        let want = evaluate(&q, &db).len();
+        assert_eq!(
+            evaluate_decomposed(&q, &db).len(),
+            want,
+            "{id}: decomposition-guided evaluation diverged"
+        );
+        assert_eq!(
+            evaluate_by_plan(&q, &db).0.len(),
+            want,
+            "{id}: join-project plan diverged"
+        );
+        g.bench_with_input(
+            BenchmarkId::new("backtracking", &id),
+            &(&q, &db),
+            |b, (q, db)| b.iter(|| evaluate(q, db).len()),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("binary_plan", &id),
+            &(&q, &db),
+            |b, (q, db)| b.iter(|| evaluate_by_plan(q, db).0.len()),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("decomposition", &id),
+            &(&q, &db),
+            |b, (q, db)| b.iter(|| evaluate_decomposed(q, db).len()),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -19,7 +19,7 @@
 //! run fails only when every worker has died with work outstanding.
 
 use crate::addr::{WorkerAddr, WorkerConn};
-use crate::merge::{cache_stats_delta, CacheTotals, ReportMerger, SolverTotals};
+use crate::merge::{cache_stats_delta, CacheTotals, ReportMerger, SolverTotals, WidthTotals};
 use crate::plan::ShardPlanner;
 use crate::PlanMode;
 use cq_engine::{Json, MAX_BATCH};
@@ -83,6 +83,8 @@ pub struct ClusterRun {
     pub cache: CacheTotals,
     /// Summed `solver_stats` across all reports.
     pub solver: SolverTotals,
+    /// Decomposition-width accounting across all reports.
+    pub widths: WidthTotals,
     /// Per-worker accounting, in `--worker` order.
     pub workers: Vec<WorkerSummary>,
     /// Queries resubmitted after a worker death.
@@ -239,10 +241,12 @@ impl ClusterClient {
             entries: summaries.iter().map(|s| s.entries).sum(),
         };
         let solver = SolverTotals::from_reports(&reports);
+        let widths = WidthTotals::from_reports(&reports);
         Ok(ClusterRun {
             reports,
             cache,
             solver,
+            widths,
             workers: summaries,
             resubmitted,
         })

@@ -46,7 +46,7 @@ pub mod spawn;
 pub use addr::{WorkerAddr, WorkerConn};
 pub use client::{ClusterClient, ClusterError, ClusterRun, WorkerSummary};
 pub use local::LocalWorker;
-pub use merge::{cache_stats_delta, CacheTotals, ReportMerger, SolverTotals};
+pub use merge::{cache_stats_delta, CacheTotals, ReportMerger, SolverTotals, WidthTotals};
 pub use plan::ShardPlanner;
 pub use spawn::ServeChild;
 

@@ -118,6 +118,49 @@ impl SolverTotals {
     }
 }
 
+/// Cluster-summed decomposition-width accounting, aggregated from every
+/// per-report `widths` object: how many reports carried an exact
+/// hypertree width versus a greedy upper bound, and the largest width
+/// seen either way (the workload's decomposition hardness at a glance).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WidthTotals {
+    /// Reports whose `hypertree_width` came from the exact search.
+    pub hypertree_exact: u64,
+    /// Reports whose `hypertree_width` is a greedy upper bound.
+    pub hypertree_heuristic: u64,
+    /// Largest `hypertree_width` across all reports.
+    pub max_hypertree_width: u64,
+    /// Largest `treewidth` across all reports.
+    pub max_treewidth: u64,
+}
+
+impl WidthTotals {
+    /// Sums the `widths` objects across reports (parse-error entries
+    /// and pre-widths reports have none and contribute zero).
+    pub fn from_reports(reports: &[Json]) -> WidthTotals {
+        let mut totals = WidthTotals::default();
+        for report in reports {
+            let Some(widths) = report.get("widths") else {
+                continue;
+            };
+            let field = |name: &str| {
+                widths
+                    .get(name)
+                    .and_then(Json::as_i64)
+                    .map_or(0, |n| n.max(0) as u64)
+            };
+            if widths.get("hypertree_exact") == Some(&Json::Bool(true)) {
+                totals.hypertree_exact += 1;
+            } else {
+                totals.hypertree_heuristic += 1;
+            }
+            totals.max_hypertree_width = totals.max_hypertree_width.max(field("hypertree_width"));
+            totals.max_treewidth = totals.max_treewidth.max(field("treewidth"));
+        }
+        totals
+    }
+}
+
 /// The hit/miss/eviction delta between two `cache_stats` objects from
 /// the same daemon (`entries` is taken from `after`). Saturating: a
 /// daemon restarted mid-run shows a smaller `after`, which must not
@@ -179,6 +222,31 @@ mod tests {
                 float_pivots: 80,
                 float_verified: 2,
                 exact_fallbacks: 0
+            }
+        );
+    }
+
+    #[test]
+    fn width_totals_count_exact_and_heuristic_and_track_maxima() {
+        let exact = Json::parse(
+            r#"{"widths":{"treewidth":2,"treewidth_exact":true,"hypertree_width":2,"hypertree_exact":true}}"#,
+        )
+        .unwrap();
+        let heuristic = Json::parse(
+            r#"{"widths":{"treewidth":5,"treewidth_exact":false,"hypertree_width":3,"hypertree_exact":false}}"#,
+        )
+        .unwrap();
+        // Parse errors and pre-widths reports contribute nothing.
+        let error = Json::parse(r#"{"name":"bad","error":"parse error"}"#).unwrap();
+        let old = Json::parse(r#"{"solver_stats":{"pivots":1}}"#).unwrap();
+        let totals = WidthTotals::from_reports(&[exact.clone(), heuristic, error, old, exact]);
+        assert_eq!(
+            totals,
+            WidthTotals {
+                hypertree_exact: 2,
+                hypertree_heuristic: 1,
+                max_hypertree_width: 3,
+                max_treewidth: 5
             }
         );
     }

@@ -159,8 +159,9 @@ pub fn is_acyclic(q: &ConjunctiveQuery) -> bool {
 }
 
 /// Semijoin `left ⋉ right` on equal attribute names: keeps `left` rows
-/// with a match in `right`.
-fn semijoin(left: &Relation, right: &Relation) -> Relation {
+/// with a match in `right`. (Also the reduction step of the
+/// decomposition-guided evaluator in [`crate::decomp_eval`].)
+pub fn semijoin(left: &Relation, right: &Relation) -> Relation {
     let shared: Vec<(usize, usize)> = left
         .schema()
         .attrs()

@@ -57,6 +57,7 @@ pub mod chase;
 pub mod coloring;
 pub mod constructions;
 pub mod containment;
+pub mod decomp_eval;
 pub mod entropy;
 pub mod entropy_lp;
 pub mod eval;
@@ -73,7 +74,7 @@ pub mod size_preserving;
 pub mod treewidth;
 pub mod wcoj;
 
-pub use acyclic::{evaluate_yannakakis, gyo_join_tree, is_acyclic, JoinTree};
+pub use acyclic::{evaluate_yannakakis, gyo_join_tree, is_acyclic, semijoin, JoinTree};
 pub use chase::{chase, ChaseResult};
 pub use coloring::{
     color_number_lp, coloring_from_weights, find_two_coloring_brute_force,
@@ -84,6 +85,10 @@ pub use constructions::{
     example_2_1_database, predicted_output_size, predicted_rmax, worst_case_database,
 };
 pub use containment::{canonical_database, is_contained_in, is_equivalent};
+pub use decomp_eval::{
+    decompose, evaluate_decomposed, evaluate_with_decomposition, DecompEvalError,
+    MAX_EXACT_DECOMP_VARS,
+};
 pub use entropy::EntropyVector;
 pub use entropy_lp::{
     build_color_number_entropy_lp, build_entropy_upper_lp, color_number_entropy_lp,

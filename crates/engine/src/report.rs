@@ -8,7 +8,7 @@
 
 use crate::json::{obj, Json};
 use crate::session::{
-    AnalysisSession, DataCheck, ENTROPY_BOUND_DENSE_CAP, ENTROPY_BOUND_VAR_CAP,
+    AnalysisSession, DataCheck, QueryWidths, ENTROPY_BOUND_DENSE_CAP, ENTROPY_BOUND_VAR_CAP,
     ENTROPY_COLOR_VAR_CAP,
 };
 use cq_core::TwPreservation;
@@ -134,6 +134,10 @@ pub struct AnalysisReport {
     pub chase: ChaseReport,
     pub size_bound: Option<SizeBoundReport>,
     pub treewidth: Option<TreewidthReport>,
+    /// Width measures of the query hypergraph: treewidth of the primal
+    /// graph and generalized hypertree width, each exact or a greedy
+    /// upper bound (see `cq_engine::session::QueryWidths`).
+    pub widths: QueryWidths,
     pub entropy: EntropyReport,
     pub growth: GrowthReport,
     /// LP-solver stats for this query's session (engine split, pivots,
@@ -247,6 +251,7 @@ impl AnalysisSession {
             },
             size_bound,
             treewidth,
+            widths: *self.query_widths(),
             entropy,
             growth,
             solver,
@@ -292,6 +297,15 @@ impl AnalysisReport {
         let _ = writeln!(out, "atoms       : {} (rep = {})", self.num_atoms, self.rep);
         let _ = writeln!(out, "join query  : {}", self.join_query);
         let _ = writeln!(out, "acyclic     : {}", self.acyclic);
+        let rel = |exact: bool| if exact { "=" } else { "<=" };
+        let _ = writeln!(
+            out,
+            "widths      : treewidth {} {}, hypertree width {} {}",
+            rel(self.widths.treewidth_exact),
+            self.widths.treewidth,
+            rel(self.widths.hypertree_exact),
+            self.widths.hypertree_width
+        );
         for dep in &self.dependencies {
             let _ = writeln!(out, "dependency  : {dep}");
         }
@@ -432,6 +446,15 @@ impl AnalysisReport {
                 }),
             ),
             (
+                "widths",
+                obj([
+                    ("treewidth", Json::int(self.widths.treewidth)),
+                    ("treewidth_exact", Json::Bool(self.widths.treewidth_exact)),
+                    ("hypertree_width", Json::int(self.widths.hypertree_width)),
+                    ("hypertree_exact", Json::Bool(self.widths.hypertree_exact)),
+                ]),
+            ),
+            (
                 "entropy",
                 obj([
                     (
@@ -538,6 +561,25 @@ mod tests {
         assert!(a.starts_with("{\"name\":\"t\",\"query\":"), "{a}");
         assert!(a.contains("\"size_bound\":{\"exponent\":\"3/2\""), "{a}");
         assert!(a.contains("\"witness\":null"), "{a}");
+    }
+
+    #[test]
+    fn widths_render_in_text_and_json() {
+        let s = AnalysisSession::parse("t", "S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z)").unwrap();
+        let report = s.report(&ReportOptions::default());
+        let text = report.render_text();
+        assert!(
+            text.contains("widths      : treewidth = 2, hypertree width = 2"),
+            "{text}"
+        );
+        let json = report.to_json_string();
+        assert!(
+            json.contains(
+                "\"widths\":{\"treewidth\":2,\"treewidth_exact\":true,\
+                 \"hypertree_width\":2,\"hypertree_exact\":true}"
+            ),
+            "{json}"
+        );
     }
 
     #[test]

@@ -100,6 +100,11 @@ pub struct ServeStats {
     pub lp_float_verified: u64,
     /// Hybrid solves that fell back to the full exact engine.
     pub lp_exact_fallbacks: u64,
+    /// Reports whose hypertree width came from the exact search.
+    pub width_exact: u64,
+    /// Reports whose hypertree width is a greedy upper bound (the
+    /// query was too large for the exact search).
+    pub width_heuristic: u64,
 }
 
 /// The serving layer: a shared LP cache plus request dispatch.
@@ -135,6 +140,8 @@ pub struct ServeEngine {
     lp_hybrid_solves: AtomicU64,
     lp_float_verified: AtomicU64,
     lp_exact_fallbacks: AtomicU64,
+    width_exact: AtomicU64,
+    width_heuristic: AtomicU64,
 }
 
 impl Default for ServeEngine {
@@ -161,6 +168,8 @@ impl ServeEngine {
             lp_hybrid_solves: AtomicU64::new(0),
             lp_float_verified: AtomicU64::new(0),
             lp_exact_fallbacks: AtomicU64::new(0),
+            width_exact: AtomicU64::new(0),
+            width_heuristic: AtomicU64::new(0),
         }
     }
 
@@ -243,6 +252,8 @@ impl ServeEngine {
             lp_hybrid_solves: self.lp_hybrid_solves.load(Ordering::Relaxed),
             lp_float_verified: self.lp_float_verified.load(Ordering::Relaxed),
             lp_exact_fallbacks: self.lp_exact_fallbacks.load(Ordering::Relaxed),
+            width_exact: self.width_exact.load(Ordering::Relaxed),
+            width_heuristic: self.width_heuristic.load(Ordering::Relaxed),
         }
     }
 
@@ -261,6 +272,11 @@ impl ServeEngine {
             .fetch_add(report.solver.float_verified as u64, Ordering::Relaxed);
         self.lp_exact_fallbacks
             .fetch_add(report.solver.exact_fallbacks as u64, Ordering::Relaxed);
+        if report.widths.hypertree_exact {
+            self.width_exact.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.width_heuristic.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Handles one request line, returning the one response line (no
@@ -513,6 +529,8 @@ impl ServeEngine {
                     "lp_exact_fallbacks",
                     Json::int(stats.lp_exact_fallbacks as usize),
                 ),
+                ("width_exact", Json::int(stats.width_exact as usize)),
+                ("width_heuristic", Json::int(stats.width_heuristic as usize)),
                 ("cache_shards", Json::Arr(shards)),
             ]),
         )]
@@ -879,6 +897,26 @@ mod tests {
         assert_eq!(stats.get("requests").and_then(Json::as_i64), Some(3));
         assert_eq!(stats.get("analyses").and_then(Json::as_i64), Some(1));
         assert_eq!(stats.get("errors").and_then(Json::as_i64), Some(1));
+    }
+
+    #[test]
+    fn stats_counts_exact_and_heuristic_widths() {
+        let engine = ServeEngine::new();
+        // A 3-var triangle sits well under MAX_EXACT_DECOMP_VARS.
+        engine.handle_line(&format!(r#"{{"cmd":"analyze","query":"{TRIANGLE}"}}"#));
+        // A query with more variables than the exact cap takes the
+        // greedy path and counts as heuristic.
+        let n = cq_core::MAX_EXACT_DECOMP_VARS + 2;
+        let body: Vec<String> = (0..n)
+            .map(|i| format!("R{i}(X{i},X{})", (i + 1) % n))
+            .collect();
+        let head: Vec<String> = (0..n).map(|i| format!("X{i}")).collect();
+        let big = format!("Q({}) :- {}", head.join(","), body.join(", "));
+        engine.handle_line(&format!(r#"{{"cmd":"analyze","query":"{big}"}}"#));
+        let resp = parse(&engine.handle_line(r#"{"cmd":"stats"}"#));
+        let stats = resp.get("stats").unwrap();
+        assert_eq!(stats.get("width_exact").and_then(Json::as_i64), Some(1));
+        assert_eq!(stats.get("width_heuristic").and_then(Json::as_i64), Some(1));
     }
 
     #[test]

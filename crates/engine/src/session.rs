@@ -22,12 +22,16 @@
 
 use crate::cache::LpCache;
 use cq_arith::Rational;
+use cq_core::MAX_EXACT_DECOMP_VARS;
 use cq_core::{
     chase, check_size_bound, color_number_entropy_lp_with_stats, color_number_lp,
     decide_size_increase_chased, entropy_upper_bound_with_stats, is_acyclic, parse_program,
     pull_back_coloring, remove_simple_fds, treewidth_preservation_no_fds, worst_case_database,
     BoundCheck, ChaseResult, ConjunctiveQuery, ParseError, RemovalTrace, SizeBound,
     SizeIncreaseDecision, SolveStats, SolverKind, TwPreservation, VarFd,
+};
+use cq_hypergraph::{
+    hypertree_width_exact, hypertree_width_upper_bound, treewidth_exact, treewidth_upper_bound,
 };
 use cq_relation::{Database, FdSet};
 use std::cell::{Cell, OnceCell};
@@ -59,6 +63,13 @@ pub const ENTROPY_COLOR_DENSE_CAP: usize = 10;
 /// [`ENTROPY_COLOR_DENSE_CAP`]).
 pub const ENTROPY_BOUND_DENSE_CAP: usize = 6;
 
+/// Variable cap for the exact treewidth branch-and-bound in
+/// [`AnalysisSession::query_widths`]; larger queries get the
+/// min-degree/min-fill upper bound. (The hypertree search carries its
+/// own cap, [`MAX_EXACT_DECOMP_VARS`] — its per-bag set covers make the
+/// same subset search heavier per state.)
+pub const TREEWIDTH_EXACT_VAR_CAP: usize = 16;
+
 /// How many times each expensive pipeline stage actually executed.
 ///
 /// `OnceCell` slots make re-execution impossible by construction, but
@@ -79,6 +90,9 @@ pub struct SessionStats {
     pub treewidth_runs: usize,
     /// Size-increase decisions (Theorem 7.2).
     pub decision_runs: usize,
+    /// Width analyses (treewidth + generalized hypertree width of the
+    /// query hypergraph).
+    pub width_runs: usize,
     /// LPs answered by the shared [`LpCache`] (no solve happened).
     pub cache_hits: usize,
     /// LPs the shared cache had to solve and store. Always 0 without an
@@ -115,6 +129,7 @@ struct Counters {
     entropy_lp: Cell<usize>,
     treewidth: Cell<usize>,
     decision: Cell<usize>,
+    width: Cell<usize>,
     cache_hits: Cell<usize>,
     cache_misses: Cell<usize>,
     lp_pivots: Cell<usize>,
@@ -173,6 +188,7 @@ pub struct AnalysisSession {
     treewidth: OnceCell<Option<TwPreservation>>,
     decision: OnceCell<SizeIncreaseDecision>,
     acyclic: OnceCell<bool>,
+    widths: OnceCell<QueryWidths>,
     entropy_color: OnceCell<Option<Rational>>,
     entropy_bound: OnceCell<Option<Rational>>,
     counters: Counters,
@@ -200,6 +216,7 @@ impl AnalysisSession {
             treewidth: OnceCell::new(),
             decision: OnceCell::new(),
             acyclic: OnceCell::new(),
+            widths: OnceCell::new(),
             entropy_color: OnceCell::new(),
             entropy_bound: OnceCell::new(),
             counters: Counters::default(),
@@ -243,6 +260,7 @@ impl AnalysisSession {
             entropy_lp_runs: self.counters.entropy_lp.get(),
             treewidth_runs: self.counters.treewidth.get(),
             decision_runs: self.counters.decision.get(),
+            width_runs: self.counters.width.get(),
             cache_hits: self.counters.cache_hits.get(),
             cache_misses: self.counters.cache_misses.get(),
             lp_pivots: self.counters.lp_pivots.get(),
@@ -363,6 +381,37 @@ impl AnalysisSession {
         *self.acyclic.get_or_init(|| is_acyclic(&self.query))
     }
 
+    /// Treewidth of the query's primal graph and generalized hypertree
+    /// width of its hypergraph (the widths governing decomposition-
+    /// guided evaluation, see `cq_core::decomp_eval`). Each is exact up
+    /// to its variable cap ([`TREEWIDTH_EXACT_VAR_CAP`] /
+    /// [`MAX_EXACT_DECOMP_VARS`]) and a greedy elimination-order upper
+    /// bound beyond it; the `*_exact` flags say which was computed.
+    pub fn query_widths(&self) -> &QueryWidths {
+        self.widths.get_or_init(|| {
+            bump(&self.counters.width);
+            let n = self.query.num_vars();
+            let h = self.query.hypergraph();
+            let g = h.primal_graph();
+            let (treewidth, treewidth_exact) = if n <= TREEWIDTH_EXACT_VAR_CAP {
+                (treewidth_exact(&g), true)
+            } else {
+                (treewidth_upper_bound(&g), false)
+            };
+            let (hypertree_width, hypertree_exact) = if n <= MAX_EXACT_DECOMP_VARS {
+                (hypertree_width_exact(&h), true)
+            } else {
+                (hypertree_width_upper_bound(&h), false)
+            };
+            QueryWidths {
+                treewidth,
+                treewidth_exact,
+                hypertree_width,
+                hypertree_exact,
+            }
+        })
+    }
+
     /// Proposition 6.10: the entropy-LP characterization of the color
     /// number — a lower bound on the exponent valid under **arbitrary**
     /// dependencies. `None` above [`ENTROPY_COLOR_VAR_CAP`] variables.
@@ -454,6 +503,25 @@ impl AnalysisSession {
     }
 }
 
+/// Result of [`AnalysisSession::query_widths`]: the two width measures
+/// of the query hypergraph, each flagged exact or upper-bound.
+///
+/// `hypertree_width ≤ treewidth + 1` always (cover each vertex of a
+/// width-`tw` decomposition's bag by one of its edges), and acyclic
+/// queries have hypertree width exactly 1 — both ends of that bracket
+/// are asserted by the property suite.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueryWidths {
+    /// Treewidth of the primal (Gaifman) graph of the query hypergraph.
+    pub treewidth: usize,
+    /// `true` if `treewidth` came from the exact branch-and-bound.
+    pub treewidth_exact: bool,
+    /// Generalized hypertree width of the query hypergraph.
+    pub hypertree_width: usize,
+    /// `true` if `hypertree_width` came from the exact search.
+    pub hypertree_exact: bool,
+}
+
 /// Result of [`AnalysisSession::data_check`].
 #[derive(Clone, Debug)]
 pub struct DataCheck {
@@ -513,6 +581,28 @@ mod tests {
     fn nothing_runs_until_asked() {
         let s = AnalysisSession::parse("triangle", TRIANGLE).unwrap();
         assert_eq!(s.stats(), SessionStats::default());
+    }
+
+    #[test]
+    fn widths_compute_once_and_bracket() {
+        let s = AnalysisSession::parse("triangle", TRIANGLE).unwrap();
+        let w = *s.query_widths();
+        for _ in 0..3 {
+            assert_eq!(s.query_widths(), &w);
+        }
+        assert_eq!(s.stats().width_runs, 1);
+        // The triangle is small: both solvers run exactly.
+        assert!(w.treewidth_exact && w.hypertree_exact);
+        assert_eq!(w.treewidth, 2);
+        assert_eq!(w.hypertree_width, 2);
+        assert!(w.hypertree_width <= w.treewidth + 1);
+    }
+
+    #[test]
+    fn acyclic_query_has_hypertree_width_one() {
+        let s = AnalysisSession::parse("path", "Q(X,Z) :- R(X,Y), S(Y,Z)").unwrap();
+        assert!(s.is_acyclic());
+        assert_eq!(s.query_widths().hypertree_width, 1);
     }
 
     #[test]

@@ -296,6 +296,83 @@ mod tests {
     }
 
     #[test]
+    fn validate_edge_cases() {
+        // Empty graph, no bags: trivially valid.
+        let empty = Graph::from_edges(0, &[]);
+        assert!(TreeDecomposition::with_bags(Vec::new())
+            .validate(&empty)
+            .is_ok());
+        // Vertices but no bags: rejected.
+        let g = Graph::path(2);
+        let err = TreeDecomposition::with_bags(Vec::new())
+            .validate(&g)
+            .unwrap_err();
+        assert!(err.contains("no bags"), "{err}");
+        // A vertex in no bag: named in the error.
+        let mut td = TreeDecomposition::with_bags(vec![BitSet::from_iter([0])]);
+        let err = td.validate(&g).unwrap_err();
+        assert!(err.contains("vertex 1"), "{err}");
+        // Right edge count but a disconnected bag tree: a doubled edge
+        // between bags 0 and 1 leaves bag 2 unreachable.
+        td.add_bag(BitSet::from_iter([0, 1]));
+        td.add_bag(BitSet::from_iter([1]));
+        td.add_tree_edge(0, 1);
+        td.add_tree_edge(1, 0);
+        let err = td.validate(&g).unwrap_err();
+        assert!(err.contains("disconnected"), "{err}");
+    }
+
+    #[test]
+    fn path_between_endpoints_and_branches() {
+        // A star of bags: paths route through the center, and the
+        // trivial path is a single bag.
+        let mut td = TreeDecomposition::with_bags(vec![
+            BitSet::from_iter([0]),
+            BitSet::from_iter([0, 1]),
+            BitSet::from_iter([0, 2]),
+            BitSet::from_iter([0, 3]),
+        ]);
+        td.add_tree_edge(0, 1);
+        td.add_tree_edge(0, 2);
+        td.add_tree_edge(0, 3);
+        assert_eq!(td.path_between(1, 1), vec![1]);
+        assert_eq!(td.path_between(1, 3), vec![1, 0, 3]);
+        assert_eq!(td.path_between(3, 1), vec![3, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same tree component")]
+    fn path_between_disconnected_bags_panics() {
+        let td = TreeDecomposition::with_bags(vec![BitSet::from_iter([0]), BitSet::from_iter([1])]);
+        td.path_between(0, 1);
+    }
+
+    #[test]
+    fn augment_path_touches_only_the_path() {
+        // Bags 0-1-2-3 in a path; augmenting 0..=2 must leave bag 3
+        // alone, and augmenting a single bag is a point update.
+        let g = Graph::path(5);
+        let mut td = TreeDecomposition::with_bags(vec![
+            BitSet::from_iter([0, 1]),
+            BitSet::from_iter([1, 2]),
+            BitSet::from_iter([2, 3]),
+            BitSet::from_iter([3, 4]),
+        ]);
+        td.add_tree_edge(0, 1);
+        td.add_tree_edge(1, 2);
+        td.add_tree_edge(2, 3);
+        td.augment_path(0, 2, &BitSet::from_iter([0]));
+        assert!(td.bag(1).contains(0) && td.bag(2).contains(0));
+        assert!(!td.bag(3).contains(0), "bag off the path was touched");
+        td.augment_path(3, 3, &BitSet::from_iter([2]));
+        assert!(td.bag(3).contains(2));
+        assert!(!td.bag(0).contains(2), "point update leaked along the tree");
+        // Still a valid decomposition of the original graph
+        // (Observation 5.6's guarantee).
+        assert!(td.validate(&g).is_ok());
+    }
+
+    #[test]
     fn find_bag() {
         let td = TreeDecomposition::with_bags(vec![
             BitSet::from_iter([0, 1]),

@@ -1,0 +1,849 @@
+//! Generalized hypertree decompositions and (generalized) hypertree width.
+//!
+//! A *generalized hypertree decomposition* (GHD) of a hypergraph `H`
+//! (Gottlob–Leone–Scarcello) is a tree decomposition of the primal graph
+//! of `H` in which every bag additionally carries a **cover**: a set of
+//! hyperedges whose union contains the bag. Its width is the largest
+//! cover size, and the *generalized hypertree width* `ghw(H)` is the
+//! minimum width over all GHDs. Bounded ghw makes conjunctive-query
+//! evaluation polynomial: each bag is a join of its cover's atoms, and
+//! the bag tree is an acyclic query over those joins.
+//!
+//! Two structural facts drive the implementation:
+//!
+//! 1. GHDs of `H` are exactly tree decompositions of `primal(H)` whose
+//!    bags are covered: every hyperedge is a clique of the primal graph,
+//!    and any clique is contained in some bag of any tree decomposition,
+//!    so the hyperedge-coverage condition comes for free.
+//! 2. Because the cover number `ρ(B)` is monotone under taking subsets,
+//!    the minimum over tree decompositions of `max ρ(bag)` is attained
+//!    on a decomposition induced by an elimination ordering (every tree
+//!    decomposition refines to a minimal triangulation, and minimal
+//!    triangulations arise from elimination orderings). Exact search can
+//!    therefore reuse the memoized subset branch-and-bound of
+//!    [`crate::exact`], swapping elimination-time degree for
+//!    elimination-time bag cover number.
+//!
+//! The stricter *hypertree decompositions* add a descendant condition
+//! (every cover vertex that reappears below a bag must be in the bag);
+//! [`HypertreeDecomposition::validate_special`] checks it separately,
+//! since width-minimal GHDs need not satisfy it (`hw ≤ 3·ghw + 1`).
+//!
+//! Vertices in no hyperedge (a query variable used by no atom) cannot be
+//! covered; the constructors strip them from every bag, and
+//! [`HypertreeDecomposition::validate`] only requires coverage of
+//! non-isolated vertices.
+
+use crate::decomposition::TreeDecomposition;
+use crate::elimination::{decomposition_from_ordering, min_degree_ordering, min_fill_ordering};
+use crate::hypergraph::Hypergraph;
+use cq_util::{BitSet, FxHashMap};
+
+/// Hard cap on the exact solver (search state is a `u64` vertex mask).
+pub const MAX_EXACT_HYPERTREE_VERTICES: usize = 64;
+
+/// Above this many distinct candidate edges per bag the per-bag set
+/// cover falls back from branch-and-bound to plain greedy.
+const MAX_EXACT_COVER_CANDIDATES: usize = 24;
+
+/// A generalized hypertree decomposition: a bag tree where every bag is
+/// annotated with the hyperedge indices that cover it.
+#[derive(Clone, Debug)]
+pub struct HypertreeDecomposition {
+    bags: Vec<BitSet>,
+    /// Per-bag cover: indices into the hypergraph's edge list whose
+    /// union contains the bag.
+    covers: Vec<Vec<usize>>,
+    edges: Vec<(usize, usize)>,
+    adj: Vec<Vec<usize>>,
+}
+
+impl HypertreeDecomposition {
+    /// Creates a decomposition with the given `(bag, cover)` pairs and
+    /// no tree edges yet.
+    pub fn with_bags(bags: Vec<(BitSet, Vec<usize>)>) -> Self {
+        let n = bags.len();
+        let (bags, covers) = bags.into_iter().unzip();
+        HypertreeDecomposition {
+            bags,
+            covers,
+            edges: Vec::new(),
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of bags.
+    pub fn num_bags(&self) -> usize {
+        self.bags.len()
+    }
+
+    /// The bag at `i`.
+    pub fn bag(&self, i: usize) -> &BitSet {
+        &self.bags[i]
+    }
+
+    /// All bags.
+    pub fn bags(&self) -> &[BitSet] {
+        &self.bags
+    }
+
+    /// The cover (hyperedge indices) of bag `i`.
+    pub fn cover(&self, i: usize) -> &[usize] {
+        &self.covers[i]
+    }
+
+    /// Tree edges between bag indices.
+    pub fn tree_edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Bags adjacent to bag `i` in the tree.
+    pub fn neighbors(&self, i: usize) -> &[usize] {
+        &self.adj[i]
+    }
+
+    /// Connects two bags in the tree.
+    pub fn add_tree_edge(&mut self, a: usize, b: usize) {
+        self.edges.push((a, b));
+        self.adj[a].push(b);
+        self.adj[b].push(a);
+    }
+
+    /// Width: the largest bag cover. (Contrast with tree decomposition
+    /// width, which is the largest bag *minus one*; an acyclic query has
+    /// hypertree width 1.)
+    pub fn width(&self) -> usize {
+        self.covers.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Checks the generalized hypertree decomposition conditions against
+    /// `h`: the bag graph is a tree, every hyperedge is contained in some
+    /// bag, every non-isolated vertex appears in a bag and its bags form
+    /// a connected subtree, and every bag is contained in the union of
+    /// its cover's hyperedges. Returns a human-readable violation, or
+    /// `Ok(())`.
+    pub fn validate(&self, h: &Hypergraph) -> Result<(), String> {
+        if self.bags.is_empty() {
+            if h.num_edges() == 0 {
+                return Ok(());
+            }
+            return Err("no bags but hypergraph has edges".into());
+        }
+        if self.edges.len() + 1 != self.bags.len() {
+            return Err(format!(
+                "tree has {} bags but {} edges (want bags-1)",
+                self.bags.len(),
+                self.edges.len()
+            ));
+        }
+        let mut seen = BitSet::with_capacity(self.bags.len());
+        let mut stack = vec![0usize];
+        seen.insert(0);
+        while let Some(v) = stack.pop() {
+            for &u in &self.adj[v] {
+                if seen.insert(u) {
+                    stack.push(u);
+                }
+            }
+        }
+        if seen.len() != self.bags.len() {
+            return Err("bag tree is disconnected".into());
+        }
+        // Covers: indices in range, bag inside its cover's union.
+        for (i, cover) in self.covers.iter().enumerate() {
+            let mut union = BitSet::with_capacity(h.num_vertices());
+            for &e in cover {
+                if e >= h.num_edges() {
+                    return Err(format!(
+                        "bag {i} cover references hyperedge {e} but hypergraph has {}",
+                        h.num_edges()
+                    ));
+                }
+                union.union_with(h.edge(e));
+            }
+            if !self.bags[i].is_subset(&union) {
+                let v = self.bags[i].difference(&union).min().unwrap();
+                return Err(format!("bag {i} vertex {v} is not covered by its cover"));
+            }
+        }
+        // Every hyperedge inside some bag.
+        for (e, verts) in h.edges().iter().enumerate() {
+            if !self.bags.iter().any(|b| verts.is_subset(b)) {
+                return Err(format!("hyperedge {e} is contained in no bag"));
+            }
+        }
+        // Every non-isolated vertex in a bag, with a connected bag set.
+        let mut non_isolated = BitSet::with_capacity(h.num_vertices());
+        for e in h.edges() {
+            non_isolated.union_with(e);
+        }
+        for v in non_isolated.iter() {
+            let holders: Vec<usize> = (0..self.bags.len())
+                .filter(|&i| self.bags[i].contains(v))
+                .collect();
+            if holders.is_empty() {
+                return Err(format!("vertex {v} appears in no bag"));
+            }
+            let mut reach = BitSet::with_capacity(self.bags.len());
+            reach.insert(holders[0]);
+            let mut stack = vec![holders[0]];
+            while let Some(b) = stack.pop() {
+                for &u in &self.adj[b] {
+                    if self.bags[u].contains(v) && reach.insert(u) {
+                        stack.push(u);
+                    }
+                }
+            }
+            if reach.len() != holders.len() {
+                return Err(format!("bags containing vertex {v} are disconnected"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks the *special descendant condition* that distinguishes a
+    /// hypertree decomposition from a generalized one: with the tree
+    /// rooted at `root`, every vertex of a bag's cover that occurs
+    /// anywhere in the bag's subtree must be in the bag itself. A
+    /// decomposition passing [`Self::validate`] and this check witnesses
+    /// hypertree width ≤ its width; ours are only guaranteed to be GHDs.
+    pub fn validate_special(&self, h: &Hypergraph, root: usize) -> Result<(), String> {
+        if self.bags.is_empty() {
+            return Ok(());
+        }
+        assert!(root < self.bags.len(), "root bag out of range");
+        // Post-order subtree vertex sets.
+        let n = self.bags.len();
+        let mut parent = vec![usize::MAX; n];
+        let mut order = Vec::with_capacity(n);
+        let mut stack = vec![root];
+        let mut seen = BitSet::with_capacity(n);
+        seen.insert(root);
+        while let Some(v) = stack.pop() {
+            order.push(v);
+            for &u in &self.adj[v] {
+                if seen.insert(u) {
+                    parent[u] = v;
+                    stack.push(u);
+                }
+            }
+        }
+        let mut subtree: Vec<BitSet> = self.bags.clone();
+        for &v in order.iter().rev() {
+            if parent[v] != usize::MAX {
+                let sub = subtree[v].clone();
+                subtree[parent[v]].union_with(&sub);
+            }
+        }
+        for &i in &order {
+            let mut union = BitSet::with_capacity(h.num_vertices());
+            for &e in &self.covers[i] {
+                union.union_with(h.edge(e));
+            }
+            union.intersect_with(&subtree[i]);
+            if !union.is_subset(&self.bags[i]) {
+                let v = union.difference(&self.bags[i]).min().unwrap();
+                return Err(format!(
+                    "cover vertex {v} of bag {i} reappears in its subtree but not in the bag"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Minimum set cover of `target` by the hypergraph's edges (restricted
+/// to `target`), as edge indices. Exact branch-and-bound seeded with the
+/// greedy cover when the candidate pool is small, greedy otherwise.
+/// Returns `None` if some vertex of `target` lies in no edge.
+fn min_cover(h: &Hypergraph, target: &BitSet) -> Option<Vec<usize>> {
+    if target.is_empty() {
+        return Some(Vec::new());
+    }
+    // Candidates: edge restrictions to the target, dominated ones
+    // removed (keep the earliest index among duplicates for
+    // determinism).
+    let mut candidates: Vec<(usize, BitSet)> = Vec::new();
+    for (i, e) in h.edges().iter().enumerate() {
+        let r = e.intersection(target);
+        if r.is_empty() {
+            continue;
+        }
+        if candidates.iter().any(|(_, c)| r.is_subset(c)) {
+            continue;
+        }
+        candidates.retain(|(_, c)| !c.is_subset(&r));
+        candidates.push((i, r));
+    }
+    let mut covered = BitSet::with_capacity(0);
+    for (_, c) in &candidates {
+        covered.union_with(c);
+    }
+    if !target.is_subset(&covered) {
+        return None;
+    }
+    let greedy = greedy_cover(&candidates, target);
+    if candidates.len() > MAX_EXACT_COVER_CANDIDATES {
+        return Some(greedy);
+    }
+    let mut best = greedy;
+    let mut chosen = Vec::new();
+    branch_cover(&candidates, target.clone(), &mut chosen, &mut best);
+    Some(best)
+}
+
+fn greedy_cover(candidates: &[(usize, BitSet)], target: &BitSet) -> Vec<usize> {
+    let mut uncovered = target.clone();
+    let mut cover = Vec::new();
+    while !uncovered.is_empty() {
+        let (idx, restr) = candidates
+            .iter()
+            .max_by_key(|(i, c)| (c.intersection(&uncovered).len(), usize::MAX - i))
+            .expect("coverable target");
+        cover.push(*idx);
+        uncovered.difference_with(restr);
+    }
+    cover
+}
+
+fn branch_cover(
+    candidates: &[(usize, BitSet)],
+    uncovered: BitSet,
+    chosen: &mut Vec<usize>,
+    best: &mut Vec<usize>,
+) {
+    if uncovered.is_empty() {
+        if chosen.len() < best.len() {
+            *best = chosen.clone();
+        }
+        return;
+    }
+    if chosen.len() + 1 >= best.len() {
+        return; // even one more edge cannot beat the incumbent
+    }
+    // Branch on the uncovered vertex with the fewest candidate edges.
+    let v = uncovered
+        .iter()
+        .min_by_key(|&v| candidates.iter().filter(|(_, c)| c.contains(v)).count())
+        .unwrap();
+    for (i, (idx, restr)) in candidates.iter().enumerate() {
+        if !restr.contains(v) {
+            continue;
+        }
+        chosen.push(*idx);
+        branch_cover(&candidates[i..], uncovered.difference(restr), chosen, best);
+        chosen.pop();
+    }
+}
+
+/// Converts a tree decomposition of `primal(h)` into a generalized
+/// hypertree decomposition: strips isolated vertices from every bag,
+/// computes a minimum edge cover per bag, and contracts the bags that
+/// became empty.
+fn cover_decomposition(h: &Hypergraph, td: &TreeDecomposition) -> HypertreeDecomposition {
+    let mut non_isolated = BitSet::with_capacity(h.num_vertices());
+    for e in h.edges() {
+        non_isolated.union_with(e);
+    }
+    let mut bags: Vec<BitSet> = td
+        .bags()
+        .iter()
+        .map(|b| b.intersection(&non_isolated))
+        .collect();
+    let mut edges: Vec<(usize, usize)> = td.tree_edges().to_vec();
+    // Contract empty bags (an empty bag is a subset of every neighbor,
+    // so splicing it out preserves all decomposition conditions).
+    while bags.len() > 1 {
+        let Some(e) = bags.iter().position(BitSet::is_empty) else {
+            break;
+        };
+        let nbrs: Vec<usize> = edges
+            .iter()
+            .filter(|&&(a, b)| a == e || b == e)
+            .map(|&(a, b)| if a == e { b } else { a })
+            .collect();
+        edges.retain(|&(a, b)| a != e && b != e);
+        for &u in nbrs.iter().skip(1) {
+            edges.push((nbrs[0], u));
+        }
+        bags.remove(e);
+        for (a, b) in edges.iter_mut() {
+            if *a > e {
+                *a -= 1;
+            }
+            if *b > e {
+                *b -= 1;
+            }
+        }
+    }
+    let mut cover_memo: FxHashMap<BitSet, Vec<usize>> = FxHashMap::default();
+    let covers: Vec<Vec<usize>> = bags
+        .iter()
+        .map(|bag| {
+            cover_memo
+                .entry(bag.clone())
+                .or_insert_with(|| {
+                    min_cover(h, bag).expect("non-isolated bag vertices are coverable")
+                })
+                .clone()
+        })
+        .collect();
+    let mut htd = HypertreeDecomposition::with_bags(bags.into_iter().zip(covers).collect());
+    for (a, b) in edges {
+        htd.add_tree_edge(a, b);
+    }
+    htd
+}
+
+/// A generalized hypertree decomposition from greedy elimination
+/// orderings of the primal graph (min-fill and min-degree; the smaller
+/// width wins). Its width is an upper bound on `ghw(h)`; on an acyclic
+/// (conformal + chordal) hypergraph it is exactly 1.
+pub fn hypertree_greedy(h: &Hypergraph) -> HypertreeDecomposition {
+    let g = h.primal_graph();
+    let fill = cover_decomposition(h, &decomposition_from_ordering(&g, &min_fill_ordering(&g)));
+    let degree = cover_decomposition(
+        h,
+        &decomposition_from_ordering(&g, &min_degree_ordering(&g)),
+    );
+    if degree.width() < fill.width() {
+        degree
+    } else {
+        fill
+    }
+}
+
+/// Upper bound on the generalized hypertree width of `h`.
+pub fn hypertree_width_upper_bound(h: &Hypergraph) -> usize {
+    hypertree_greedy(h).width()
+}
+
+/// A width-minimal generalized hypertree decomposition, by memoized
+/// branch-and-bound over elimination orderings of the primal graph with
+/// elimination-time bag cover number as the cost (see the module doc for
+/// why this is exact).
+///
+/// # Panics
+/// Panics if `h` has more than 64 vertices (use [`hypertree_greedy`]).
+pub fn hypertree_exact(h: &Hypergraph) -> HypertreeDecomposition {
+    let n = h.num_vertices();
+    assert!(
+        n <= MAX_EXACT_HYPERTREE_VERTICES,
+        "exact hypertree solver is limited to {MAX_EXACT_HYPERTREE_VERTICES} vertices"
+    );
+    let greedy = hypertree_greedy(h);
+    let upper = greedy.width();
+    if n == 0 || upper <= 1 {
+        // Width 0 means no edges; width 1 is optimal whenever any edge
+        // exists. Either way the greedy result cannot be improved.
+        return greedy;
+    }
+    let g = h.primal_graph();
+    let adj: Vec<u64> = (0..n)
+        .map(|v| {
+            let mut m = 0u64;
+            for u in g.neighbors(v).iter() {
+                m |= 1 << u;
+            }
+            m
+        })
+        .collect();
+    let edge_masks: Vec<u64> = h
+        .edges()
+        .iter()
+        .map(|e| {
+            let mut m = 0u64;
+            for v in e.iter() {
+                m |= 1 << v;
+            }
+            m
+        })
+        .collect();
+    let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+    let mut solver = CoverSolver {
+        n,
+        adj,
+        edge_masks,
+        covered: 0,
+        memo: FxHashMap::default(),
+        cover_memo: FxHashMap::default(),
+    };
+    solver.covered = solver.edge_masks.iter().fold(0, |acc, m| acc | m);
+    for k in 1..upper {
+        solver.memo.clear();
+        if solver.can_eliminate(full, k) {
+            let order = solver.extract_ordering(full, k);
+            let td = decomposition_from_ordering(&g, &order);
+            let htd = cover_decomposition(h, &td);
+            debug_assert_eq!(htd.width(), k);
+            return htd;
+        }
+    }
+    greedy
+}
+
+/// Exact generalized hypertree width of `h`.
+///
+/// ```
+/// use cq_hypergraph::{hypertree_width_exact, Hypergraph};
+/// // Triangle query R(X,Y), S(Y,Z), T(X,Z): cyclic, ghw 2.
+/// let mut h = Hypergraph::new(3);
+/// h.add_edge_from([0, 1]);
+/// h.add_edge_from([1, 2]);
+/// h.add_edge_from([0, 2]);
+/// assert_eq!(hypertree_width_exact(&h), 2);
+/// ```
+pub fn hypertree_width_exact(h: &Hypergraph) -> usize {
+    hypertree_exact(h).width()
+}
+
+/// The elimination-ordering search of [`crate::exact`], with the
+/// elimination-time bag's minimum edge-cover size as the cost.
+struct CoverSolver {
+    n: usize,
+    adj: Vec<u64>,
+    edge_masks: Vec<u64>,
+    /// Union of all hyperedges: isolated vertices are excluded from
+    /// cover targets (they are uncoverable and stripped from bags).
+    covered: u64,
+    /// remaining-set -> answer for the current width budget
+    memo: FxHashMap<u64, bool>,
+    /// bag -> its minimum cover size (budget-independent)
+    cover_memo: FxHashMap<u64, usize>,
+}
+
+impl CoverSolver {
+    /// The elimination bag of `v`: itself plus remaining neighbors
+    /// reachable through eliminated vertices (cf.
+    /// `Solver::eliminated_degree` in [`crate::exact`]).
+    fn elimination_bag(&self, v: usize, remaining: u64) -> u64 {
+        let eliminated = !remaining;
+        let mut reach = 1u64 << v;
+        let mut frontier = self.adj[v];
+        let mut bag = (frontier & remaining) | (1 << v);
+        let mut interior = frontier & eliminated & !reach;
+        while interior != 0 {
+            reach |= interior;
+            frontier = 0;
+            let mut it = interior;
+            while it != 0 {
+                let u = it.trailing_zeros() as usize;
+                it &= it - 1;
+                frontier |= self.adj[u];
+            }
+            bag |= frontier & remaining;
+            interior = frontier & eliminated & !reach;
+        }
+        bag
+    }
+
+    /// Minimum number of hyperedges covering `bag` (isolated vertices
+    /// excluded). Memoized greedy + branch-and-bound over `u64` masks.
+    fn cover_number(&mut self, bag: u64) -> usize {
+        let target = bag & self.covered;
+        if target == 0 {
+            return 0;
+        }
+        if let Some(&k) = self.cover_memo.get(&target) {
+            return k;
+        }
+        let mut candidates: Vec<u64> = Vec::new();
+        for &e in &self.edge_masks {
+            let r = e & target;
+            if r == 0 || candidates.iter().any(|&c| r & !c == 0) {
+                continue;
+            }
+            candidates.retain(|&c| c & !r != 0);
+            candidates.push(r);
+        }
+        // Greedy upper bound, then branch-and-bound on mask sets.
+        let mut uncovered = target;
+        let mut upper = 0usize;
+        while uncovered != 0 {
+            let best = candidates
+                .iter()
+                .max_by_key(|&&c| (c & uncovered).count_ones())
+                .unwrap();
+            uncovered &= !best;
+            upper += 1;
+        }
+        let k = Self::branch(&candidates, target, 0, upper);
+        self.cover_memo.insert(target, k);
+        k
+    }
+
+    fn branch(candidates: &[u64], uncovered: u64, chosen: usize, best: usize) -> usize {
+        if uncovered == 0 {
+            return chosen;
+        }
+        if chosen + 1 >= best {
+            return best;
+        }
+        let v = {
+            // Uncovered vertex with the fewest covering candidates.
+            let mut pick = 0usize;
+            let mut fewest = usize::MAX;
+            let mut it = uncovered;
+            while it != 0 {
+                let u = it.trailing_zeros() as usize;
+                it &= it - 1;
+                let count = candidates.iter().filter(|&&c| c & (1 << u) != 0).count();
+                if count < fewest {
+                    fewest = count;
+                    pick = u;
+                }
+            }
+            pick
+        };
+        let mut best = best;
+        for (i, &c) in candidates.iter().enumerate() {
+            if c & (1 << v) == 0 {
+                continue;
+            }
+            best = Self::branch(&candidates[i..], uncovered & !c, chosen + 1, best);
+        }
+        best
+    }
+
+    /// Can all of `remaining` be eliminated with every elimination-time
+    /// bag cover number ≤ `budget`?
+    fn can_eliminate(&mut self, remaining: u64, budget: usize) -> bool {
+        if remaining == 0 {
+            return true;
+        }
+        if let Some(&ans) = self.memo.get(&remaining) {
+            return ans;
+        }
+        let mut ans = false;
+        for v in 0..self.n {
+            if remaining & (1 << v) == 0 {
+                continue;
+            }
+            let bag = self.elimination_bag(v, remaining);
+            if self.cover_number(bag) <= budget && self.can_eliminate(remaining & !(1 << v), budget)
+            {
+                ans = true;
+                break;
+            }
+        }
+        self.memo.insert(remaining, ans);
+        ans
+    }
+
+    /// Reconstructs a witnessing ordering after `can_eliminate(full,
+    /// budget)` returned true (the memo is warm, so this is cheap).
+    fn extract_ordering(&mut self, full: u64, budget: usize) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.n);
+        let mut remaining = full;
+        while remaining != 0 {
+            let v = (0..self.n)
+                .find(|&v| {
+                    remaining & (1 << v) != 0
+                        && self.cover_number(self.elimination_bag(v, remaining)) <= budget
+                        && self.can_eliminate(remaining & !(1 << v), budget)
+                })
+                .expect("a witnessing ordering exists");
+            order.push(v);
+            remaining &= !(1 << v);
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Hypergraph {
+        let mut h = Hypergraph::new(3);
+        h.add_edge_from([0, 1]);
+        h.add_edge_from([1, 2]);
+        h.add_edge_from([0, 2]);
+        h
+    }
+
+    /// Cycle query of length `k` over binary edges.
+    fn cycle(k: usize) -> Hypergraph {
+        let mut h = Hypergraph::new(k);
+        for i in 0..k {
+            h.add_edge_from([i, (i + 1) % k]);
+        }
+        h
+    }
+
+    #[test]
+    fn acyclic_path_has_width_one() {
+        let mut h = Hypergraph::new(4);
+        h.add_edge_from([0, 1]);
+        h.add_edge_from([1, 2]);
+        h.add_edge_from([2, 3]);
+        let greedy = hypertree_greedy(&h);
+        greedy.validate(&h).unwrap();
+        assert_eq!(greedy.width(), 1);
+        let exact = hypertree_exact(&h);
+        exact.validate(&h).unwrap();
+        assert_eq!(exact.width(), 1);
+    }
+
+    #[test]
+    fn triangle_has_width_two() {
+        let h = triangle();
+        let htd = hypertree_exact(&h);
+        htd.validate(&h).unwrap();
+        assert_eq!(htd.width(), 2);
+        assert!(hypertree_width_upper_bound(&h) >= 2);
+    }
+
+    #[test]
+    fn wide_edge_covers_itself() {
+        // One 5-ary atom: acyclic, width 1 even though the primal graph
+        // is K5.
+        let mut h = Hypergraph::new(5);
+        h.add_edge_from([0, 1, 2, 3, 4]);
+        let htd = hypertree_exact(&h);
+        htd.validate(&h).unwrap();
+        assert_eq!(htd.width(), 1);
+    }
+
+    #[test]
+    fn cycles_have_width_two() {
+        // ghw of any cycle of length >= 3 is 2.
+        for k in 3..8 {
+            let h = cycle(k);
+            let htd = hypertree_exact(&h);
+            htd.validate(&h).unwrap();
+            assert_eq!(htd.width(), 2, "cycle length {k}");
+        }
+    }
+
+    #[test]
+    fn clique_of_binary_edges() {
+        // K_n as binary atoms: ghw = ceil(n/2) (each bag must cover all
+        // n vertices through 2-vertex edges). For n=4: 2.
+        let mut h = Hypergraph::new(4);
+        for a in 0..4 {
+            for b in a + 1..4 {
+                h.add_edge_from([a, b]);
+            }
+        }
+        let htd = hypertree_exact(&h);
+        htd.validate(&h).unwrap();
+        assert_eq!(htd.width(), 2);
+    }
+
+    #[test]
+    fn exact_never_exceeds_greedy() {
+        for h in [triangle(), cycle(6), cycle(7)] {
+            assert!(hypertree_width_exact(&h) <= hypertree_width_upper_bound(&h));
+        }
+    }
+
+    #[test]
+    fn isolated_vertices_are_stripped() {
+        // Vertex 3 is declared but in no edge.
+        let mut h = Hypergraph::new(4);
+        h.add_edge_from([0, 1]);
+        h.add_edge_from([1, 2]);
+        for htd in [hypertree_greedy(&h), hypertree_exact(&h)] {
+            htd.validate(&h).unwrap();
+            assert!(htd.bags().iter().all(|b| !b.contains(3)));
+            assert_eq!(htd.width(), 1);
+        }
+    }
+
+    #[test]
+    fn empty_hypergraph() {
+        let h = Hypergraph::new(0);
+        let htd = hypertree_exact(&h);
+        htd.validate(&h).unwrap();
+        assert_eq!(htd.width(), 0);
+    }
+
+    #[test]
+    fn all_isolated() {
+        let h = Hypergraph::new(3);
+        let htd = hypertree_greedy(&h);
+        htd.validate(&h).unwrap();
+        assert_eq!(htd.width(), 0);
+    }
+
+    #[test]
+    fn validate_rejects_uncovered_bag() {
+        let h = triangle();
+        // Bag {0,1,2} labeled with only edge 0 = {0,1}: vertex 2 uncovered.
+        let htd = HypertreeDecomposition::with_bags(vec![(BitSet::from_iter([0, 1, 2]), vec![0])]);
+        let err = htd.validate(&h).unwrap_err();
+        assert!(err.contains("not covered"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_missing_hyperedge() {
+        let h = triangle();
+        let mut htd = HypertreeDecomposition::with_bags(vec![
+            (BitSet::from_iter([0, 1]), vec![0]),
+            (BitSet::from_iter([1, 2]), vec![1]),
+        ]);
+        htd.add_tree_edge(0, 1);
+        let err = htd.validate(&h).unwrap_err();
+        assert!(err.contains("hyperedge 2"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_disconnected_tree() {
+        let h = triangle();
+        let htd = HypertreeDecomposition::with_bags(vec![
+            (BitSet::from_iter([0, 1, 2]), vec![0, 1]),
+            (BitSet::from_iter([0, 1, 2]), vec![1, 2]),
+        ]);
+        assert!(htd.validate(&h).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_cover_index() {
+        let h = triangle();
+        let htd = HypertreeDecomposition::with_bags(vec![(BitSet::from_iter([0, 1, 2]), vec![7])]);
+        let err = htd.validate(&h).unwrap_err();
+        assert!(err.contains("references hyperedge 7"), "{err}");
+    }
+
+    #[test]
+    fn special_condition_checked() {
+        let h = triangle();
+        // Single bag covering everything: special condition trivially ok.
+        let htd =
+            HypertreeDecomposition::with_bags(vec![(BitSet::from_iter([0, 1, 2]), vec![0, 1])]);
+        htd.validate(&h).unwrap();
+        htd.validate_special(&h, 0).unwrap();
+        // Bag 0 = {0,1} covered by edge 0; bag 1 = {0,1,2}: the cover of
+        // bag 0 stays within its subtree, fine. Reverse: root at the
+        // small bag, child covers all — still fine. Build a violation:
+        // bag 0 = {1} covered by edge 1 = {1,2}; vertex 2 reappears in
+        // the child bag {0,2} but not in bag 0.
+        let mut bad = HypertreeDecomposition::with_bags(vec![
+            (BitSet::from_iter([1]), vec![1]),
+            (BitSet::from_iter([0, 2]), vec![2]),
+        ]);
+        bad.add_tree_edge(0, 1);
+        let err = bad.validate_special(&h, 0).unwrap_err();
+        assert!(err.contains("reappears"), "{err}");
+    }
+
+    #[test]
+    fn min_cover_exact_beats_greedy_trap() {
+        // Classic greedy set-cover trap: universe {0..5}, greedy picks
+        // the size-3 middle set first and needs 3 sets; optimum is 2.
+        let mut h = Hypergraph::new(6);
+        h.add_edge_from([0, 1, 2]); // optimal half
+        h.add_edge_from([3, 4, 5]); // optimal half
+        h.add_edge_from([1, 2, 3, 4]); // greedy bait
+        let cover = min_cover(&h, &BitSet::from_iter(0..6)).unwrap();
+        assert_eq!(cover.len(), 2);
+    }
+
+    #[test]
+    fn min_cover_uncoverable() {
+        let mut h = Hypergraph::new(3);
+        h.add_edge_from([0, 1]);
+        assert!(min_cover(&h, &BitSet::from_iter([0, 2])).is_none());
+    }
+}

@@ -26,6 +26,7 @@ pub mod graph;
 pub mod grid;
 #[allow(clippy::module_inception)]
 pub mod hypergraph;
+pub mod hypertree;
 
 pub use canonical::{canonical_form, canonical_key, CanonicalForm, CanonicalKey};
 pub use decomposition::TreeDecomposition;
@@ -39,3 +40,7 @@ pub use grid::{
     grid_elimination_ordering, grid_graph, grid_lower_bound, grid_treewidth, grid_vertex,
 };
 pub use hypergraph::Hypergraph;
+pub use hypertree::{
+    hypertree_exact, hypertree_greedy, hypertree_width_exact, hypertree_width_upper_bound,
+    HypertreeDecomposition, MAX_EXACT_HYPERTREE_VERTICES,
+};

@@ -99,6 +99,12 @@ pub enum Family {
     /// `random` (`n`, `seed`): `n` seeded random queries (≤ 5 vars,
     /// ≤ 4 atoms) — a mixed batch for worker sharding.
     Random { n: usize, seed: u64 },
+    /// `grid` (`k`): the 2×k grid join query (two rows of k vertices,
+    /// one binary atom per grid edge). Treewidth 2 and generalized
+    /// hypertree width 2 at every k, so the decomposition layer's
+    /// width search stays exact while the variable count scales —
+    /// the workload behind `docs/DECOMPOSITION.md`.
+    Grid { k: usize },
 }
 
 impl Family {
@@ -110,6 +116,7 @@ impl Family {
             Family::StarKeyed { .. } => "star-keyed",
             Family::IsoTriangle { .. } => "iso-triangle",
             Family::Random { .. } => "random",
+            Family::Grid { .. } => "grid",
         }
     }
 
@@ -118,7 +125,7 @@ impl Family {
     pub fn scale(&self) -> (&'static str, usize) {
         match self {
             Family::Cycle { k } | Family::CycleFd { k } => ("k", *k),
-            Family::Clique { k } | Family::StarKeyed { k } => ("k", *k),
+            Family::Clique { k } | Family::StarKeyed { k } | Family::Grid { k } => ("k", *k),
             Family::IsoTriangle { n } | Family::Random { n, .. } => ("n", *n),
         }
     }
@@ -175,6 +182,29 @@ impl Family {
                     (format!("random-{}", seed + i as u64), program(&q, &no_fds))
                 })
                 .collect(),
+            Family::Grid { k } => {
+                // Vertex (r, c) is variable r*k + c; one relation per
+                // grid edge so the decomposition, not repetition,
+                // carries the structure.
+                let var_names: Vec<String> = (0..2)
+                    .flat_map(|r| (0..*k).map(move |c| format!("X{r}_{c}")))
+                    .collect();
+                let v = |r: usize, c: usize| r * k + c;
+                let mut body: Vec<cq_core::Atom> = Vec::new();
+                for r in 0..2 {
+                    for c in 0..k - 1 {
+                        body.push(cq_core::Atom::new(
+                            format!("H{r}_{c}"),
+                            vec![v(r, c), v(r, c + 1)],
+                        ));
+                    }
+                }
+                for c in 0..*k {
+                    body.push(cq_core::Atom::new(format!("V{c}"), vec![v(0, c), v(1, c)]));
+                }
+                let q = ConjunctiveQuery::new(var_names, (0..2 * k).collect(), body);
+                vec![(format!("grid-{k}"), program(&q, &no_fds))]
+            }
         }
     }
 
@@ -211,9 +241,16 @@ impl Family {
                 n: scale("n")?,
                 seed: obj.get("seed").and_then(Json::as_usize).unwrap_or(0) as u64,
             }),
+            "grid" => {
+                let k = scale("k")?;
+                if k < 2 {
+                    return Err("family \"grid\" needs k >= 2 (two columns make a grid)".into());
+                }
+                Ok(Family::Grid { k })
+            }
             other => Err(format!(
                 "unknown family {other:?} (known: cycle, cycle-fd, clique, \
-                 star-keyed, iso-triangle, random)"
+                 star-keyed, iso-triangle, random, grid)"
             )),
         }
     }
@@ -408,6 +445,7 @@ mod tests {
             Family::StarKeyed { k: 3 },
             Family::IsoTriangle { n: 4 },
             Family::Random { n: 4, seed: 7 },
+            Family::Grid { k: 4 },
         ] {
             let a = family.materialize();
             let b = family.materialize();
@@ -419,6 +457,18 @@ mod tests {
                 cq_core::parse_program(text).unwrap_or_else(|e| panic!("{name}: {e}\n{text}"));
             }
         }
+    }
+
+    #[test]
+    fn grid_family_is_width_two_both_ways() {
+        let (_, text) = &Family::Grid { k: 4 }.materialize()[0];
+        let (q, _) = cq_core::parse_program(text).unwrap();
+        let h = q.hypergraph();
+        assert_eq!(cq_hypergraph::treewidth_exact(&h.primal_graph()), 2);
+        assert_eq!(cq_hypergraph::hypertree_width_exact(&h), 2);
+        assert!(task(r#"{"task_id":"g","family":"grid","k":1}"#)
+            .unwrap_err()
+            .contains("k >= 2"));
     }
 
     #[test]

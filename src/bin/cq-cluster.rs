@@ -241,6 +241,27 @@ fn summary_json(run: &ClusterRun) -> Json {
                         ),
                     ]),
                 ),
+                (
+                    "width_stats",
+                    obj([
+                        (
+                            "hypertree_exact",
+                            Json::int(run.widths.hypertree_exact as usize),
+                        ),
+                        (
+                            "hypertree_heuristic",
+                            Json::int(run.widths.hypertree_heuristic as usize),
+                        ),
+                        (
+                            "max_hypertree_width",
+                            Json::int(run.widths.max_hypertree_width as usize),
+                        ),
+                        (
+                            "max_treewidth",
+                            Json::int(run.widths.max_treewidth as usize),
+                        ),
+                    ]),
+                ),
                 ("per_worker", Json::Arr(per_worker)),
             ]),
         ),

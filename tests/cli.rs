@@ -54,6 +54,40 @@ fn analyzes_keyed_query_from_file() {
     assert!(stdout.contains("size-preserving"), "{stdout}");
 }
 
+/// Text mode is a human surface but scripts still grep it: pin the
+/// report's line order so `widths` (and everything else) stays in a
+/// stable position between releases.
+#[test]
+fn text_report_line_order_is_stable() {
+    let (stdout, _, ok) = run_cli(&["-"], Some("S(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z)\n"));
+    assert!(ok);
+    let labels = [
+        "query       :",
+        "variables   :",
+        "atoms       :",
+        "join query  :",
+        "acyclic     :",
+        "widths      :",
+        "chase(Q)    :",
+        "size bound  :",
+        "treewidth   :",
+        "growth      :",
+    ];
+    let mut pos = 0;
+    for label in labels {
+        match stdout[pos..].find(label) {
+            Some(at) => pos += at + label.len(),
+            None => panic!("label {label:?} missing or out of order:\n{stdout}"),
+        }
+    }
+    // The triangle's widths line, exactly: both searches are exact at
+    // 3 variables, and ghw <= tw + 1 pins them to 2 apiece.
+    assert!(
+        stdout.contains("widths      : treewidth = 2, hypertree width = 2"),
+        "{stdout}"
+    );
+}
+
 #[test]
 fn reports_blowup_and_growth() {
     let (stdout, _, ok) = run_cli(&["-"], Some("R2(X,Y,Z) :- R(X,Y), R(X,Z)\n"));

@@ -1,0 +1,115 @@
+//! Property tests for the hypertree decomposition layer
+//! (`cq_hypergraph::hypertree`).
+//!
+//! Four laws, each over random queries:
+//!
+//! 1. **Soundness** — every decomposition either constructor emits
+//!    passes `validate()` against the query's hypergraph;
+//! 2. **Dominance** — the exact search never reports a larger width
+//!    than the greedy upper bound;
+//! 3. **Acyclicity** — generalized hypertree width 1 coincides exactly
+//!    with GYO acyclicity (the α-acyclic ⟺ ghw = 1 characterization),
+//!    cross-checked against `is_acyclic`/`gyo_join_tree`;
+//! 4. **Invariance** — width is a property of the hypergraph's shape,
+//!    so variable renaming + atom reordering (`permuted_query`) cannot
+//!    change the exact width.
+//!
+//! Default proptest config on purpose: the scheduled deep CI job runs
+//! this layer at `PROPTEST_CASES=4096`.
+
+mod common;
+
+use common::{permuted_query, random_query};
+use cqbounds::core::{gyo_join_tree, is_acyclic};
+use cqbounds::hypergraph::{
+    hypertree_exact, hypertree_greedy, hypertree_width_exact, hypertree_width_upper_bound,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Both constructors always emit a decomposition that validates.
+    #[test]
+    fn every_emitted_decomposition_validates(seed in 0u64..1_000_000) {
+        let q = random_query(seed, 6, 5);
+        let h = q.hypergraph();
+        let greedy = hypertree_greedy(&h);
+        greedy
+            .validate(&h)
+            .unwrap_or_else(|e| panic!("seed {seed}: greedy invalid on {q}: {e}"));
+        let exact = hypertree_exact(&h);
+        exact
+            .validate(&h)
+            .unwrap_or_else(|e| panic!("seed {seed}: exact invalid on {q}: {e}"));
+    }
+
+    /// The exact search is a minimum: never above the greedy bound (and
+    /// the two decompositions' widths match what the width functions
+    /// report).
+    #[test]
+    fn exact_width_never_exceeds_greedy_width(seed in 0u64..1_000_000) {
+        let q = random_query(seed, 6, 5);
+        let h = q.hypergraph();
+        let exact = hypertree_width_exact(&h);
+        let greedy = hypertree_width_upper_bound(&h);
+        prop_assert!(exact <= greedy);
+        prop_assert_eq!(hypertree_exact(&h).width(), exact);
+        prop_assert_eq!(hypertree_greedy(&h).width(), greedy);
+    }
+
+    /// ghw = 1 ⟺ α-acyclic, with the GYO join tree as the witness on
+    /// the acyclic side.
+    #[test]
+    fn width_one_coincides_with_gyo_acyclicity(seed in 0u64..1_000_000) {
+        let q = random_query(seed, 5, 4);
+        let h = q.hypergraph();
+        let width = hypertree_width_exact(&h);
+        if is_acyclic(&q) {
+            prop_assert_eq!(width, 1);
+            prop_assert!(gyo_join_tree(&q).is_some());
+        } else {
+            prop_assert!(width >= 2);
+            prop_assert!(gyo_join_tree(&q).is_none());
+        }
+    }
+
+    /// Exact width is invariant under variable renaming + atom
+    /// reordering: it sees only the hypergraph's shape.
+    #[test]
+    fn exact_width_is_permutation_invariant(
+        seed in 0u64..1_000_000,
+        perm_seed in 0u64..1_000_000,
+    ) {
+        let q = random_query(seed, 5, 4);
+        let p = permuted_query(perm_seed, &q);
+        prop_assert_eq!(
+            hypertree_width_exact(&q.hypergraph()),
+            hypertree_width_exact(&p.hypergraph())
+        );
+    }
+}
+
+/// Deterministic anchors for the properties above: known widths on the
+/// standard families, so a property-layer regression cannot hide
+/// behind generator drift.
+#[test]
+fn known_family_widths() {
+    let fixtures = [
+        ("Q(X,Y,Z) :- R(X,Y), R(X,Z), R(Y,Z)", 2),   // triangle
+        ("Q(A,B,C,D) :- R(A,B), S(B,C), T(C,D)", 1), // path: acyclic
+        (
+            "Q(A,B,C,D,E) :- R0(A,B), R1(B,C), R2(C,D), R3(D,E), R4(E,A)",
+            2,
+        ), // 5-cycle
+        ("Q(X,A,B,C) :- R0(X,A), R1(X,B), R2(X,C)", 1), // star: acyclic
+        (
+            "Q(A,B,C,D) :- E1(A,B), E2(A,C), E3(A,D), E4(B,C), E5(B,D), E6(C,D)",
+            2, // K4 over binary edges
+        ),
+    ];
+    for (text, want) in fixtures {
+        let (q, _) = cqbounds::core::parse_program(text).unwrap();
+        let h = q.hypergraph();
+        assert_eq!(hypertree_width_exact(&h), want, "{text}");
+        assert_eq!(is_acyclic(&q), want == 1, "{text}");
+    }
+}
