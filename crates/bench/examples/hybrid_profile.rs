@@ -1,7 +1,13 @@
 //! Scratch profiler for the hybrid engine on the 6.10 entropy family.
+//!
+//! The per-phase split that used to be a `CQ_HYBRID_TRACE` eprintln now
+//! comes from the telemetry layer: spans stream to the NDJSON sink
+//! (stderr here, or wherever `CQ_TRACE` points) and the always-on phase
+//! histograms summarize to count/sum/p50/p95/p99 per phase.
 use cq_bench::cycle_query;
 use cq_core::build_color_number_entropy_lp;
 use cq_lp::{solve_lp, PivotRule, Solver};
+use cq_telemetry::Metrics;
 use std::time::Instant;
 
 fn main() {
@@ -9,6 +15,10 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(12);
+    if let Err(e) = cq_telemetry::init_tracing(true) {
+        eprintln!("hybrid_profile: cannot open trace sink: {e}");
+        return;
+    }
     let lp = build_color_number_entropy_lp(&cycle_query(k), &[]);
     let t = Instant::now();
     let s = solve_lp(&lp, Solver::HybridFloat, PivotRule::DantzigThenBland);
@@ -19,4 +29,14 @@ fn main() {
         s.stats.exact_fallbacks,
         s.stats.float_pivots
     );
+    // The phase histograms the spans fed: the old one-line profile,
+    // now derived from the same data every production binary records.
+    for (name, h) in Metrics::global().snapshot().histograms {
+        if name.starts_with("cq_lp_") {
+            eprintln!(
+                "  {name}: count={} sum={} p50={} p95={} p99={}",
+                h.count, h.sum, h.p50, h.p95, h.p99
+            );
+        }
+    }
 }

@@ -19,7 +19,10 @@
 //! run fails only when every worker has died with work outstanding.
 
 use crate::addr::{WorkerAddr, WorkerConn};
-use crate::merge::{cache_stats_delta, CacheTotals, ReportMerger, SolverTotals, WidthTotals};
+use crate::merge::{
+    cache_stats_delta, metrics_delta, CacheTotals, MetricsTotals, ReportMerger, SolverTotals,
+    WidthTotals,
+};
 use crate::plan::ShardPlanner;
 use crate::PlanMode;
 use cq_engine::{Json, MAX_BATCH};
@@ -89,6 +92,14 @@ pub struct ClusterRun {
     pub workers: Vec<WorkerSummary>,
     /// Queries resubmitted after a worker death.
     pub resubmitted: usize,
+    /// Serve-side request/latency metrics attributable to this run
+    /// (per-worker `metrics` probe deltas, merged bucket-wise). Zero if
+    /// no worker answered both probes.
+    pub metrics: MetricsTotals,
+    /// The `trace_id` propagated with each input (`None` when tracing
+    /// was off): index-aligned with `reports`, so a span log can be
+    /// joined back to the report it explains.
+    pub trace_ids: Vec<Option<String>>,
 }
 
 /// Drives workloads through a fixed pool of workers.
@@ -98,6 +109,7 @@ pub struct ClusterClient {
     mode: PlanMode,
     chunk: usize,
     witness: Option<usize>,
+    trace: bool,
 }
 
 impl ClusterClient {
@@ -109,6 +121,7 @@ impl ClusterClient {
             mode: PlanMode::ByCanonicalKey,
             chunk: 32,
             witness: None,
+            trace: false,
         }
     }
 
@@ -132,6 +145,17 @@ impl ClusterClient {
         self
     }
 
+    /// Forces per-query `trace_id` propagation even without a local
+    /// trace sink (ids are also generated whenever
+    /// [`cq_telemetry::tracing_enabled`] says a sink is installed —
+    /// e.g. `CQ_TRACE` or `--trace` on the `cq-cluster` binary). The
+    /// worker stamps every span of a query's analysis with the id it
+    /// received, so a cross-machine trace joins on it.
+    pub fn with_trace(mut self, on: bool) -> ClusterClient {
+        self.trace = on;
+        self
+    }
+
     /// The configured worker addresses.
     pub fn addrs(&self) -> &[WorkerAddr] {
         &self.addrs
@@ -146,6 +170,17 @@ impl ClusterClient {
         let n_workers = self.addrs.len();
         let planner = ShardPlanner::new(self.mode, n_workers);
         let mut pending: Vec<Vec<usize>> = planner.plan(inputs);
+        // One trace id per input, minted up front so a resubmitted query
+        // keeps its id across workers (the span log then shows the same
+        // analysis attempted on two machines — exactly what happened).
+        let trace_ids: Vec<Option<String>> = if self.trace || cq_telemetry::tracing_enabled() {
+            inputs
+                .iter()
+                .map(|_| Some(cq_telemetry::fresh_trace_id()))
+                .collect()
+        } else {
+            vec![None; inputs.len()]
+        };
         let mut merger = ReportMerger::new(inputs.len());
         let mut alive = vec![true; n_workers];
         let mut summaries: Vec<WorkerSummary> = self
@@ -163,6 +198,7 @@ impl ClusterClient {
             })
             .collect();
         let mut resubmitted = 0usize;
+        let mut metrics = MetricsTotals::default();
 
         loop {
             let mut round: Vec<(usize, Vec<usize>)> = Vec::new();
@@ -179,7 +215,8 @@ impl ClusterClient {
                     .iter()
                     .map(|(w, indices)| {
                         let addr = &self.addrs[*w];
-                        scope.spawn(move || self.run_worker_round(addr, indices, inputs))
+                        let trace_ids = &trace_ids;
+                        scope.spawn(move || self.run_worker_round(addr, indices, inputs, trace_ids))
                     })
                     .collect();
                 handles
@@ -197,6 +234,9 @@ impl ClusterClient {
                     summary.misses += cache.misses;
                     summary.evictions += cache.evictions;
                     summary.entries = cache.entries;
+                }
+                if let Some(delta) = &outcome.metrics {
+                    metrics.merge(delta);
                 }
                 // A round with no stats at all (connect failed, baseline
                 // never answered) contributes nothing and leaves
@@ -249,17 +289,21 @@ impl ClusterClient {
             widths,
             workers: summaries,
             resubmitted,
+            metrics,
+            trace_ids,
         })
     }
 
-    /// One connection, one shard, pipelined: `stats`, the chunks, and
-    /// a trailing `stats`. Returns whatever completed plus this round's
-    /// cache delta; `died` reports whether the worker is still usable.
+    /// One connection, one shard, pipelined: `stats` + `metrics`
+    /// probes, the chunks, and trailing `metrics` + `stats` probes.
+    /// Returns whatever completed plus this round's cache and metrics
+    /// deltas; `died` reports whether the worker is still usable.
     fn run_worker_round(
         &self,
         addr: &WorkerAddr,
         indices: &[usize],
         inputs: &[(String, String)],
+        trace_ids: &[Option<String>],
     ) -> RoundOutcome {
         let mut outcome = RoundOutcome::default();
         let Ok(conn) = addr.connect() else {
@@ -277,10 +321,14 @@ impl ClusterClient {
             let queries: Vec<Json> = chunk
                 .iter()
                 .map(|&i| {
-                    Json::Obj(vec![
+                    let mut query = vec![
                         ("name".to_owned(), Json::str(&inputs[i].0)),
                         ("query".to_owned(), Json::str(&inputs[i].1)),
-                    ])
+                    ];
+                    if let Some(id) = &trace_ids[i] {
+                        query.push(("trace_id".to_owned(), Json::str(id)));
+                    }
+                    Json::Obj(query)
                 })
                 .collect();
             let mut fields = vec![
@@ -305,6 +353,18 @@ impl ClusterClient {
         // against a daemon other clients are hammering are best-effort
         // by nature).
         let Some(baseline) = round_trip_stats(&mut probe_half, &mut reader, -1) else {
+            outcome.died = true;
+            reader.into_inner().shutdown();
+            return outcome;
+        };
+        // Metrics baseline (id -3) rides the same quiet-connection
+        // window. The daemon excludes `metrics` probes from its own
+        // request counters, so the probe pair measures exactly the
+        // requests between them — the stats probes included, which is
+        // why the trailing metrics probe goes out *before* the trailing
+        // stats probe: between -3 and -4 the connection carried the
+        // chunks and nothing else.
+        let Some(metrics_before) = round_trip_metrics(&mut probe_half, &mut reader, -3) else {
             outcome.died = true;
             reader.into_inner().shutdown();
             return outcome;
@@ -360,10 +420,21 @@ impl ClusterClient {
             }
         }
 
-        // Trailing probe, again round-tripped after every chunk is
-        // acknowledged. A dead worker keeps its last response's rolling
-        // cache_stats as the best available "after".
-        let after = if outcome.died {
+        // Trailing probes, again round-tripped after every chunk is
+        // acknowledged: metrics first (closing the request-count window
+        // opened at -3), then stats. A dead worker keeps its last
+        // response's rolling cache_stats as the best available "after";
+        // its metrics delta is lost (None) — nothing trustworthy closes
+        // the window.
+        let metrics_after = if outcome.died {
+            None
+        } else {
+            round_trip_metrics(&mut probe_half, &mut reader, -4)
+        };
+        if let Some(after) = &metrics_after {
+            outcome.metrics = Some(metrics_delta(&metrics_before, after));
+        }
+        let after = if outcome.died || metrics_after.is_none() {
             None
         } else {
             round_trip_stats(&mut probe_half, &mut reader, -2)
@@ -395,6 +466,9 @@ struct RoundOutcome {
     /// This round's cache delta; `None` when the worker was never
     /// heard from (so nothing can be said about its cache).
     cache: Option<CacheTotals>,
+    /// This round's serve-metrics delta; `None` when either `metrics`
+    /// probe went unanswered.
+    metrics: Option<MetricsTotals>,
     died: bool,
 }
 
@@ -422,4 +496,30 @@ fn round_trip_stats(
         return None;
     }
     resp.get("cache_stats").cloned()
+}
+
+/// Round-trips one `metrics` request (same quiet-connection discipline
+/// as [`round_trip_stats`]) and returns the response's `metrics` body;
+/// `None` on any failure.
+fn round_trip_metrics(
+    probe: &mut WorkerConn,
+    reader: &mut BufReader<WorkerConn>,
+    id: i64,
+) -> Option<Json> {
+    probe
+        .write_all(format!("{{\"id\":{id},\"cmd\":\"metrics\"}}\n").as_bytes())
+        .ok()?;
+    probe.flush().ok()?;
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(n) if n > 0 => {}
+        _ => return None,
+    }
+    let resp = Json::parse(line.trim_end()).ok()?;
+    if resp.get("id").and_then(Json::as_i64) != Some(id)
+        || resp.get("ok") != Some(&Json::Bool(true))
+    {
+        return None;
+    }
+    resp.get("metrics").cloned()
 }

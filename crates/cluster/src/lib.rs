@@ -46,7 +46,10 @@ pub mod spawn;
 pub use addr::{WorkerAddr, WorkerConn};
 pub use client::{ClusterClient, ClusterError, ClusterRun, WorkerSummary};
 pub use local::LocalWorker;
-pub use merge::{cache_stats_delta, CacheTotals, ReportMerger, SolverTotals, WidthTotals};
+pub use merge::{
+    cache_stats_delta, metrics_delta, CacheTotals, MetricsTotals, ReportMerger, SolverTotals,
+    WidthTotals,
+};
 pub use plan::ShardPlanner;
 pub use spawn::ServeChild;
 

@@ -74,6 +74,7 @@ pub fn evaluate_with_decomposition(
     db: &Database,
     htd: &HypertreeDecomposition,
 ) -> Result<Relation, DecompEvalError> {
+    let _p = cq_telemetry::phase("core.decomp_eval", "cq_core_decomp_eval_micros");
     let h = q.hypergraph();
     htd.validate(&h).map_err(DecompEvalError::Invalid)?;
 
@@ -157,7 +158,10 @@ pub fn evaluate_with_decomposition(
 /// Evaluates `q` through [`decompose`]. Our own decompositions always
 /// validate, so this cannot fail.
 pub fn evaluate_decomposed(q: &ConjunctiveQuery, db: &Database) -> Relation {
-    let htd = decompose(q);
+    let htd = {
+        let _p = cq_telemetry::phase("core.decompose", "cq_core_decompose_micros");
+        decompose(q)
+    };
     evaluate_with_decomposition(q, db, &htd).expect("constructed decomposition is valid")
 }
 

@@ -22,6 +22,7 @@ use crate::session::AnalysisSession;
 use cq_core::{ConjunctiveQuery, ParseError};
 use cq_hypergraph::{canonical_key, CanonicalKey};
 use cq_relation::FdSet;
+use cq_telemetry::TraceContext;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -33,6 +34,10 @@ pub struct BatchAnalyzer {
     threads: Option<usize>,
     /// Shared cross-query LP cache handed to every worker session.
     cache: Option<Arc<LpCache>>,
+    /// Per-input trace ids (index-aligned with the batch inputs), used
+    /// by `cq-serve` to propagate the ids a cluster client stamped on
+    /// each query. Inputs without an id get a fresh one when tracing.
+    trace_ids: Option<Arc<Vec<Option<String>>>>,
 }
 
 impl BatchAnalyzer {
@@ -44,8 +49,18 @@ impl BatchAnalyzer {
     pub fn with_threads(threads: usize) -> Self {
         BatchAnalyzer {
             threads: Some(threads.max(1)),
-            cache: None,
+            ..BatchAnalyzer::default()
         }
+    }
+
+    /// Attaches per-input trace ids (index-aligned with the inputs of
+    /// the next `analyze_*` call). Each worker enters the input's trace
+    /// context before producing its report, so every span the analysis
+    /// emits carries the id end to end — this is how a cluster client's
+    /// ids survive the hop through a serve worker's batch.
+    pub fn with_trace_ids(mut self, ids: Vec<Option<String>>) -> Self {
+        self.trace_ids = Some(Arc::new(ids));
+        self
     }
 
     /// Attaches a shared [`LpCache`]: every session the batch spawns
@@ -147,6 +162,18 @@ impl BatchAnalyzer {
         }
     }
 
+    /// The trace id input `i` should run under: its propagated id when
+    /// one was attached, else a fresh id when a trace sink is live (so
+    /// `cq-analyze --trace` tags each query's spans distinctly), else
+    /// none — and the context switch is skipped entirely.
+    fn trace_id_for(&self, i: usize) -> Option<String> {
+        let attached = self
+            .trace_ids
+            .as_ref()
+            .and_then(|ids| ids.get(i).cloned().flatten());
+        attached.or_else(|| cq_telemetry::tracing_enabled().then(cq_telemetry::fresh_trace_id))
+    }
+
     /// The shared work loop: each wave runs to completion before the
     /// next starts; within a wave, `produce(i)` runs on some worker
     /// thread for every listed index. Results land at index `i` of the
@@ -170,7 +197,13 @@ impl BatchAnalyzer {
                             break;
                         }
                         let i = wave[w];
-                        let result = produce(i);
+                        let result = match self.trace_id_for(i) {
+                            Some(id) => {
+                                let _ctx = TraceContext::enter(Some(&id), false);
+                                produce(i)
+                            }
+                            None => produce(i),
+                        };
                         sink.lock().expect("sink poisoned")[i] = Some(result);
                     });
                 }

@@ -144,6 +144,11 @@ struct Shard {
     /// Entries this shard evicted to stay within its capacity slice
     /// (mutated under the shard write lock, so a plain counter).
     evictions: u64,
+    /// Lookups this shard answered from a stored entry. Bumped under
+    /// the shard *read* lock, hence atomic (unlike `evictions`).
+    hits: AtomicU64,
+    /// Lookups this shard could not answer.
+    misses: AtomicU64,
 }
 
 /// Counter snapshot of a cache's lifetime activity.
@@ -171,6 +176,10 @@ pub struct ShardStats {
     pub entries: u64,
     /// Entries this shard has evicted.
     pub evictions: u64,
+    /// Lookups this shard answered from a stored entry.
+    pub hits: u64,
+    /// Lookups this shard had to decline (the caller solved the LP).
+    pub misses: u64,
 }
 
 /// A sharded, LRU-bounded, renaming-invariant LP solution cache.
@@ -247,6 +256,8 @@ impl LpCache {
                 ShardStats {
                     entries: shard.map.len() as u64,
                     evictions: shard.evictions,
+                    hits: shard.hits.load(Ordering::Relaxed),
+                    misses: shard.misses.load(Ordering::Relaxed),
                 }
             })
             .collect()
@@ -319,10 +330,12 @@ impl LpCache {
                     .last_used
                     .store(self.tick.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                shard.hits.fetch_add(1, Ordering::Relaxed);
                 Some((entry.value.clone(), entry.weights.clone()))
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                shard.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }

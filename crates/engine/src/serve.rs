@@ -11,7 +11,7 @@
 //! shape, in `docs/PROTOCOL.md`, and a test replays that document
 //! against the real daemon so the two cannot drift.
 //!
-//! Four commands exist in protocol version 1:
+//! Five commands exist in protocol version 1:
 //!
 //! - `analyze` — one query through a cache-attached
 //!   [`AnalysisSession`], returned as the same report object
@@ -20,6 +20,9 @@
 //!   [`BatchAnalyzer`] over the shared cache, one reports array back;
 //! - `stats` — a [`ServeStats`] snapshot (plus per-shard cache
 //!   residency/eviction counters) without analyzing anything;
+//! - `metrics` — the process-wide `cq_telemetry` registry (counters,
+//!   gauges, latency histograms) as one JSON object; also refreshes
+//!   the `--metrics-file` exposition when one is configured;
 //! - `cache` — `op: "save"` snapshots the warm [`LpCache`] to disk,
 //!   `op: "load"` merges a snapshot file back in (the persistence and
 //!   cache-sharing surface `cq-cluster` and multi-daemon deployments
@@ -46,13 +49,16 @@ use crate::json::{obj, Json};
 use crate::report::ReportOptions;
 use crate::session::AnalysisSession;
 use crate::BatchAnalyzer;
+use cq_telemetry::{
+    emit_event, next_span_id, now_micros, render_span_tree, Metrics, Span, SpanEvent, TraceContext,
+};
 use std::collections::BTreeMap;
 use std::io::{self, BufRead, ErrorKind, Write};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// The wire protocol version this engine speaks. Requests may omit
 /// `"v"` (it defaults to the current version); any other value is
@@ -72,6 +78,14 @@ const QUEUE_DEPTH: usize = 64;
 
 /// Command-specific fields spliced into an `"ok":true` response.
 type ResponseBody = Vec<(&'static str, Json)>;
+
+/// Trace identity of a handled request, threaded through the response
+/// channel so the writer thread can stitch its `serve.write` span into
+/// the request's tree. `None` when the request emitted no spans.
+struct ResponseMeta {
+    trace_id: Option<Arc<str>>,
+    request_span: u64,
+}
 
 /// Lifetime counters of a [`ServeEngine`], snapshotted by the `stats`
 /// command.
@@ -130,6 +144,18 @@ pub struct ServeEngine {
     /// primitive beyond the operator-chosen `--cache-file`.
     request_paths: bool,
     workers: usize,
+    /// Construction time, for the `stats` command's `uptime_micros`.
+    started: Instant,
+    /// Requests currently executing inside [`ServeEngine::handle_line`]
+    /// (mirrored into the global `cq_serve_requests_in_flight` gauge).
+    in_flight: AtomicI64,
+    /// Prometheus-style exposition target: written on graceful shutdown
+    /// (the binary calls [`ServeEngine::dump_metrics_file`]) and
+    /// refreshed after every `metrics` request.
+    metrics_file: Option<PathBuf>,
+    /// Slow-request threshold in microseconds: requests at or above it
+    /// get their full span tree logged to stderr. `None` = off.
+    slow_micros: Option<u64>,
     requests: AtomicU64,
     analyses: AtomicU64,
     batches: AtomicU64,
@@ -158,6 +184,10 @@ impl ServeEngine {
             cache_file: None,
             request_paths: true,
             workers: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            started: Instant::now(),
+            in_flight: AtomicI64::new(0),
+            metrics_file: None,
+            slow_micros: None,
             requests: AtomicU64::new(0),
             analyses: AtomicU64::new(0),
             batches: AtomicU64::new(0),
@@ -200,6 +230,58 @@ impl ServeEngine {
     /// The shared LP cache, if enabled.
     pub fn cache(&self) -> Option<&Arc<LpCache>> {
         self.cache.as_ref()
+    }
+
+    /// Attaches a Prometheus-style exposition file: the binary dumps the
+    /// metrics registry there on graceful shutdown, and every `metrics`
+    /// request refreshes it, so an external scraper always finds a
+    /// recent snapshot at a stable path.
+    pub fn with_metrics_file(mut self, path: impl Into<PathBuf>) -> Self {
+        self.metrics_file = Some(path.into());
+        self
+    }
+
+    /// Enables the slow-query log: any request taking at least `ms`
+    /// milliseconds gets its full span tree written to stderr (spans
+    /// are force-collected for such requests even with tracing off).
+    pub fn with_slow_millis(mut self, ms: u64) -> Self {
+        self.slow_micros = Some(ms.saturating_mul(1000));
+        self
+    }
+
+    /// Writes the global metrics registry to the configured
+    /// `--metrics-file` in Prometheus text exposition format. `None`
+    /// when no file is configured.
+    pub fn dump_metrics_file(&self) -> Option<io::Result<()>> {
+        let path = self.metrics_file.as_ref()?;
+        self.sync_cache_gauges();
+        let text = cq_telemetry::expo::render(&Metrics::global().snapshot());
+        Some(std::fs::write(path, text))
+    }
+
+    /// Publishes the per-shard cache counters as registry gauges (the
+    /// cache keeps its own atomics hot-path-side; the registry view is
+    /// synced only when someone actually reads metrics).
+    fn sync_cache_gauges(&self) {
+        let Some(cache) = self.cache.as_deref() else {
+            return;
+        };
+        let metrics = Metrics::global();
+        for (i, shard) in cache.shard_stats().iter().enumerate() {
+            let clamp = |v: u64| i64::try_from(v).unwrap_or(i64::MAX);
+            metrics
+                .gauge(&format!("cq_cache_shard{i:02}_entries"))
+                .set(clamp(shard.entries));
+            metrics
+                .gauge(&format!("cq_cache_shard{i:02}_evictions"))
+                .set(clamp(shard.evictions));
+            metrics
+                .gauge(&format!("cq_cache_shard{i:02}_hits"))
+                .set(clamp(shard.hits));
+            metrics
+                .gauge(&format!("cq_cache_shard{i:02}_misses"))
+                .set(clamp(shard.misses));
+        }
     }
 
     /// Attaches a persistent snapshot path: entries from an existing
@@ -283,25 +365,82 @@ impl ServeEngine {
     /// trailing newline). This is the entire daemon minus transport —
     /// the benches and the protocol replay test drive it directly.
     pub fn handle_line(&self, line: &str) -> String {
+        self.handle_line_meta(line, None).0
+    }
+
+    /// The [`ServeEngine::handle_line`] body, plus the request's trace
+    /// identity for the transport layer and the queue-wait duration the
+    /// transport measured before a worker picked the line up.
+    fn handle_line_meta(
+        &self,
+        line: &str,
+        queued_for: Option<Duration>,
+    ) -> (String, Option<ResponseMeta>) {
         let start = Instant::now();
         self.requests.fetch_add(1, Ordering::Relaxed);
+        let in_flight_gauge = Metrics::global().gauge("cq_serve_requests_in_flight");
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        in_flight_gauge.inc();
         let parsed = Json::parse(line);
         let id = parsed
             .as_ref()
             .ok()
             .and_then(|req| req.get("id").cloned())
             .unwrap_or(Json::Null);
-        let result = match &parsed {
-            Err(e) => Err(format!("malformed request: {e}")),
-            Ok(req) => self.dispatch(req),
+        // Trace identity: a client-propagated id wins (the cluster path);
+        // otherwise mint one whenever this request will emit or collect
+        // spans, so its tree is distinguishable from its neighbors'.
+        let collect = self.slow_micros.is_some();
+        let trace_id: Option<String> = parsed
+            .as_ref()
+            .ok()
+            .and_then(|req| req.get("trace_id").and_then(Json::as_str))
+            .map(str::to_owned)
+            .or_else(|| {
+                (cq_telemetry::tracing_enabled() || collect).then(cq_telemetry::fresh_trace_id)
+            });
+        let mut ctx = (trace_id.is_some() || collect)
+            .then(|| TraceContext::enter(trace_id.as_deref(), collect));
+        let request_span = Span::enter("serve.request");
+        if let Some(wait) = queued_for {
+            let wait_micros = u64::try_from(wait.as_micros()).unwrap_or(u64::MAX);
+            Metrics::global()
+                .histogram("cq_serve_queue_wait_micros")
+                .observe(wait_micros);
+            if request_span.active() {
+                // The wait happened on the reader→worker hop, before this
+                // span existed: stitch it in as a synthetic child that
+                // ended just now.
+                emit_event(SpanEvent {
+                    name: "serve.queue_wait",
+                    trace_id: trace_id.as_deref().map(Arc::from),
+                    span_id: next_span_id(),
+                    parent_id: Some(request_span.id()),
+                    start_micros: now_micros().saturating_sub(wait_micros),
+                    duration_micros: wait_micros,
+                });
+            }
+        }
+        let result = {
+            let _exec = Span::enter("serve.execute");
+            match &parsed {
+                Err(e) => Err(format!("malformed request: {e}")),
+                Ok(req) => self.dispatch(req),
+            }
         };
         // Saturate in two explicit steps: u128 -> u64 -> i64. The old
         // `min(i64::MAX as u128) as usize` truncated on 32-bit targets,
         // where usize cannot hold i64::MAX.
         let micros = start.elapsed().as_micros();
         let micros = u64::try_from(micros).unwrap_or(u64::MAX);
-        let micros = Json::Int(i64::try_from(micros).unwrap_or(i64::MAX));
-        match result {
+        let micros_json = Json::Int(i64::try_from(micros).unwrap_or(i64::MAX));
+        // `metrics` probes are excluded from the request counter and the
+        // latency histogram: observing the registry must not perturb it,
+        // or a cluster client's before/after probes would count
+        // themselves and the merged histogram could never equal the
+        // request count.
+        let is_metrics_probe = matches!(&result, Ok(("metrics", _)));
+        let response = match result {
             Ok((cmd, body)) => {
                 let mut fields = vec![
                     ("v", Json::Int(PROTOCOL_VERSION)),
@@ -310,7 +449,7 @@ impl ServeEngine {
                     ("cmd", Json::str(cmd)),
                 ];
                 fields.extend(body);
-                fields.push(("micros", micros));
+                fields.push(("micros", micros_json));
                 fields.push(("cache_stats", cache_stats_json(self.cache.as_deref())));
                 obj(fields).render()
             }
@@ -321,11 +460,39 @@ impl ServeEngine {
                     ("id", id),
                     ("ok", Json::Bool(false)),
                     ("error", Json::str(message)),
-                    ("micros", micros),
+                    ("micros", micros_json),
                 ])
                 .render()
             }
+        };
+        if !is_metrics_probe {
+            Metrics::global().counter("cq_serve_requests_total").inc();
+            Metrics::global()
+                .histogram("cq_serve_execute_micros")
+                .observe(micros);
         }
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        in_flight_gauge.dec();
+        let meta = request_span.active().then(|| ResponseMeta {
+            trace_id: trace_id.as_deref().map(Arc::from),
+            request_span: request_span.id(),
+        });
+        // Close `serve.request` before harvesting the collection so the
+        // slow log shows the root too.
+        drop(request_span);
+        if let (Some(slow), Some(ctx)) = (self.slow_micros, ctx.as_mut()) {
+            if micros >= slow {
+                let tree = render_span_tree(&ctx.take_collected());
+                eprintln!(
+                    "cq-serve: slow request ({micros}us >= {slow}us){}\n{tree}",
+                    trace_id
+                        .as_deref()
+                        .map(|id| format!(" trace_id={id}"))
+                        .unwrap_or_default()
+                );
+            }
+        }
+        (response, meta)
     }
 
     fn dispatch(&self, req: &Json) -> Result<(&'static str, ResponseBody), String> {
@@ -347,6 +514,7 @@ impl ServeEngine {
             "analyze" => self.analyze(req).map(|body| ("analyze", body)),
             "batch" => self.batch(req).map(|body| ("batch", body)),
             "stats" => Ok(("stats", self.stats_body())),
+            "metrics" => Ok(("metrics", self.metrics_body())),
             "cache" => self.cache_cmd(req).map(|body| ("cache", body)),
             other => Err(format!("unknown cmd {:?}", other)),
         }
@@ -455,6 +623,17 @@ impl ServeEngine {
                 Ok((name, query.to_owned()))
             })
             .collect::<Result<Vec<_>, String>>()?;
+        // Per-query trace ids (the cluster client stamps one on every
+        // query it scatters): each analysis runs under its own id, so a
+        // query's spans are attributable across the whole fleet.
+        let trace_ids: Vec<Option<String>> = items
+            .iter()
+            .map(|item| {
+                item.get("trace_id")
+                    .and_then(Json::as_str)
+                    .map(str::to_owned)
+            })
+            .collect();
         let opts = ReportOptions {
             witness_m: witness_of(req)?,
             database: None,
@@ -462,6 +641,9 @@ impl ServeEngine {
         let mut analyzer = BatchAnalyzer::with_threads(self.workers);
         if let Some(cache) = &self.cache {
             analyzer = analyzer.with_cache(Arc::clone(cache));
+        }
+        if trace_ids.iter().any(Option::is_some) {
+            analyzer = analyzer.with_trace_ids(trace_ids);
         }
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.analyses
@@ -486,6 +668,68 @@ impl ServeEngine {
         Ok(vec![("reports", Json::Arr(reports))])
     }
 
+    /// The `metrics` command: the whole global registry as one JSON
+    /// object — counters and gauges by name, histograms as summaries
+    /// plus their nonzero log₂ buckets. Refreshes the `--metrics-file`
+    /// exposition when one is configured, so "scrape the file" and
+    /// "ask the daemon" agree after every probe.
+    fn metrics_body(&self) -> ResponseBody {
+        self.sync_cache_gauges();
+        let snap = Metrics::global().snapshot();
+        if let Some(path) = &self.metrics_file {
+            if let Err(e) = std::fs::write(path, cq_telemetry::expo::render(&snap)) {
+                eprintln!("cq-serve: failed to write metrics file: {e}");
+            }
+        }
+        let clamp = |v: u64| Json::Int(i64::try_from(v).unwrap_or(i64::MAX));
+        let counters = Json::Obj(
+            snap.counters
+                .iter()
+                .map(|(name, v)| (name.clone(), clamp(*v)))
+                .collect(),
+        );
+        let gauges = Json::Obj(
+            snap.gauges
+                .iter()
+                .map(|(name, v)| (name.clone(), Json::Int(*v)))
+                .collect(),
+        );
+        let histograms = Json::Obj(
+            snap.histograms
+                .iter()
+                .map(|(name, h)| {
+                    (
+                        name.clone(),
+                        obj([
+                            ("count", clamp(h.count)),
+                            ("sum", clamp(h.sum)),
+                            ("p50", clamp(h.p50)),
+                            ("p95", clamp(h.p95)),
+                            ("p99", clamp(h.p99)),
+                            (
+                                "buckets",
+                                Json::Arr(
+                                    h.buckets
+                                        .iter()
+                                        .map(|(i, c)| Json::Arr(vec![Json::int(*i), clamp(*c)]))
+                                        .collect(),
+                                ),
+                            ),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        vec![(
+            "metrics",
+            obj([
+                ("counters", counters),
+                ("gauges", gauges),
+                ("histograms", histograms),
+            ]),
+        )]
+    }
+
     fn stats_body(&self) -> ResponseBody {
         let stats = self.stats();
         // Per-shard cache residency/evictions: warm-cache benchmarks
@@ -501,9 +745,12 @@ impl ServeEngine {
                 obj([
                     ("entries", Json::int(s.entries as usize)),
                     ("evictions", Json::int(s.evictions as usize)),
+                    ("hits", Json::int(s.hits as usize)),
+                    ("misses", Json::int(s.misses as usize)),
                 ])
             })
             .collect();
+        let uptime = self.started.elapsed().as_micros();
         vec![(
             "stats",
             obj([
@@ -511,6 +758,14 @@ impl ServeEngine {
                 ("analyses", Json::int(stats.analyses as usize)),
                 ("batches", Json::int(stats.batches as usize)),
                 ("errors", Json::int(stats.errors as usize)),
+                (
+                    "uptime_micros",
+                    Json::Int(i64::try_from(uptime).unwrap_or(i64::MAX)),
+                ),
+                (
+                    "requests_in_flight",
+                    Json::Int(self.in_flight.load(Ordering::Relaxed)),
+                ),
                 ("lp_pivots", Json::int(stats.lp_pivots as usize)),
                 ("lp_dense_solves", Json::int(stats.lp_dense_solves as usize)),
                 (
@@ -549,9 +804,9 @@ impl ServeEngine {
         mut reader: R,
         writer: W,
     ) -> io::Result<()> {
-        let (job_tx, job_rx) = mpsc::sync_channel::<(u64, String)>(QUEUE_DEPTH);
+        let (job_tx, job_rx) = mpsc::sync_channel::<(u64, String, Instant)>(QUEUE_DEPTH);
         let job_rx = Mutex::new(job_rx);
-        let (resp_tx, resp_rx) = mpsc::channel::<(u64, String)>();
+        let (resp_tx, resp_rx) = mpsc::channel::<(u64, String, Option<ResponseMeta>)>();
         std::thread::scope(|scope| {
             for _ in 0..self.workers {
                 let job_rx = &job_rx;
@@ -560,8 +815,12 @@ impl ServeEngine {
                     // Hold the lock only to receive; analysis runs
                     // unlocked so workers actually overlap.
                     let job = job_rx.lock().expect("job queue").recv();
-                    let Ok((seq, line)) = job else { break };
-                    if resp_tx.send((seq, self.handle_line(&line))).is_err() {
+                    let Ok((seq, line, enqueued)) = job else {
+                        break;
+                    };
+                    let queued_for = enqueued.elapsed();
+                    let (response, meta) = self.handle_line_meta(&line, Some(queued_for));
+                    if resp_tx.send((seq, response, meta)).is_err() {
                         break; // writer gone (peer hung up): drain and exit
                     }
                 });
@@ -569,14 +828,28 @@ impl ServeEngine {
             drop(resp_tx);
             let writer_thread = scope.spawn(move || -> io::Result<()> {
                 let mut writer = writer;
-                let mut pending: BTreeMap<u64, String> = BTreeMap::new();
+                let mut pending: BTreeMap<u64, (String, Option<ResponseMeta>)> = BTreeMap::new();
                 let mut next = 0u64;
-                for (seq, response) in resp_rx {
-                    pending.insert(seq, response);
-                    while let Some(response) = pending.remove(&next) {
+                for (seq, response, meta) in resp_rx {
+                    pending.insert(seq, (response, meta));
+                    while let Some((response, meta)) = pending.remove(&next) {
+                        let write_started = now_micros();
+                        let write_clock = Instant::now();
                         writer.write_all(response.as_bytes())?;
                         writer.write_all(b"\n")?;
                         writer.flush()?;
+                        // Measured on the writer thread, stitched under
+                        // the request span via its threaded-through id.
+                        if let Some(meta) = meta {
+                            emit_event(SpanEvent {
+                                name: "serve.write",
+                                trace_id: meta.trace_id,
+                                span_id: next_span_id(),
+                                parent_id: Some(meta.request_span),
+                                start_micros: write_started,
+                                duration_micros: write_clock.elapsed().as_micros() as u64,
+                            });
+                        }
                         next += 1;
                     }
                 }
@@ -594,7 +867,10 @@ impl ServeEngine {
                         if request.is_empty() {
                             continue; // blank keep-alive lines get no response
                         }
-                        if job_tx.send((seq, request.to_owned())).is_err() {
+                        if job_tx
+                            .send((seq, request.to_owned(), Instant::now()))
+                            .is_err()
+                        {
                             break; // workers exited (writer died first)
                         }
                         seq += 1;

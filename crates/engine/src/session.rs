@@ -34,6 +34,7 @@ use cq_hypergraph::{
     hypertree_width_exact, hypertree_width_upper_bound, treewidth_exact, treewidth_upper_bound,
 };
 use cq_relation::{Database, FdSet};
+use cq_telemetry::phase;
 use std::cell::{Cell, OnceCell};
 use std::sync::Arc;
 
@@ -277,6 +278,7 @@ impl AnalysisSession {
     /// The chase of `Q` under the declared dependencies (Fact 2.4).
     pub fn chase_result(&self) -> &ChaseResult {
         self.chase.get_or_init(|| {
+            let _p = phase("session.chase", "cq_session_chase_micros");
             bump(&self.counters.chase);
             chase(&self.query, &self.fds)
         })
@@ -322,23 +324,27 @@ impl AnalysisSession {
         self.bound
             .get_or_init(|| {
                 let trace = self.removal_trace()?;
-                let cn = match &self.cache {
-                    Some(cache) => {
-                        let (cn, hit) = cache.color_number(trace.result());
-                        if hit {
-                            bump(&self.counters.cache_hits);
-                        } else {
-                            bump(&self.counters.cache_misses);
-                            bump(&self.counters.color_lp);
-                            self.counters.note_lp(&cn.lp_stats);
+                let _p = phase("session.size_bound", "cq_session_size_bound_micros");
+                let cn = {
+                    let _lp = phase("session.coloring_lp", "cq_session_coloring_lp_micros");
+                    match &self.cache {
+                        Some(cache) => {
+                            let (cn, hit) = cache.color_number(trace.result());
+                            if hit {
+                                bump(&self.counters.cache_hits);
+                            } else {
+                                bump(&self.counters.cache_misses);
+                                bump(&self.counters.color_lp);
+                                self.counters.note_lp(&cn.lp_stats);
+                            }
+                            cn
                         }
-                        cn
-                    }
-                    None => {
-                        bump(&self.counters.color_lp);
-                        let cn = color_number_lp(trace.result());
-                        self.counters.note_lp(&cn.lp_stats);
-                        cn
+                        None => {
+                            bump(&self.counters.color_lp);
+                            let cn = color_number_lp(trace.result());
+                            self.counters.note_lp(&cn.lp_stats);
+                            cn
+                        }
                     }
                 };
                 let coloring = pull_back_coloring(trace, &cn.coloring);
@@ -362,6 +368,7 @@ impl AnalysisSession {
         self.treewidth
             .get_or_init(|| {
                 let trace = self.removal_trace()?;
+                let _p = phase("session.treewidth", "cq_session_treewidth_micros");
                 bump(&self.counters.treewidth);
                 Some(treewidth_preservation_no_fds(trace.result()))
             })
@@ -389,6 +396,7 @@ impl AnalysisSession {
     /// bound beyond it; the `*_exact` flags say which was computed.
     pub fn query_widths(&self) -> &QueryWidths {
         self.widths.get_or_init(|| {
+            let _p = phase("session.hypertree", "cq_session_hypertree_micros");
             bump(&self.counters.width);
             let n = self.query.num_vars();
             let h = self.query.hypergraph();
@@ -422,6 +430,7 @@ impl AnalysisSession {
                 if chased.num_vars() > ENTROPY_COLOR_VAR_CAP {
                     return None;
                 }
+                let _p = phase("session.entropy", "cq_session_entropy_micros");
                 bump(&self.counters.entropy_lp);
                 let (value, stats) =
                     color_number_entropy_lp_with_stats(chased, self.variable_fds());
@@ -441,6 +450,7 @@ impl AnalysisSession {
                 if chased.num_vars() > ENTROPY_BOUND_VAR_CAP {
                     return None;
                 }
+                let _p = phase("session.entropy", "cq_session_entropy_micros");
                 bump(&self.counters.entropy_lp);
                 let (value, stats) = entropy_upper_bound_with_stats(chased, self.variable_fds());
                 self.counters.note_lp(&stats);

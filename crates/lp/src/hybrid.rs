@@ -32,34 +32,49 @@ use crate::simplex::{LpSolution, LpStatus, PivotRule};
 use crate::solver::SolverKind;
 use crate::{float::FloatOutcome, float::FloatSimplex, LinearProgram, Objective};
 use cq_arith::Rational;
+use cq_telemetry::{phase, Metrics, Span};
 
 /// Solves `lp` with the float-first hybrid. See the module docs for the
 /// verification contract; see [`crate::solver::Solver::Auto`] for when
 /// this engine is selected automatically.
+///
+/// Each phase is a telemetry span (`lp.canonicalize`,
+/// `lp.float_propose`, `lp.exact_verify`, `lp.exact_fallback`) with an
+/// always-on latency histogram — the `CQ_TRACE=stderr` replacement for
+/// the retired `CQ_HYBRID_TRACE` eprintln profile.
 pub fn solve_hybrid(lp: &LinearProgram, rule: PivotRule) -> LpSolution {
-    let trace = std::env::var("CQ_HYBRID_TRACE").is_ok();
-    let t0 = std::time::Instant::now();
-    let ex = Revised::new(lp);
-    if trace {
-        eprintln!("canonicalize: {:?}", t0.elapsed());
-    }
-    let t1 = std::time::Instant::now();
-    let (outcome, float_pivots) = FloatSimplex::new(&ex).run(rule);
-    if trace {
-        eprintln!("float phase: {:?} ({float_pivots} pivots)", t1.elapsed());
-    }
+    let _hybrid = Span::enter("lp.solve_hybrid");
+    let ex = {
+        let _p = phase("lp.canonicalize", "cq_lp_canonicalize_micros");
+        Revised::new(lp)
+    };
+    let (outcome, float_pivots) = {
+        let _p = phase("lp.float_propose", "cq_lp_float_propose_micros");
+        FloatSimplex::new(&ex).run(rule)
+    };
+    Metrics::global()
+        .histogram("cq_lp_float_pivots")
+        .observe(float_pivots as u64);
     if let FloatOutcome::Optimal { basis } = &outcome {
-        let t2 = std::time::Instant::now();
-        let sol = verify_basis(&ex, basis, float_pivots);
-        if trace {
-            eprintln!("verify: {:?} (ok={})", t2.elapsed(), sol.is_some());
-        }
+        let sol = {
+            let _p = phase("lp.exact_verify", "cq_lp_exact_verify_micros");
+            verify_basis(&ex, basis, float_pivots)
+        };
         if let Some(solution) = sol {
+            Metrics::global()
+                .counter("cq_lp_float_verified_total")
+                .inc();
             return solution;
         }
     }
     // Fallback: full exact solve on the state we already canonicalized.
-    let mut solution = ex.run(rule);
+    let mut solution = {
+        let _p = phase("lp.exact_fallback", "cq_lp_exact_fallback_micros");
+        ex.run(rule)
+    };
+    Metrics::global()
+        .counter("cq_lp_exact_fallbacks_total")
+        .inc();
     solution.stats.solver = SolverKind::HybridFloat;
     solution.stats.float_pivots = float_pivots;
     solution.stats.exact_fallbacks = 1;

@@ -165,11 +165,21 @@ pub(crate) fn constraint_nonzeros(lp: &LinearProgram) -> usize {
 /// engine's recommended default (Bland's guarantee still backstops
 /// degenerate stretches).
 pub fn solve_lp(lp: &LinearProgram, solver: Solver, rule: PivotRule) -> LpSolution {
-    match solver.resolve(lp) {
+    let solution = match solver.resolve(lp) {
         SolverKind::DenseTableau => crate::simplex::solve_with(lp, rule),
         SolverKind::RevisedSparse => crate::revised::solve_revised(lp, rule),
         SolverKind::HybridFloat => crate::hybrid::solve_hybrid(lp, rule),
-    }
+    };
+    // Per-solve pivot distribution, split by engine (the hybrid's float
+    // phase additionally records `cq_lp_float_pivots` at its call site).
+    cq_telemetry::Metrics::global()
+        .histogram(match solution.stats.solver {
+            SolverKind::DenseTableau => "cq_lp_dense_pivots",
+            SolverKind::RevisedSparse => "cq_lp_sparse_pivots",
+            SolverKind::HybridFloat => "cq_lp_hybrid_exact_pivots",
+        })
+        .observe(solution.stats.pivots as u64);
+    solution
 }
 
 /// Solves `lp` with the chosen engine under that engine's default pivot

@@ -1,0 +1,424 @@
+//! The metrics registry: counters, gauges, log₂ histograms.
+//!
+//! Everything here is lock-free on the record path (relaxed atomics;
+//! the registry's `RwLock` is only taken to look a metric up by name,
+//! and hot call sites hold the returned `Arc` instead). Snapshots are
+//! taken metric-by-metric without stopping writers, so a snapshot under
+//! concurrent recording is a consistent-enough point-in-time view: each
+//! histogram's count is derived from its bucket array, never from a
+//! second counter that could disagree with it.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Number of histogram buckets: one per power-of-two magnitude of a
+/// `u64` value, plus bucket 0 for the value 0 itself.
+pub const BUCKETS: usize = 65;
+
+/// The bucket a value lands in: 0 for 0, otherwise `⌊log₂ v⌋ + 1` — so
+/// bucket `i ≥ 1` holds the half-open magnitude class `[2^(i-1), 2^i)`.
+pub fn bucket_index(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// The largest value bucket `i` can hold (the `le` bound of the
+/// exposition format): 0, 1, 3, 7, …, `u64::MAX`.
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A monotonically increasing `u64` counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed gauge (current level of something: requests in flight,
+/// resident cache entries).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A log₂-bucketed histogram of `u64` observations (latencies in
+/// microseconds, pivot counts). 65 buckets cover the full `u64` range,
+/// so recording never clamps; the observation sum saturates at
+/// `u64::MAX` instead of wrapping.
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.snapshot();
+        f.debug_struct("Histogram")
+            .field("count", &snap.count)
+            .field("sum", &snap.sum)
+            .finish()
+    }
+}
+
+impl Histogram {
+    pub fn observe(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        // Saturating add: a CAS loop, but contention is per-metric and
+        // the histograms record phases that each cost far more than one
+        // retry ever will.
+        let _ = self
+            .sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                Some(s.saturating_add(v))
+            });
+    }
+
+    /// Total observations (derived from the buckets, so it is always
+    /// consistent with the per-bucket counts a quantile walks).
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<(usize, u64)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some((i, n))
+            })
+            .collect();
+        let count = buckets.iter().map(|(_, n)| n).sum();
+        HistogramSnapshot {
+            count,
+            sum: self.sum(),
+            p50: quantile_from_buckets(&buckets, count, 50),
+            p95: quantile_from_buckets(&buckets, count, 95),
+            p99: quantile_from_buckets(&buckets, count, 99),
+            buckets,
+        }
+    }
+}
+
+/// The `p`-th percentile of a bucketed distribution, reported as the
+/// upper bound of the bucket holding the rank-`⌈count·p/100⌉`
+/// observation (an upper estimate — exact for values that are bucket
+/// bounds). `buckets` is `(index, count)` pairs in index order; an
+/// empty distribution reports 0.
+pub fn quantile_from_buckets(buckets: &[(usize, u64)], count: u64, p: u64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let rank = ((count as u128 * p as u128).div_ceil(100) as u64).max(1);
+    let mut cumulative = 0u64;
+    for &(i, n) in buckets {
+        cumulative = cumulative.saturating_add(n);
+        if cumulative >= rank {
+            return bucket_upper_bound(i);
+        }
+    }
+    bucket_upper_bound(BUCKETS - 1)
+}
+
+/// Point-in-time summary of one [`Histogram`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub p50: u64,
+    pub p95: u64,
+    pub p99: u64,
+    /// `(bucket index, observations)` pairs, nonzero buckets only, in
+    /// index order (non-cumulative; the exposition renderer cumulates).
+    pub buckets: Vec<(usize, u64)>,
+}
+
+/// Point-in-time view of a whole [`Metrics`] registry, name-sorted
+/// (the registry stores metrics in `BTreeMap`s, so iteration order —
+/// and therefore every rendering — is deterministic).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, i64)>,
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+/// A named registry of counters, gauges and histograms.
+///
+/// `Sync` and cheap to record into from any thread. Layers hold the
+/// `Arc` a lookup returns when the call site is hot (cache shard
+/// lookups); colder sites (session phases) look up by name each time —
+/// a read-lock and a `BTreeMap` probe, no allocation on the hit path.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+/// The process-wide registry every wired layer records into.
+static GLOBAL: OnceLock<Metrics> = OnceLock::new();
+
+fn get_or_insert<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    if let Some(v) = map.read().expect("metrics lock").get(name) {
+        return Arc::clone(v);
+    }
+    let mut w = map.write().expect("metrics lock");
+    Arc::clone(w.entry(name.to_owned()).or_default())
+}
+
+impl Metrics {
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// The process-wide registry (created on first use).
+    pub fn global() -> &'static Metrics {
+        GLOBAL.get_or_init(Metrics::default)
+    }
+
+    /// The counter registered under `name` (registering it if new).
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_insert(&self.counters, name)
+    }
+
+    /// The gauge registered under `name` (registering it if new).
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_insert(&self.gauges, name)
+    }
+
+    /// The histogram registered under `name` (registering it if new).
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        get_or_insert(&self.histograms, name)
+    }
+
+    /// Name-sorted snapshot of every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .read()
+                .expect("metrics lock")
+                .iter()
+                .map(|(name, c)| (name.clone(), c.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .expect("metrics lock")
+                .iter()
+                .map(|(name, g)| (name.clone(), g.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .expect("metrics lock")
+                .iter()
+                .map(|(name, h)| (name.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_indexing_covers_u64() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(2), 3);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+    }
+
+    /// Every power of two opens a fresh bucket: `2^k - 1` and `2^k`
+    /// always land apart, and each bucket's bound is its own maximum.
+    #[test]
+    fn bucket_boundaries_are_exact() {
+        for k in 1..64u32 {
+            let boundary = 1u64 << k;
+            assert_eq!(
+                bucket_index(boundary - 1) + 1,
+                bucket_index(boundary),
+                "2^{k}"
+            );
+            assert_eq!(bucket_upper_bound(bucket_index(boundary) - 1), boundary - 1);
+        }
+        // A value equal to a bucket's upper bound stays in that bucket,
+        // so its percentile estimate is exact.
+        let h = Histogram::default();
+        h.observe(255);
+        assert_eq!(h.snapshot().p50, 255);
+    }
+
+    #[test]
+    fn zero_observations_summarize_to_zero() {
+        let h = Histogram::default();
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.sum, 0);
+        assert_eq!((snap.p50, snap.p95, snap.p99), (0, 0, 0));
+        assert!(snap.buckets.is_empty());
+    }
+
+    #[test]
+    fn single_observation_is_every_percentile() {
+        let h = Histogram::default();
+        h.observe(300);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.sum, 300);
+        // 300 ∈ [256, 512): the summary reports the bucket bound.
+        assert_eq!((snap.p50, snap.p95, snap.p99), (511, 511, 511));
+        assert_eq!(snap.buckets, vec![(bucket_index(300), 1)]);
+    }
+
+    #[test]
+    fn u64_max_scale_values_saturate_the_sum() {
+        let h = Histogram::default();
+        h.observe(u64::MAX);
+        h.observe(u64::MAX);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.sum, u64::MAX, "sum saturates instead of wrapping");
+        assert_eq!(snap.p99, u64::MAX);
+        assert_eq!(snap.buckets, vec![(64, 2)]);
+    }
+
+    #[test]
+    fn percentiles_walk_the_distribution() {
+        let h = Histogram::default();
+        // 90 small observations, 10 large: p50 small, p95/p99 large.
+        for _ in 0..90 {
+            h.observe(10);
+        }
+        for _ in 0..10 {
+            h.observe(100_000);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 100);
+        assert_eq!(snap.p50, bucket_upper_bound(bucket_index(10)));
+        assert_eq!(snap.p95, bucket_upper_bound(bucket_index(100_000)));
+        assert_eq!(snap.p99, snap.p95);
+    }
+
+    #[test]
+    fn zero_values_count_in_bucket_zero() {
+        let h = Histogram::default();
+        h.observe(0);
+        h.observe(0);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.sum, 0);
+        assert_eq!(snap.p50, 0);
+        assert_eq!(snap.buckets, vec![(0, 2)]);
+    }
+
+    #[test]
+    fn registry_reuses_and_sorts_names() {
+        let m = Metrics::new();
+        m.counter("b_total").add(2);
+        m.counter("a_total").inc();
+        m.counter("b_total").inc();
+        m.gauge("depth").set(7);
+        m.histogram("lat_micros").observe(5);
+        let snap = m.snapshot();
+        assert_eq!(
+            snap.counters,
+            vec![("a_total".to_owned(), 1), ("b_total".to_owned(), 3)]
+        );
+        assert_eq!(snap.gauges, vec![("depth".to_owned(), 7)]);
+        assert_eq!(snap.histograms[0].0, "lat_micros");
+        assert_eq!(snap.histograms[0].1.count, 1);
+    }
+
+    #[test]
+    fn gauges_go_both_ways() {
+        let g = Gauge::default();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.dec();
+        g.dec();
+        assert_eq!(g.get(), -1);
+        g.set(42);
+        assert_eq!(g.get(), 42);
+    }
+
+    /// The concurrency contract: however N threads interleave their
+    /// observations, the final count and sum are exact — the histogram
+    /// loses nothing and double-counts nothing.
+    #[test]
+    fn concurrent_recording_is_exact() {
+        let h = std::sync::Arc::new(Histogram::default());
+        let per_thread = 500u64;
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let h = std::sync::Arc::clone(&h);
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        h.observe(t * per_thread + i);
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 8 * per_thread);
+        let expected: u64 = (0..8 * per_thread).sum();
+        assert_eq!(snap.sum, expected);
+    }
+}

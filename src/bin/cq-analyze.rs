@@ -16,6 +16,8 @@
 //! cq-analyze query.cq --witness 4  # also build & measure the M=4 worst case
 //! cq-analyze query.cq --db data.db # evaluate + check bounds on real data
 //! cq-analyze a.cq b.cq --no-cache  # disable the cross-query LP cache
+//! cq-analyze query.cq --trace      # NDJSON span events on stderr
+//!                                  #  (CQ_TRACE=PATH routes to a file)
 //! ```
 //!
 //! By default a shared [`cq_engine::LpCache`] sits in front of the
@@ -28,8 +30,8 @@ use std::io::Read;
 use std::process::ExitCode;
 use std::sync::Arc;
 
-const USAGE: &str =
-    "usage: cq-analyze <file|-> [<file>...] [--json] [--witness M] [--db FILE] [--no-cache]";
+const USAGE: &str = "usage: cq-analyze <file|-> [<file>...] [--json] [--witness M] [--db FILE] \
+                     [--no-cache] [--trace]";
 
 struct Args {
     paths: Vec<String>,
@@ -37,6 +39,7 @@ struct Args {
     witness_m: Option<usize>,
     db_path: Option<String>,
     no_cache: bool,
+    trace: bool,
 }
 
 fn main() -> ExitCode {
@@ -57,6 +60,16 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    // Span NDJSON goes to stderr (or CQ_TRACE=PATH), never stdout: the
+    // --json one-line-per-input contract stays intact under --trace.
+    match cq_telemetry::init_tracing(args.trace) {
+        Ok(_) => {}
+        Err(e) => {
+            eprintln!("cq-analyze: cannot open trace sink: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
 
     let mut inputs: Vec<(String, String)> = Vec::with_capacity(args.paths.len());
     for path in &args.paths {
@@ -156,11 +169,13 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
     let mut witness_m = None;
     let mut db_path = None;
     let mut no_cache = false;
+    let mut trace = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--json" => json = true,
             "--no-cache" => no_cache = true,
+            "--trace" => trace = true,
             "--witness" => {
                 i += 1;
                 let m: usize = args
@@ -193,6 +208,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         witness_m,
         db_path,
         no_cache,
+        trace,
     })
 }
 

@@ -17,6 +17,9 @@
 //! cq-cluster *.cq --witness 3       # per-query worst-case witnesses
 //! cq-cluster *.cq --plan roundrobin # ignore structure when sharding
 //! cq-cluster *.cq --chunk 16        # queries per batch request
+//! cq-cluster *.cq --trace           # propagate trace ids to workers
+//!                                   #  (CQ_TRACE=PATH gives each
+//!                                   #  spawned worker PATH.w<i>)
 //! ```
 //!
 //! With neither `--worker` nor `--spawn`, two local workers are
@@ -37,10 +40,11 @@ struct Args {
     witness_m: Option<usize>,
     chunk: Option<usize>,
     plan: PlanMode,
+    trace: bool,
 }
 
 const USAGE: &str = "usage: cq-cluster <file|-> [<file>...] [--worker ADDR]... [--spawn N] \
-                     [--json] [--witness M] [--chunk N] [--plan key|roundrobin]";
+                     [--json] [--witness M] [--chunk N] [--plan key|roundrobin] [--trace]";
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -60,6 +64,17 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    // The client's own sink: worker spans stay on the workers (each
+    // spawned child gets its own CQ_TRACE file — see SpawnedWorkers);
+    // what lands here is trace-id minting and any client-side phases.
+    match cq_telemetry::init_tracing(args.trace) {
+        Ok(_) => {}
+        Err(e) => {
+            eprintln!("cq-cluster: cannot open trace sink: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
 
     let mut inputs: Vec<(String, String)> = Vec::with_capacity(args.paths.len());
     for path in &args.paths {
@@ -90,7 +105,9 @@ fn main() -> ExitCode {
         }
     }
 
-    let mut client = ClusterClient::new(addrs).with_plan(args.plan);
+    let mut client = ClusterClient::new(addrs)
+        .with_plan(args.plan)
+        .with_trace(args.trace);
     if let Some(chunk) = args.chunk {
         client = client.with_chunk(chunk);
     }
@@ -181,6 +198,7 @@ fn render(run: &ClusterRun, json: bool) -> bool {
 /// `cluster` object with the distribution-level accounting. Schema
 /// locked by `tests/cluster.rs` against the README.
 fn summary_json(run: &ClusterRun) -> Json {
+    let clamp = |v: u64| Json::Int(i64::try_from(v).unwrap_or(i64::MAX));
     let per_worker: Vec<Json> = run
         .workers
         .iter()
@@ -262,6 +280,22 @@ fn summary_json(run: &ClusterRun) -> Json {
                         ),
                     ]),
                 ),
+                (
+                    "metrics",
+                    obj([
+                        ("requests", clamp(run.metrics.requests)),
+                        (
+                            "execute_micros",
+                            obj([
+                                ("count", clamp(run.metrics.execute_count())),
+                                ("sum", clamp(run.metrics.execute_sum)),
+                                ("p50", clamp(run.metrics.execute_quantile(50))),
+                                ("p95", clamp(run.metrics.execute_quantile(95))),
+                                ("p99", clamp(run.metrics.execute_quantile(99))),
+                            ]),
+                        ),
+                    ]),
+                ),
                 ("per_worker", Json::Arr(per_worker)),
             ]),
         ),
@@ -287,9 +321,27 @@ impl SpawnedWorkers {
             .ok_or_else(|| {
                 std::io::Error::other("cq-serve not found next to the cq-cluster binary")
             })?;
+        // A CQ_TRACE *path* must not inherit as-is: every child would
+        // File::create the same file and clobber the others. Each worker
+        // gets its own `<path>.w<i>` instead ("stderr" inherits fine —
+        // the spawner drains child stderr, so those spans are discarded
+        // by design).
+        let trace_base = std::env::var("CQ_TRACE")
+            .ok()
+            .filter(|v| !v.is_empty() && v != "stderr");
         let mut workers = SpawnedWorkers::default();
-        for _ in 0..n.max(1) {
-            let child = ServeChild::spawn(&serve, &[])?;
+        for i in 0..n.max(1) {
+            let child = match &trace_base {
+                Some(base) => {
+                    let per_worker = format!("{base}.w{i}");
+                    ServeChild::spawn_with_env(
+                        &serve,
+                        &[],
+                        &[("CQ_TRACE", Some(per_worker.as_str()))],
+                    )?
+                }
+                None => ServeChild::spawn(&serve, &[])?,
+            };
             workers.addrs.push(child.addr().clone());
             workers.children.push(child);
         }
@@ -312,10 +364,12 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
     let mut witness_m = None;
     let mut chunk = None;
     let mut plan = PlanMode::ByCanonicalKey;
+    let mut trace = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--json" => json = true,
+            "--trace" => trace = true,
             "--worker" => {
                 i += 1;
                 let addr = args.get(i).ok_or("--worker needs an address")?;
@@ -386,6 +440,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         witness_m,
         chunk,
         plan,
+        trace,
     })
 }
 

@@ -47,10 +47,15 @@ const USAGE: &str = "usage: cq-lab <run|report> [options]
       timing regressions beyond X times the baseline, or on any row
       whose speedup column falls below --min-speedup.
 
+  Both subcommands also accept --trace: NDJSON span events on stderr
+  (CQ_TRACE=PATH routes them to a file instead).
+
   cq-lab --help | --version";
 
 fn main() -> ExitCode {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    let trace = argv.iter().any(|a| a == "--trace");
+    argv.retain(|a| a != "--trace");
     if let Some(first) = argv.first() {
         match first.as_str() {
             "--help" | "-h" => {
@@ -63,6 +68,10 @@ fn main() -> ExitCode {
             }
             _ => {}
         }
+    }
+    if let Err(e) = cq_telemetry::init_tracing(trace) {
+        eprintln!("cq-lab: cannot open trace sink: {e}");
+        return ExitCode::FAILURE;
     }
     let result = match argv.first().map(String::as_str) {
         Some("run") => cmd_run(&argv[1..]),

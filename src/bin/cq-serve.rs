@@ -1,7 +1,8 @@
 //! `cq-serve` — the long-lived analysis daemon.
 //!
 //! Speaks the newline-delimited JSON protocol of `docs/PROTOCOL.md`
-//! (analyze / batch / stats / cache requests, one response line each)
+//! (analyze / batch / stats / cache / metrics requests, one response
+//! line each)
 //! with every request routed through one process-wide warm
 //! [`cq_engine::LpCache`], so repeated and structurally isomorphic
 //! queries skip their LP solves entirely.
@@ -16,6 +17,11 @@
 //!                                   #  snapshot it on shutdown
 //! cq-serve --threads 4              # cap the per-connection worker pool
 //! cq-serve --no-cache               # cold runs (benchmark baseline)
+//! cq-serve --trace                  # NDJSON span events on stderr
+//!                                   #  (CQ_TRACE=PATH routes to a file)
+//! cq-serve --metrics-file m.prom    # exposition dump on shutdown and
+//!                                   #  on every `metrics` request
+//! cq-serve --slow-ms 50             # log span trees of slow requests
 //! ```
 //!
 //! In socket/TCP mode each accepted connection gets its own thread over
@@ -60,7 +66,8 @@ fn install_signal_handlers() {
 }
 
 const USAGE: &str = "usage: cq-serve [--socket PATH | --tcp HOST:PORT] [--threads N] \
-                     [--no-cache] [--cache-file PATH]";
+                     [--no-cache] [--cache-file PATH] [--trace] [--metrics-file PATH] \
+                     [--slow-ms N]";
 
 struct Args {
     socket: Option<String>,
@@ -68,6 +75,9 @@ struct Args {
     threads: Option<usize>,
     no_cache: bool,
     cache_file: Option<String>,
+    trace: bool,
+    metrics_file: Option<String>,
+    slow_ms: Option<u64>,
 }
 
 fn main() -> ExitCode {
@@ -88,6 +98,16 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    // Install the trace sink before the engine exists so bring-up spans
+    // (cache loading, first requests) are captured too.
+    match cq_telemetry::init_tracing(args.trace) {
+        Ok(_) => {}
+        Err(e) => {
+            eprintln!("cq-serve: cannot open trace sink: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
 
     let mut engine = ServeEngine::new();
     if let Some(threads) = args.threads {
@@ -115,6 +135,12 @@ fn main() -> ExitCode {
             }
         }
     }
+    if let Some(path) = &args.metrics_file {
+        engine = engine.with_metrics_file(path);
+    }
+    if let Some(ms) = args.slow_ms {
+        engine = engine.with_slow_millis(ms);
+    }
     install_signal_handlers();
 
     let served = match (&args.socket, &args.tcp) {
@@ -133,6 +159,18 @@ fn main() -> ExitCode {
                 args.cache_file.as_deref().unwrap_or("?")
             ),
             Err(e) => eprintln!("cq-serve: cache snapshot failed: {e}"),
+        }
+    }
+    // The final metrics dump rides the same graceful-exit path: after
+    // the serve loop returns, every in-flight request has drained, so
+    // the exposition file includes them.
+    if let Some(result) = engine.dump_metrics_file() {
+        match result {
+            Ok(()) => eprintln!(
+                "cq-serve: metrics written to {}",
+                args.metrics_file.as_deref().unwrap_or("?")
+            ),
+            Err(e) => eprintln!("cq-serve: metrics dump failed: {e}"),
         }
     }
     match served {
@@ -352,6 +390,9 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
     let mut threads = None;
     let mut no_cache = false;
     let mut cache_file = None;
+    let mut trace = false;
+    let mut metrics_file = None;
+    let mut slow_ms = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -380,6 +421,24 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                 i += 1;
                 cache_file = Some(args.get(i).ok_or("--cache-file needs a path")?.to_string());
             }
+            "--trace" => trace = true,
+            "--metrics-file" => {
+                i += 1;
+                metrics_file = Some(
+                    args.get(i)
+                        .ok_or("--metrics-file needs a path")?
+                        .to_string(),
+                );
+            }
+            "--slow-ms" => {
+                i += 1;
+                let ms: u64 = args
+                    .get(i)
+                    .ok_or("--slow-ms needs a value")?
+                    .parse()
+                    .map_err(|_| "--slow-ms needs an integer".to_string())?;
+                slow_ms = Some(ms);
+            }
             other => return Err(format!("unexpected argument {other}")),
         }
         i += 1;
@@ -396,5 +455,8 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         threads,
         no_cache,
         cache_file,
+        trace,
+        metrics_file,
+        slow_ms,
     })
 }

@@ -15,6 +15,8 @@
 //! - [`hypergraph`] — graphs, tree decompositions, treewidth;
 //! - [`lp`] — exact rational simplex;
 //! - [`arith`] — big integers and rationals;
+//! - [`telemetry`] — span tracing, phase-latency histograms and the
+//!   Prometheus-style exposition surface (see `docs/TELEMETRY.md`);
 //! - [`util`] — bitsets, hashing, subset enumeration.
 //!
 //! See the `examples/` directory for runnable walkthroughs and
@@ -28,6 +30,7 @@ pub use cq_engine as engine;
 pub use cq_hypergraph as hypergraph;
 pub use cq_lp as lp;
 pub use cq_relation as relation;
+pub use cq_telemetry as telemetry;
 pub use cq_util as util;
 
 pub use cq_core::*;

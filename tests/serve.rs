@@ -45,19 +45,26 @@ fn run_session(args: &[&str], requests: &[String]) -> (Vec<String>, bool) {
     )
 }
 
-/// Zeroes every `"micros":N` occurrence — the one field the protocol
-/// documents as nondeterministic.
-fn normalize_micros(line: &str) -> String {
+/// Zeroes every occurrence of `key:N` for a numeric field.
+fn zero_field(line: &str, key: &str) -> String {
     let mut out = String::with_capacity(line.len());
     let mut rest = line;
-    while let Some(at) = rest.find("\"micros\":") {
-        let digits_from = at + "\"micros\":".len();
+    while let Some(at) = rest.find(key) {
+        let digits_from = at + key.len();
         out.push_str(&rest[..digits_from]);
         out.push('0');
         rest = rest[digits_from..].trim_start_matches(|c: char| c.is_ascii_digit());
     }
     out.push_str(rest);
     out
+}
+
+/// Zeroes every `"micros":N` and `"uptime_micros":N` occurrence — the
+/// two wall-clock fields the protocol documents as nondeterministic.
+/// (`"micros":` is matched with its leading quote, so it does not touch
+/// `"uptime_micros":` — that one is normalized separately.)
+fn normalize_micros(line: &str) -> String {
+    zero_field(&zero_field(line, "\"micros\":"), "\"uptime_micros\":")
 }
 
 fn parse(line: &str) -> Json {
@@ -109,7 +116,8 @@ fn protocol_doc_examples_match_daemon_output() {
             normalize_micros(&actual.replace(real, DOC_SNAPSHOT_PATH)),
             normalize_micros(documented),
             "response #{i} drifted from docs/PROTOCOL.md — update the doc \
-             session (and keep `micros` as the only nondeterministic field)"
+             session (and keep `micros`/`uptime_micros` as the only \
+             nondeterministic fields)"
         );
     }
 }
@@ -429,6 +437,98 @@ fn signal_and_await_clean_exit(child: &mut Child, signum: &str, what: &str) {
         status.success(),
         "SIG{signum} must be a clean exit ({what}), got {status:?}"
     );
+}
+
+/// SIGTERM with a request mid-execution: the in-flight request drains
+/// to a complete response, the exit is clean, and the final
+/// `--metrics-file` dump counts the drained request — the shutdown
+/// sequencing (serve loop joins, *then* the exposition is written)
+/// proven end to end.
+#[test]
+fn sigterm_drains_in_flight_requests_into_the_metrics_dump() {
+    let metrics = std::env::temp_dir().join(format!("cq_serve_drainm_{}.prom", std::process::id()));
+    std::fs::remove_file(&metrics).ok();
+    let mut child = daemon(&[
+        "--threads",
+        "1",
+        "--metrics-file",
+        metrics.to_str().unwrap(),
+    ]);
+    let mut stdin = child.stdin.take().unwrap();
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+
+    // Request 1 round-trips first, so the daemon is fully up and the
+    // stdin pump demonstrably delivering.
+    stdin
+        .write_all(b"{\"id\":1,\"cmd\":\"analyze\",\"query\":\"Q(X,Y) :- R(X,Y)\"}\n")
+        .unwrap();
+    let mut response = String::new();
+    stdout.read_line(&mut response).unwrap();
+    assert!(response.contains("\"ok\":true"), "{response}");
+
+    // Request 2 is a batch big enough to still be executing when the
+    // signal lands (and correct either way: the assertion below is
+    // about completeness, not timing).
+    let entries: Vec<String> = (0..24)
+        .map(|i| format!(r#"{{"query":"Q{i}(X,Y,Z) :- A{i}(X,Y), B{i}(Y,Z), C{i}(Z,X)"}}"#))
+        .collect();
+    let batch = format!(
+        r#"{{"id":2,"cmd":"batch","queries":[{}]}}"#,
+        entries.join(",")
+    );
+    stdin.write_all(batch.as_bytes()).unwrap();
+    stdin.write_all(b"\n").unwrap();
+    stdin.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(30)); // let the pump hand it over
+    let killed = Command::new("sh")
+        .args(["-c", &format!("kill -TERM {}", child.id())])
+        .status()
+        .unwrap();
+    assert!(killed.success());
+
+    // The in-flight batch completes: its full response arrives even
+    // though the signal beat it.
+    let mut response = String::new();
+    stdout.read_line(&mut response).unwrap();
+    let resp = parse(response.trim_end());
+    assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "{response}");
+    assert_eq!(
+        resp.get("reports")
+            .and_then(Json::as_array)
+            .map(<[Json]>::len),
+        Some(24),
+        "every batch entry drained"
+    );
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let status = loop {
+        if let Some(status) = child.try_wait().unwrap() {
+            break status;
+        }
+        assert!(Instant::now() < deadline, "daemon ignored SIGTERM");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(status.success(), "SIGTERM exits cleanly, got {status:?}");
+    drop(stdin);
+
+    // The final dump was written after the drain, so it counts both
+    // requests — and it round-trips through the strict expo parser.
+    let text = std::fs::read_to_string(&metrics).expect("metrics file written on SIGTERM");
+    let snapshot = cq_telemetry::expo::parse(&text)
+        .unwrap_or_else(|e| panic!("exposition must parse ({e}):\n{text}"));
+    let requests = snapshot
+        .counters
+        .iter()
+        .find(|(name, _)| name == "cq_serve_requests_total")
+        .map(|(_, v)| *v);
+    assert_eq!(requests, Some(2), "both requests in the final dump");
+    let execute = snapshot
+        .histograms
+        .iter()
+        .find(|(name, _)| name == "cq_serve_execute_micros")
+        .map(|(_, h)| h.count);
+    assert_eq!(execute, Some(2), "histogram count matches the counter");
+    std::fs::remove_file(&metrics).ok();
 }
 
 /// SIGINT takes the same graceful path as SIGTERM in pipe mode — the
