@@ -71,7 +71,21 @@ impl Binaries {
 /// contract: anything that goes wrong is encoded in the row's
 /// `outcome` / `error` fields rather than thrown at the caller.
 pub fn run_task(task: &Task, bins: &Binaries) -> Json {
-    match try_run(task, bins) {
+    run_task_traced(task, bins, None)
+}
+
+/// [`run_task`] with explicit control over where the task's trace
+/// files land. When the harness itself is traced (`CQ_TRACE` set, or
+/// `--trace`), every child is traced too: the analyze/cluster child
+/// writes `<dir>/<task_id>.trace.ndjson` and each spawned `cq-serve`
+/// worker `<that>.w<i>` — the cluster scatter convention, so
+/// `cq-trace assemble` consumes them as-is. The files are assembled
+/// after the run and the row gains a top-level `phases` object
+/// (per-phase `total_micros` / `self_micros`). With `trace_dir: None`
+/// the files live in the task's scratch dir (gone after the run, the
+/// `phases` already extracted); pass a directory to keep them.
+pub fn run_task_traced(task: &Task, bins: &Binaries, trace_dir: Option<&Path>) -> Json {
+    match try_run(task, bins, trace_dir) {
         Ok(row) => row,
         Err(message) => obj([
             ("task_id", Json::str(&task.id)),
@@ -82,7 +96,7 @@ pub fn run_task(task: &Task, bins: &Binaries) -> Json {
     }
 }
 
-fn try_run(task: &Task, bins: &Binaries) -> Result<Json, String> {
+fn try_run(task: &Task, bins: &Binaries, trace_dir: Option<&Path>) -> Result<Json, String> {
     let programs = task.family.materialize();
     let dir = Workdir::create(&task.id)?;
     let mut paths: Vec<String> = Vec::with_capacity(programs.len());
@@ -92,6 +106,24 @@ fn try_run(task: &Task, bins: &Binaries) -> Result<Json, String> {
         paths.push(path.to_string_lossy().into_owned());
     }
 
+    // Trace children only when the harness itself is traced; per-task
+    // files follow the cluster scatter convention (client file plus
+    // `.w<i>` per worker) so `cq-trace assemble` takes them as-is.
+    let traced = std::env::var_os("CQ_TRACE").is_some() || cq_telemetry::tracing_enabled();
+    let trace_base: Option<PathBuf> = traced.then(|| {
+        trace_dir
+            .unwrap_or(&dir.path)
+            .join(format!("{}.trace.ndjson", task.id))
+    });
+    let worker_traces: Vec<String> = (0..task.workers)
+        .map(|i| {
+            trace_base
+                .as_ref()
+                .map(|base| format!("{}.w{i}", base.display()))
+                .unwrap_or_default()
+        })
+        .collect();
+
     // Spawned cq-serve workers (workers >= 2) carry the variant plan
     // themselves: the engine env var and --no-cache apply where the
     // LPs are actually solved.
@@ -99,9 +131,13 @@ fn try_run(task: &Task, bins: &Binaries) -> Result<Json, String> {
     let mut workers: Vec<ServeChild> = Vec::new();
     if task.workers >= 2 {
         let extra: &[&str] = if task.cache { &[] } else { &["--no-cache"] };
-        for _ in 0..task.workers {
+        for worker_trace in worker_traces.iter().take(task.workers) {
+            let mut child_env: Vec<(&str, Option<&str>)> = vec![env];
+            if trace_base.is_some() {
+                child_env.push(("CQ_TRACE", Some(worker_trace)));
+            }
             workers.push(
-                ServeChild::spawn_with_env(&bins.serve, extra, &[env])
+                ServeChild::spawn_with_env(&bins.serve, extra, &child_env)
                     .map_err(|e| format!("cannot spawn cq-serve worker: {e}"))?,
             );
         }
@@ -124,6 +160,12 @@ fn try_run(task: &Task, bins: &Binaries) -> Result<Json, String> {
     match env.1 {
         Some(value) => command.env(env.0, value),
         None => command.env_remove(env.0),
+    };
+    match &trace_base {
+        // The child writes its own per-task file — never the harness's
+        // shared sink path, which several tasks would interleave.
+        Some(base) => command.env("CQ_TRACE", base),
+        None => command.env_remove("CQ_TRACE"),
     };
 
     let start = Instant::now();
@@ -227,19 +269,55 @@ fn try_run(task: &Task, bins: &Binaries) -> Result<Json, String> {
     } else {
         "success"
     };
-    Ok(obj([
-        ("task_id", Json::str(&task.id)),
-        ("outcome", Json::str(outcome)),
+    let mut row: Vec<(String, Json)> = vec![
+        ("task_id".to_owned(), Json::str(&task.id)),
+        ("outcome".to_owned(), Json::str(outcome)),
         (
-            "objective",
+            "objective".to_owned(),
             obj([
                 ("name", Json::str("wall_secs")),
                 ("value", Json::Float(round3(wall_secs))),
             ]),
         ),
-        ("task", task.identity_json()),
-        ("metrics", Json::Obj(metrics)),
-    ]))
+        ("task".to_owned(), task.identity_json()),
+        ("metrics".to_owned(), Json::Obj(metrics)),
+    ];
+    if let Some(phases) = phases_from_traces(trace_base.as_deref(), task.workers) {
+        row.push(("phases".to_owned(), phases));
+    }
+    Ok(Json::Obj(row))
+}
+
+/// Assembles the task's trace files (client plus `.w<i>` scatter) into
+/// a per-phase `{name: {total_micros, self_micros}}` object. Best
+/// effort on purpose: tracing problems must never fail a measurement,
+/// so missing files or ingestion errors yield `None`, not an error
+/// row (record-level damage is already only warnings inside
+/// `cq_trace`).
+fn phases_from_traces(trace_base: Option<&Path>, workers: usize) -> Option<Json> {
+    let base = trace_base?;
+    let mut files: Vec<PathBuf> = vec![base.to_path_buf()];
+    files.extend((0..workers).map(|i| PathBuf::from(format!("{}.w{i}", base.display()))));
+    files.retain(|p| p.exists());
+    let assembly = cq_trace::assemble(cq_trace::ingest_files(&files).ok()?);
+    let fields: Vec<(String, Json)> = assembly
+        .phases
+        .iter()
+        .map(|p| {
+            (
+                p.name.clone(),
+                obj([
+                    ("total_micros", Json::int(p.total_micros as usize)),
+                    ("self_micros", Json::int(p.self_micros as usize)),
+                ]),
+            )
+        })
+        .collect();
+    if fields.is_empty() {
+        None
+    } else {
+        Some(Json::Obj(fields))
+    }
 }
 
 /// Timing rounded the way the committed trajectory files record it.
@@ -299,6 +377,27 @@ pub fn validate_result(row: &Json) -> Result<(), String> {
             }
         }
     }
+    if let Some(phases) = row.get("phases") {
+        let Json::Obj(entries) = phases else {
+            return Err("\"phases\" must be an object".into());
+        };
+        for (name, stat) in entries {
+            let Json::Obj(fields) = stat else {
+                return Err(format!("phase {name:?} must be an object"));
+            };
+            for (key, value) in fields {
+                match value {
+                    Json::Int(_) | Json::Float(_) => {}
+                    _ => {
+                        return Err(format!(
+                            "phase {name:?} field {key:?} must be a number, got {}",
+                            value.render()
+                        ))
+                    }
+                }
+            }
+        }
+    }
     match row.get("task") {
         Some(Json::Obj(_)) => Ok(()),
         Some(_) => Err("\"task\" must be an object".into()),
@@ -350,6 +449,15 @@ mod tests {
         )
         .unwrap();
         validate_result(&error_row).unwrap();
+        let traced = Json::parse(
+            r#"{"task_id":"t","outcome":"success",
+                "objective":{"name":"wall_secs","value":1.5},
+                "task":{"family":"cycle","k":4},
+                "metrics":{"queries":1},
+                "phases":{"serve.execute":{"total_micros":900,"self_micros":120}}}"#,
+        )
+        .unwrap();
+        validate_result(&traced).unwrap();
     }
 
     #[test]
@@ -380,6 +488,18 @@ mod tests {
                 r#"{"task_id":"t","outcome":"success",
                     "objective":{"name":"x","value":1}}"#,
                 "task",
+            ),
+            (
+                r#"{"task_id":"t","outcome":"success",
+                    "objective":{"name":"x","value":1},
+                    "phases":{"serve.execute":7},"task":{}}"#,
+                "phase",
+            ),
+            (
+                r#"{"task_id":"t","outcome":"success",
+                    "objective":{"name":"x","value":1},
+                    "phases":{"serve.execute":{"total_micros":"fast"}},"task":{}}"#,
+                "number",
             ),
         ] {
             let err = validate_result(&Json::parse(bad).unwrap()).unwrap_err();

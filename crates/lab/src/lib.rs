@@ -27,6 +27,6 @@ pub mod harness;
 pub mod task;
 pub mod trajectory;
 
-pub use harness::{run_task, validate_result, Binaries};
+pub use harness::{run_task, run_task_traced, validate_result, Binaries};
 pub use task::{Engine, Family, Task};
 pub use trajectory::{aggregate, compare, utc_date_string, Comparison, Gate, Trajectory};

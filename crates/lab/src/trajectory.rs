@@ -248,6 +248,12 @@ pub fn aggregate(rows: &[Json]) -> Result<(Vec<Json>, Vec<String>), String> {
                     fields.push((name.to_owned(), Json::Int(v)));
                 }
             }
+            // Traced runs carry per-phase attribution; the object is
+            // skipped by the flat numeric comparison and handled by
+            // the dedicated phase gate instead.
+            if let Some(phases @ Json::Obj(_)) = preferred.get("phases") {
+                fields.push(("phases".to_owned(), phases.clone()));
+            }
         }
         runs.push(Json::Obj(fields));
     }
@@ -272,6 +278,11 @@ pub struct Comparison {
 /// scheduler jitter; a 600 ms solve going to 15 s is a regression).
 pub const NOISE_FLOOR_SECS: f64 = 0.25;
 
+/// The phase-time analogue of [`NOISE_FLOOR_SECS`]: a phase whose
+/// current total is under this many microseconds never trips the
+/// phase gate.
+pub const PHASE_NOISE_FLOOR_MICROS: f64 = 100_000.0;
+
 /// What the regression gate enforces.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Gate {
@@ -283,6 +294,12 @@ pub struct Gate {
     /// the structural successor of the old inline `>= 10x` bench
     /// assert.
     pub min_speedup: Option<f64>,
+    /// Max allowed `current/baseline` ratio on a phase's
+    /// `total_micros` (traced rows' `phases` object), for current
+    /// totals above [`PHASE_NOISE_FLOOR_MICROS`]. This is what turns
+    /// "wall clock regressed 3x" into "lp.exact_verify regressed
+    /// 3.1x".
+    pub phase_threshold: Option<f64>,
 }
 
 /// Compares two trajectories row by row.
@@ -361,6 +378,7 @@ pub fn compare(current: &Trajectory, baseline: &Trajectory, gate: Gate) -> Compa
                 let _ = writeln!(table, "  {key}: {prev} -> {cur}");
             }
         }
+        compare_phases(run, base, &id, gate, &mut table, &mut regressions);
         check_speedup(run, &id, gate, &mut regressions);
     }
     let only_baseline = seen_baseline.iter().filter(|seen| !**seen).count();
@@ -373,15 +391,16 @@ pub fn compare(current: &Trajectory, baseline: &Trajectory, gate: Gate) -> Compa
         table,
         "rows: {matched} matched, {only_current} only-current, {only_baseline} only-baseline"
     );
-    match (gate.threshold, regressions.is_empty()) {
+    let described = describe_gate(gate);
+    match (described, regressions.is_empty()) {
         (None, _) => {
             let _ = writeln!(table, "regression gate: off (no threshold)");
         }
-        (Some(t), true) => {
-            let _ = writeln!(table, "regression gate: pass (threshold {t}x)");
+        (Some(what), true) => {
+            let _ = writeln!(table, "regression gate: pass ({what})");
         }
-        (Some(t), false) => {
-            let _ = writeln!(table, "regression gate: FAIL (threshold {t}x)");
+        (Some(what), false) => {
+            let _ = writeln!(table, "regression gate: FAIL ({what})");
             for r in &regressions {
                 let _ = writeln!(table, "  {r}");
             }
@@ -393,6 +412,64 @@ pub fn compare(current: &Trajectory, baseline: &Trajectory, gate: Gate) -> Compa
         matched,
         only_current,
         only_baseline,
+    }
+}
+
+/// What the gate enforces, as prose — `None` when fully off.
+fn describe_gate(gate: Gate) -> Option<String> {
+    let mut parts: Vec<String> = Vec::new();
+    if let Some(t) = gate.threshold {
+        parts.push(format!("threshold {t}x"));
+    }
+    if let Some(m) = gate.min_speedup {
+        parts.push(format!("min-speedup {m}x"));
+    }
+    if let Some(p) = gate.phase_threshold {
+        parts.push(format!("phase-threshold {p}x"));
+    }
+    if parts.is_empty() {
+        None
+    } else {
+        Some(parts.join(", "))
+    }
+}
+
+/// Compares two rows' `phases` objects phase by phase — the
+/// attribution step: when wall clock regresses, this names the phase
+/// that did it. Phases present on only one side are reported but
+/// never gated (a new span site is not a regression).
+fn compare_phases(
+    run: &Json,
+    base: &Json,
+    id: &str,
+    gate: Gate,
+    table: &mut String,
+    regressions: &mut Vec<String>,
+) {
+    let (Some(Json::Obj(current)), Some(prev_phases)) = (run.get("phases"), base.get("phases"))
+    else {
+        return;
+    };
+    let total = |stat: &Json| -> Option<f64> { stat.get("total_micros").and_then(num) };
+    for (name, stat) in current {
+        let (Some(cur), Some(prev)) = (total(stat), prev_phases.get(name).and_then(total)) else {
+            let _ = writeln!(table, "  phase {name}: (not in baseline)");
+            continue;
+        };
+        if prev == 0.0 {
+            let _ = writeln!(table, "  phase {name}: {prev}us -> {cur}us");
+            continue;
+        }
+        let ratio = cur / prev;
+        let _ = writeln!(table, "  phase {name}: {prev}us -> {cur}us ({ratio:.2}x)");
+        if let Some(threshold) = gate.phase_threshold {
+            if ratio > threshold && cur > PHASE_NOISE_FLOOR_MICROS {
+                regressions.push(format!(
+                    "{id}: phase {name} regressed {ratio:.2}x \
+                     ({prev}us -> {cur}us, phase-threshold {threshold}x)"
+                ));
+            }
+        }
     }
 }
 
@@ -500,6 +577,7 @@ mod tests {
             Gate {
                 threshold: Some(1.01),
                 min_speedup: Some(8.0),
+                ..Gate::default()
             },
         );
         assert_eq!(cmp.matched, t.runs.len());
@@ -528,12 +606,88 @@ mod tests {
             Gate {
                 threshold: Some(2.0),
                 min_speedup: Some(10.0),
+                ..Gate::default()
             },
         );
         assert_eq!(cmp.regressions.len(), 2, "{:?}", cmp.regressions);
         assert!(cmp.regressions[0].contains("exact_secs regressed 3.00x"));
         assert!(cmp.regressions[1].contains("speedup 4.0x below"));
         assert!(cmp.table.contains("FAIL"));
+    }
+
+    #[test]
+    fn aggregate_carries_phases_from_the_preferred_run() {
+        let traced = Json::parse(
+            r#"{"task_id":"t","outcome":"success",
+                "objective":{"name":"wall_secs","value":1.5},
+                "task":{"family":"cycle-fd","k":8,"engine":"auto",
+                        "cache":true,"workers":1},
+                "metrics":{"queries":1},
+                "phases":{"lp.exact_verify":{"total_micros":900000,
+                                             "self_micros":120000}}}"#,
+        )
+        .unwrap();
+        let (runs, _) = aggregate(&[traced]).unwrap();
+        let phases = runs[0].get("phases").expect("phases carried over");
+        assert_eq!(
+            phases
+                .get("lp.exact_verify")
+                .and_then(|p| p.get("total_micros"))
+                .and_then(Json::as_i64),
+            Some(900_000)
+        );
+    }
+
+    #[test]
+    fn phase_regressions_are_attributed_and_gated() {
+        let base = Trajectory::load(
+            r#"{"date":"2026-01-01","runs":[
+                {"family":"cycle-fd","k":8,"exact_secs":1.0,
+                 "phases":{"lp.exact_verify":{"total_micros":300000},
+                           "session.chase":{"total_micros":50000}}}]}"#,
+        )
+        .unwrap();
+        let mut cur = base.clone();
+        cur.runs = vec![Json::parse(
+            r#"{"family":"cycle-fd","k":8,"exact_secs":1.0,
+                "phases":{"lp.exact_verify":{"total_micros":930000},
+                          "session.chase":{"total_micros":90000}}}"#,
+        )
+        .unwrap()];
+        let gate = Gate {
+            phase_threshold: Some(1.5),
+            ..Gate::default()
+        };
+        let cmp = compare(&cur, &base, gate);
+        // lp.exact_verify tripled and is over the floor: attributed.
+        // session.chase nearly doubled but is under the floor: noise.
+        assert_eq!(cmp.regressions.len(), 1, "{:?}", cmp.regressions);
+        assert!(
+            cmp.regressions[0].contains("phase lp.exact_verify regressed 3.10x"),
+            "{:?}",
+            cmp.regressions
+        );
+        assert!(cmp
+            .table
+            .contains("phase lp.exact_verify: 300000us -> 930000us (3.10x)"));
+        assert!(
+            cmp.table.contains("FAIL (phase-threshold 1.5x)"),
+            "{}",
+            cmp.table
+        );
+
+        // Self-comparison with the same gate is all 1.00x and passes.
+        let self_cmp = compare(&base, &base, gate);
+        assert!(
+            self_cmp.regressions.is_empty(),
+            "{:?}",
+            self_cmp.regressions
+        );
+        assert!(
+            self_cmp.table.contains("regression gate: pass"),
+            "{}",
+            self_cmp.table
+        );
     }
 
     #[test]
@@ -550,6 +704,7 @@ mod tests {
             Gate {
                 threshold: Some(5.0),
                 min_speedup: None,
+                ..Gate::default()
             },
         );
         // 30x worse, but still under NOISE_FLOOR_SECS: spawn jitter.

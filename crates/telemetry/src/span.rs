@@ -363,10 +363,20 @@ pub struct NdjsonSink {
 }
 
 impl NdjsonSink {
+    /// Opens the sink. File targets open in **append** mode (repeated
+    /// runs pointed at one path accumulate instead of clobbering each
+    /// other) and start with a [`header_event`] line so consumers can
+    /// segment a multi-run file at process boundaries.
     pub fn open(target: &TraceTarget) -> std::io::Result<NdjsonSink> {
         let out = match target {
             TraceTarget::Stderr => SinkOut::Stderr,
-            TraceTarget::File(path) => SinkOut::File(BufWriter::new(File::create(path)?)),
+            TraceTarget::File(path) => {
+                let file = File::options().append(true).create(true).open(path)?;
+                let mut writer = BufWriter::new(file);
+                writeln!(writer, "{}", header_event())?;
+                writer.flush()?;
+                SinkOut::File(writer)
+            }
         };
         Ok(NdjsonSink {
             out: Mutex::new(out),
@@ -376,6 +386,31 @@ impl NdjsonSink {
     pub fn to_file(path: &Path) -> std::io::Result<NdjsonSink> {
         NdjsonSink::open(&TraceTarget::File(path.to_path_buf()))
     }
+}
+
+/// The per-process header line a file sink writes on open: a
+/// `trace.header` pseudo-span (so the line carries the standard
+/// `name`/`span`/`start_micros`/`micros` fields every NDJSON consumer
+/// expects, with zero duration) extended with the process identity —
+/// `pid`, `argv0` and the wall clock in `unix_micros`. A file that
+/// several process runs appended to contains one header per run;
+/// span ids are only unique within a run, so consumers segment on
+/// these lines before resolving parent pointers.
+pub fn header_event() -> String {
+    let mut out = String::with_capacity(128);
+    out.push_str("{\"name\":\"trace.header\"");
+    out.push_str(&format!(",\"span\":{}", next_span_id()));
+    out.push_str(&format!(",\"start_micros\":{},\"micros\":0", now_micros()));
+    out.push_str(&format!(",\"pid\":{}", std::process::id()));
+    out.push_str(",\"argv0\":\"");
+    let argv0 = std::env::args().next().unwrap_or_default();
+    escape_into(&argv0, &mut out);
+    out.push('"');
+    let unix_micros = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_micros() as u64);
+    out.push_str(&format!(",\"unix_micros\":{unix_micros}}}"));
+    out
 }
 
 impl TraceSink for NdjsonSink {
@@ -567,6 +602,45 @@ mod tests {
             assert_eq!(trace_target_from_env(false), None);
             assert_eq!(trace_target_from_env(true), Some(TraceTarget::Stderr));
         }
+    }
+
+    #[test]
+    fn file_sinks_append_and_write_one_header_per_open() {
+        let path = std::env::temp_dir().join(format!("cq_span_append_{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let event = SpanEvent {
+            name: "test.append",
+            trace_id: None,
+            span_id: 1,
+            parent_id: None,
+            start_micros: 0,
+            duration_micros: 5,
+        };
+        for _ in 0..2 {
+            let sink = NdjsonSink::to_file(&path).unwrap();
+            sink.emit(&event);
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4, "2 opens x (header + event): {text}");
+        for expected in [0usize, 2] {
+            let header = lines[expected];
+            assert!(header.contains("\"name\":\"trace.header\""), "{header}");
+            // Standard span fields (every consumer requires them) plus
+            // the process identity.
+            for key in [
+                "\"span\":",
+                "\"start_micros\":",
+                "\"micros\":0",
+                "\"pid\":",
+                "\"argv0\":",
+                "\"unix_micros\":",
+            ] {
+                assert!(header.contains(key), "header missing {key}: {header}");
+            }
+        }
+        assert!(lines[1].contains("\"name\":\"test.append\""), "{text}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

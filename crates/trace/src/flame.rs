@@ -1,0 +1,199 @@
+//! Folded-stack flamegraph export (`a;b;c <micros>` lines).
+//!
+//! The format is the one standard flamegraph tooling consumes: one
+//! line per distinct call stack, frames joined by `;` root-first, and
+//! a numeric weight — here the stack's summed **self** time in
+//! microseconds, so a frame's displayed width is time attributable to
+//! that phase's own code, with child time in the child frames.
+//!
+//! Stacks are built over *all* ingested events (traced or not) by
+//! walking parent pointers within each `(file, segment)` process run.
+//! Hostile input degrades gracefully: a dangling parent starts the
+//! stack at the deepest resolvable frame, and a forged parent cycle is
+//! abandoned at the point of re-entry (the walk carries a visited
+//! guard).
+//!
+//! [`parse_folded`] is the strict inverse of [`render_folded`], and the
+//! `cq-trace flame` command re-parses its own output before printing,
+//! so the emitted format cannot silently drift from what the parser —
+//! and the downstream tooling — accepts.
+
+use crate::ingest::Ingest;
+use std::collections::{BTreeMap, HashMap};
+
+/// Aggregated folded stacks, sorted by stack string: each entry is
+/// (`root;...;leaf`, summed self micros). Zero-weight stacks are kept
+/// — a phase that only ever delegated to children still names a row.
+pub fn folded_stacks(ingest: &Ingest) -> Vec<(String, u64)> {
+    // Per-run span index and direct-child duration sums.
+    let mut index: HashMap<(usize, usize, u64), usize> = HashMap::new();
+    let mut child_sums: HashMap<(usize, usize, u64), u64> = HashMap::new();
+    for (i, event) in ingest.events.iter().enumerate() {
+        index
+            .entry((event.file, event.segment, event.span))
+            .or_insert(i);
+        if let Some(parent) = event.parent {
+            *child_sums
+                .entry((event.file, event.segment, parent))
+                .or_default() += event.micros;
+        }
+    }
+
+    let mut stacks: BTreeMap<String, u64> = BTreeMap::new();
+    for (i, event) in ingest.events.iter().enumerate() {
+        // Walk to the root, collecting frame names leaf-first.
+        let mut frames: Vec<&str> = vec![event.name.as_str()];
+        let mut visited: Vec<usize> = vec![i];
+        let mut cursor = event;
+        while let Some(parent) = cursor.parent {
+            let Some(&up) = index.get(&(cursor.file, cursor.segment, parent)) else {
+                break; // dangling parent: start the stack here
+            };
+            if visited.contains(&up) {
+                break; // forged cycle: abandon the climb
+            }
+            visited.push(up);
+            cursor = &ingest.events[up];
+            frames.push(cursor.name.as_str());
+        }
+        frames.reverse();
+        let stack = frames
+            .iter()
+            .map(|name| sanitize_frame(name))
+            .collect::<Vec<String>>()
+            .join(";");
+        let own = child_sums
+            .get(&(event.file, event.segment, event.span))
+            .copied()
+            .unwrap_or(0);
+        *stacks.entry(stack).or_default() += event.micros.saturating_sub(own);
+    }
+    stacks.into_iter().collect()
+}
+
+/// Frame names must not collide with the format's separators.
+fn sanitize_frame(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c == ';' || c.is_whitespace() {
+                '_'
+            } else {
+                c
+            }
+        })
+        .collect()
+}
+
+/// Renders folded stacks, one `stack micros` line each.
+pub fn render_folded(stacks: &[(String, u64)]) -> String {
+    let mut out = String::new();
+    for (stack, micros) in stacks {
+        out.push_str(stack);
+        out.push(' ');
+        out.push_str(&micros.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Strictly parses folded-stack text back into (stack, micros) pairs.
+pub fn parse_folded(text: &str) -> Result<Vec<(String, u64)>, String> {
+    let mut stacks = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (stack, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: no weight separator: {line:?}", i + 1))?;
+        let micros: u64 = value
+            .parse()
+            .map_err(|_| format!("line {}: weight is not a u64: {value:?}", i + 1))?;
+        if stack.is_empty()
+            || stack
+                .split(';')
+                .any(|frame| frame.is_empty() || frame.contains(' '))
+        {
+            return Err(format!("line {}: malformed stack: {stack:?}", i + 1));
+        }
+        stacks.push((stack.to_owned(), micros));
+    }
+    Ok(stacks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ingest::ingest_bytes;
+
+    fn ingested(lines: &[String]) -> Ingest {
+        let mut ingest = Ingest::default();
+        let mut text = lines.join("\n");
+        text.push('\n');
+        ingest_bytes("flame.trace", text.as_bytes(), &mut ingest);
+        ingest
+    }
+
+    fn event(name: &str, span: u64, parent: Option<u64>, micros: u64) -> String {
+        let parent = parent.map_or(String::new(), |p| format!(",\"parent\":{p}"));
+        format!(
+            "{{\"name\":\"{name}\",\"span\":{span}{parent},\
+             \"start_micros\":0,\"micros\":{micros}}}"
+        )
+    }
+
+    #[test]
+    fn stacks_carry_self_time_and_round_trip() {
+        let ingest = ingested(&[
+            event("serve.request", 1, None, 100),
+            event("serve.execute", 2, Some(1), 90),
+            event("session.chase", 3, Some(2), 40),
+            event("session.chase", 4, Some(2), 20),
+        ]);
+        let stacks = folded_stacks(&ingest);
+        let rendered = render_folded(&stacks);
+        assert_eq!(
+            rendered,
+            "serve.request 10\n\
+             serve.request;serve.execute 30\n\
+             serve.request;serve.execute;session.chase 60\n"
+        );
+        let parsed = parse_folded(&rendered).unwrap();
+        assert_eq!(parsed, stacks);
+        assert_eq!(render_folded(&parsed), rendered);
+        // Total self time equals total root time (conservation).
+        let total: u64 = stacks.iter().map(|(_, v)| v).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn dangling_parents_and_cycles_do_not_panic() {
+        let ingest = ingested(&[
+            event("a.orphan", 5, Some(99), 10),
+            event("b.loop", 6, Some(7), 10),
+            event("b.loop2", 7, Some(6), 10),
+        ]);
+        let stacks = folded_stacks(&ingest);
+        assert_eq!(stacks.len(), 3, "{stacks:?}");
+        // Each stack bottoms out where resolution stopped.
+        assert!(stacks.iter().any(|(s, _)| s == "a.orphan"), "{stacks:?}");
+    }
+
+    #[test]
+    fn separator_characters_in_names_are_sanitized() {
+        let ingest = ingested(&[
+            "{\"name\":\"weird name;x\",\"span\":1,\"start_micros\":0,\"micros\":3}".to_owned(),
+        ]);
+        let stacks = folded_stacks(&ingest);
+        assert_eq!(stacks[0].0, "weird_name_x");
+        parse_folded(&render_folded(&stacks)).unwrap();
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        for bad in ["noweight", "stack notanumber", "a;;b 10", " 10", "a b 1 2x"] {
+            assert!(parse_folded(bad).is_err(), "{bad:?} should be rejected");
+        }
+        assert!(parse_folded("").unwrap().is_empty());
+    }
+}

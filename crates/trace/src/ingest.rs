@@ -1,0 +1,365 @@
+//! NDJSON span-file ingestion.
+//!
+//! Trace files come from processes that are sometimes SIGKILLed
+//! mid-write (the cluster kill/resubmit path) and sometimes share one
+//! path across repeated runs (append-mode sinks). Ingestion therefore
+//! never aborts on record-level damage: a torn final line, an empty
+//! file, or a forged/malformed record each become a structured
+//! [`Warning`] and every intact record is kept. Only an unreadable
+//! file (the caller named it, we cannot open it) is a hard error.
+//!
+//! Span ids are unique **per process run**, not globally: one file may
+//! hold several runs (one `trace.header` line each), and a cluster
+//! scatters runs across per-worker files. Every event therefore
+//! carries its `(file, segment)` coordinates — segment boundaries are
+//! the header lines — and all parent-pointer resolution downstream
+//! happens within one segment. Trace ids, by contrast, are globally
+//! unique (pid-seeded), so cross-file assembly joins on them.
+
+use cq_engine::Json;
+use std::path::Path;
+
+/// One parsed span event plus its provenance coordinates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RawEvent {
+    pub name: String,
+    pub trace_id: Option<String>,
+    pub span: u64,
+    pub parent: Option<u64>,
+    pub start_micros: u64,
+    pub micros: u64,
+    /// Index into [`Ingest::files`].
+    pub file: usize,
+    /// Process-run segment within the file: bumped at every
+    /// `trace.header` line, so span ids are unique within one
+    /// `(file, segment)` pair.
+    pub segment: usize,
+}
+
+/// A per-process `trace.header` line: where one run's records begin.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunHeader {
+    pub file: usize,
+    /// The segment this header opens (events after it carry this).
+    pub segment: usize,
+    pub pid: Option<i64>,
+    pub argv0: Option<String>,
+    pub unix_micros: Option<i64>,
+}
+
+/// What went wrong with one record (never with the whole ingestion).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WarningKind {
+    /// A zero-length (or whitespace-only) file: a sink was opened but
+    /// the process died before its header flushed, or never traced.
+    EmptyFile,
+    /// The final line is not a complete record — the writer was killed
+    /// mid-write. Everything before it is intact and kept.
+    TornTail,
+    /// A non-final line that does not parse or lacks the required span
+    /// fields. Skipped; everything else is kept.
+    MalformedLine,
+}
+
+impl WarningKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            WarningKind::EmptyFile => "empty-file",
+            WarningKind::TornTail => "torn-tail",
+            WarningKind::MalformedLine => "malformed-line",
+        }
+    }
+}
+
+/// One structured ingestion warning.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Warning {
+    /// Display name of the offending file.
+    pub file: String,
+    /// 1-based line number; 0 when the warning is about the whole file.
+    pub line: usize,
+    pub kind: WarningKind,
+    pub message: String,
+}
+
+impl Warning {
+    pub fn render(&self) -> String {
+        if self.line == 0 {
+            format!("{}: {}: {}", self.file, self.kind.as_str(), self.message)
+        } else {
+            format!(
+                "{}:{}: {}: {}",
+                self.file,
+                self.line,
+                self.kind.as_str(),
+                self.message
+            )
+        }
+    }
+}
+
+/// Everything ingestion recovered from a set of files.
+#[derive(Debug, Default)]
+pub struct Ingest {
+    /// Display names, in ingestion order; `RawEvent::file` indexes this.
+    pub files: Vec<String>,
+    pub events: Vec<RawEvent>,
+    pub headers: Vec<RunHeader>,
+    pub warnings: Vec<Warning>,
+}
+
+/// Reads and ingests each path in order. Unreadable files are the one
+/// hard error; all record-level damage lands in
+/// [`Ingest::warnings`].
+pub fn ingest_files<P: AsRef<Path>>(paths: &[P]) -> Result<Ingest, String> {
+    let mut ingest = Ingest::default();
+    for path in paths {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path)
+            .map_err(|e| format!("cannot read trace file {}: {e}", path.display()))?;
+        ingest_bytes(&path.display().to_string(), &bytes, &mut ingest);
+    }
+    Ok(ingest)
+}
+
+/// Ingests one file's raw bytes under `name`. Byte-level on purpose:
+/// a torn tail may cut a line mid-UTF-8, so decoding is per line and
+/// lossy.
+pub fn ingest_bytes(name: &str, bytes: &[u8], into: &mut Ingest) {
+    let file = into.files.len();
+    into.files.push(name.to_owned());
+    if bytes.iter().all(|b| b.is_ascii_whitespace()) {
+        into.warnings.push(Warning {
+            file: name.to_owned(),
+            line: 0,
+            kind: WarningKind::EmptyFile,
+            message: "no records".to_owned(),
+        });
+        return;
+    }
+    let complete = bytes.ends_with(b"\n");
+    let lines: Vec<&[u8]> = bytes.split(|&b| b == b'\n').collect();
+    // split() yields a final empty chunk when the input ends with the
+    // separator; a nonempty final chunk is the torn-tail candidate.
+    let count = lines.len();
+    let mut segment = 0usize;
+    for (i, raw) in lines.into_iter().enumerate() {
+        if raw.iter().all(|b| b.is_ascii_whitespace()) {
+            continue;
+        }
+        let last = i + 1 == count;
+        let line = String::from_utf8_lossy(raw);
+        match parse_record(&line) {
+            Ok(Record::Header {
+                pid,
+                argv0,
+                unix_micros,
+            }) => {
+                segment += 1;
+                into.headers.push(RunHeader {
+                    file,
+                    segment,
+                    pid,
+                    argv0,
+                    unix_micros,
+                });
+            }
+            Ok(Record::Span(mut event)) => {
+                event.file = file;
+                event.segment = segment;
+                into.events.push(event);
+            }
+            Err(message) => {
+                let torn = last && !complete;
+                into.warnings.push(Warning {
+                    file: name.to_owned(),
+                    line: i + 1,
+                    kind: if torn {
+                        WarningKind::TornTail
+                    } else {
+                        WarningKind::MalformedLine
+                    },
+                    message: if torn {
+                        format!("truncated final record ({} bytes): {message}", raw.len())
+                    } else {
+                        message
+                    },
+                });
+            }
+        }
+    }
+}
+
+enum Record {
+    Header {
+        pid: Option<i64>,
+        argv0: Option<String>,
+        unix_micros: Option<i64>,
+    },
+    Span(RawEvent),
+}
+
+fn parse_record(line: &str) -> Result<Record, String> {
+    let json = Json::parse(line).map_err(|e| e.to_string())?;
+    let name = json
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or("record lacks a \"name\" string")?
+        .to_owned();
+    if name == "trace.header" {
+        return Ok(Record::Header {
+            pid: json.get("pid").and_then(Json::as_i64),
+            argv0: json.get("argv0").and_then(Json::as_str).map(str::to_owned),
+            unix_micros: json.get("unix_micros").and_then(Json::as_i64),
+        });
+    }
+    let uint = |key: &str| -> Result<u64, String> {
+        json.get(key)
+            .and_then(Json::as_i64)
+            .and_then(|v| u64::try_from(v).ok())
+            .ok_or_else(|| format!("record lacks a non-negative \"{key}\""))
+    };
+    Ok(Record::Span(RawEvent {
+        trace_id: json
+            .get("trace_id")
+            .and_then(Json::as_str)
+            .map(str::to_owned),
+        span: uint("span")?,
+        parent: match json.get("parent") {
+            None => None,
+            Some(_) => Some(uint("parent")?),
+        },
+        start_micros: uint("start_micros")?,
+        micros: uint("micros")?,
+        name,
+        file: 0,
+        segment: 0,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(name: &str, span: u64, parent: Option<u64>, micros: u64) -> String {
+        let parent = parent.map_or(String::new(), |p| format!(",\"parent\":{p}"));
+        format!(
+            "{{\"name\":\"{name}\",\"trace_id\":\"t-1\",\"span\":{span}{parent},\
+             \"start_micros\":0,\"micros\":{micros}}}"
+        )
+    }
+
+    #[test]
+    fn empty_files_warn_and_never_abort() {
+        let mut ingest = Ingest::default();
+        ingest_bytes("empty.trace", b"", &mut ingest);
+        ingest_bytes("blank.trace", b"\n\n", &mut ingest);
+        assert!(ingest.events.is_empty());
+        assert_eq!(ingest.warnings.len(), 2);
+        assert!(ingest
+            .warnings
+            .iter()
+            .all(|w| w.kind == WarningKind::EmptyFile));
+    }
+
+    /// The killed-worker fixture: a file of well-formed records whose
+    /// final record is byte-truncated at **every** prefix length. At
+    /// each length every complete record is recovered and the tail is
+    /// a warning, never an abort.
+    #[test]
+    fn torn_tail_at_every_prefix_length_recovers_all_complete_records() {
+        let records = [
+            line("serve.request", 1, None, 100),
+            line("serve.execute", 2, Some(1), 80),
+            line("session.chase", 3, Some(2), 40),
+        ];
+        let intact = format!("{}\n{}\n", records[0], records[1]);
+        let last = records[2].as_bytes();
+        for cut in 0..=last.len() {
+            let mut bytes = intact.clone().into_bytes();
+            bytes.extend_from_slice(&last[..cut]);
+            let mut ingest = Ingest::default();
+            ingest_bytes("torn.trace", &bytes, &mut ingest);
+            if cut == 0 {
+                assert_eq!(ingest.events.len(), 2, "cut={cut}");
+                assert!(
+                    ingest.warnings.is_empty(),
+                    "cut={cut}: {:?}",
+                    ingest.warnings
+                );
+            } else if cut == last.len() {
+                // The full record with no trailing newline still parses.
+                assert_eq!(ingest.events.len(), 3, "cut={cut}");
+                assert!(
+                    ingest.warnings.is_empty(),
+                    "cut={cut}: {:?}",
+                    ingest.warnings
+                );
+            } else {
+                assert_eq!(ingest.events.len(), 2, "cut={cut}");
+                assert_eq!(ingest.warnings.len(), 1, "cut={cut}");
+                let warning = &ingest.warnings[0];
+                assert_eq!(warning.kind, WarningKind::TornTail, "cut={cut}");
+                assert_eq!(warning.line, 3, "cut={cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_interior_lines_warn_and_are_skipped() {
+        let bytes = format!(
+            "{}\nnot json\n{{\"span\":7}}\n{}\n",
+            line("a.b", 1, None, 1),
+            line("c.d", 2, None, 2)
+        );
+        let mut ingest = Ingest::default();
+        ingest_bytes("forged.trace", bytes.as_bytes(), &mut ingest);
+        assert_eq!(ingest.events.len(), 2);
+        assert_eq!(ingest.warnings.len(), 2);
+        assert!(ingest
+            .warnings
+            .iter()
+            .all(|w| w.kind == WarningKind::MalformedLine));
+        assert_eq!(ingest.warnings[0].line, 2);
+        assert_eq!(ingest.warnings[1].line, 3);
+    }
+
+    #[test]
+    fn headers_open_new_segments() {
+        let header = |pid: u32| {
+            format!(
+                "{{\"name\":\"trace.header\",\"span\":1,\"start_micros\":0,\"micros\":0,\
+                 \"pid\":{pid},\"argv0\":\"cq-serve\",\"unix_micros\":123}}"
+            )
+        };
+        let bytes = format!(
+            "{}\n{}\n{}\n{}\n",
+            header(10),
+            line("serve.request", 5, None, 9),
+            header(11),
+            line("serve.request", 5, None, 9),
+        );
+        let mut ingest = Ingest::default();
+        ingest_bytes("multi.trace", bytes.as_bytes(), &mut ingest);
+        assert_eq!(ingest.headers.len(), 2);
+        assert_eq!(ingest.headers[0].pid, Some(10));
+        assert_eq!(ingest.headers[0].segment, 1);
+        assert_eq!(ingest.headers[1].segment, 2);
+        // Identical span ids from the two runs stay distinguishable.
+        assert_eq!(ingest.events.len(), 2);
+        assert_eq!(ingest.events[0].segment, 1);
+        assert_eq!(ingest.events[1].segment, 2);
+    }
+
+    #[test]
+    fn pre_header_events_land_in_segment_zero() {
+        let mut ingest = Ingest::default();
+        ingest_bytes(
+            "old.trace",
+            format!("{}\n", line("a.b", 1, None, 1)).as_bytes(),
+            &mut ingest,
+        );
+        assert_eq!(ingest.events[0].segment, 0);
+        assert!(ingest.headers.is_empty());
+    }
+}

@@ -24,7 +24,7 @@
 
 use cq_engine::Json;
 use cq_lab::trajectory::{aggregate, compare, utc_date_string, Gate, Trajectory};
-use cq_lab::{run_task, validate_result, Binaries, Task};
+use cq_lab::{run_task, run_task_traced, validate_result, Binaries, Task};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::{SystemTime, UNIX_EPOCH};
@@ -41,14 +41,21 @@ const USAGE: &str = "usage: cq-lab <run|report> [options]
 
   cq-lab report (--results DIR | result.json ...) [--output FILE]
                 [--date YYYY-MM-DD] [--baseline FILE]
-                [--threshold X] [--min-speedup X]
+                [--threshold X] [--min-speedup X] [--phase-threshold X]
       Aggregate result rows into a dated BENCH_<date>.json trajectory.
       With --baseline, print the comparison table and fail (exit 1) on
-      timing regressions beyond X times the baseline, or on any row
-      whose speedup column falls below --min-speedup.
+      timing regressions beyond X times the baseline, on any row whose
+      speedup column falls below --min-speedup, or — for traced rows
+      carrying a \"phases\" object — on any phase whose total_micros
+      regressed beyond --phase-threshold times the baseline (the line
+      that turns \"wall clock regressed\" into \"lp.exact_verify
+      regressed 3.1x\").
 
   Both subcommands also accept --trace: NDJSON span events on stderr
-  (CQ_TRACE=PATH routes them to a file instead).
+  (CQ_TRACE=PATH routes them to a file instead). A traced `run` also
+  traces every child into per-task files (batch mode keeps them in
+  --out-dir for `cq-trace assemble`) and attaches per-phase
+  total/self micros to each result row as \"phases\".
 
   cq-lab --help | --version";
 
@@ -143,7 +150,9 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
                 .map_err(|e| format!("cannot create {}: {e}", out_dir.display()))?;
             let mut all_success = true;
             for task in &tasks {
-                let row = run_task(task, &bins);
+                // Batch mode keeps trace files next to the result
+                // rows, where CI's `cq-trace assemble` expects them.
+                let row = run_task_traced(task, &bins, Some(&out_dir));
                 let outcome = row.get("outcome").and_then(Json::as_str).unwrap_or("?");
                 let secs = row
                     .get("objective")
@@ -197,6 +206,9 @@ fn cmd_report(args: &[String]) -> Result<ExitCode, String> {
             "--threshold" => gate.threshold = Some(parse_positive(&value(&mut i)?, "--threshold")?),
             "--min-speedup" => {
                 gate.min_speedup = Some(parse_positive(&value(&mut i)?, "--min-speedup")?)
+            }
+            "--phase-threshold" => {
+                gate.phase_threshold = Some(parse_positive(&value(&mut i)?, "--phase-threshold")?)
             }
             "--help" | "-h" => {
                 println!("{USAGE}");

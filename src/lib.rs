@@ -17,6 +17,9 @@
 //! - [`arith`] — big integers and rationals;
 //! - [`telemetry`] — span tracing, phase-latency histograms and the
 //!   Prometheus-style exposition surface (see `docs/TELEMETRY.md`);
+//! - [`trace`] — the telemetry consumer: NDJSON trace assembly,
+//!   critical paths, flamegraph export and live worker observation
+//!   (the `cq-trace` binary);
 //! - [`util`] — bitsets, hashing, subset enumeration.
 //!
 //! See the `examples/` directory for runnable walkthroughs and
@@ -31,6 +34,7 @@ pub use cq_hypergraph as hypergraph;
 pub use cq_lp as lp;
 pub use cq_relation as relation;
 pub use cq_telemetry as telemetry;
+pub use cq_trace as trace;
 pub use cq_util as util;
 
 pub use cq_core::*;

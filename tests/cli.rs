@@ -377,6 +377,7 @@ fn help_and_version_exit_zero_on_stdout() {
         ("cq-serve", env!("CARGO_BIN_EXE_cq-serve")),
         ("cq-cluster", env!("CARGO_BIN_EXE_cq-cluster")),
         ("cq-lab", env!("CARGO_BIN_EXE_cq-lab")),
+        ("cq-trace", env!("CARGO_BIN_EXE_cq-trace")),
     ] {
         for flag in ["--help", "-h"] {
             let (stdout, stderr, ok) = run_bin(bin, &[flag]);
@@ -391,6 +392,26 @@ fn help_and_version_exit_zero_on_stdout() {
             "{name} --version: {stdout}"
         );
     }
+}
+
+/// `cq-trace` keeps the workspace's CLI error contract: diagnostics on
+/// stderr with a nonzero exit, never on stdout.
+#[test]
+fn cq_trace_errors_go_to_stderr() {
+    let bin = env!("CARGO_BIN_EXE_cq-trace");
+    let (stdout, stderr, ok) = run_bin(bin, &["bogus"]);
+    assert!(!ok, "unknown subcommand must fail");
+    assert!(stdout.is_empty(), "stdout must stay clean: {stdout}");
+    assert!(stderr.contains("usage"), "{stderr}");
+
+    let (_, stderr, ok) = run_bin(bin, &["assemble"]);
+    assert!(!ok);
+    assert!(stderr.contains("at least one trace file"), "{stderr}");
+
+    let (stdout, stderr, ok) = run_bin(bin, &["assemble", "/nonexistent/run.trace"]);
+    assert!(!ok, "unreadable files are the one hard ingestion error");
+    assert!(stdout.is_empty(), "{stdout}");
+    assert!(stderr.contains("cannot read"), "{stderr}");
 }
 
 /// In `--json` mode stdout is machine-consumable: every line parses as

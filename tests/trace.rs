@@ -1,0 +1,378 @@
+//! End-to-end tests for the `cq-trace` telemetry consumer.
+//!
+//! Three acceptance properties, each against real processes:
+//!
+//! 1. **Cluster assembly is complete** — the per-worker NDJSON files of
+//!    a 3-worker `cq-cluster` run reconstruct every request's span
+//!    tree: each client-minted trace id lands on exactly one worker
+//!    (no duplicate deliveries), every parent pointer resolves (zero
+//!    orphans), and the assembled `serve.execute` counts agree with
+//!    the merged `cluster.metrics` latency histogram exactly.
+//! 2. **Flamegraph export round-trips** — `cq-trace flame` output from
+//!    a traced run parses back through the strict folded-stack parser
+//!    and conserves the traced self time.
+//! 3. **The lab loop closes** — a traced `cq-lab run` attaches a
+//!    `phases` object to its result rows, the trace files survive in
+//!    the out-dir for `cq-trace assemble --require-complete`, and
+//!    `report --baseline --phase-threshold` passes its all-1.00x
+//!    self-comparison.
+
+use cq_cluster::{ClusterClient, PlanMode, ServeChild, WorkerAddr};
+use cq_engine::Json;
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cq-trace-test-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A deterministic workload with shape variety and cache traffic (the
+/// same recipe the telemetry suite uses).
+fn workload(dir: &Path, n: usize) -> Vec<(String, String)> {
+    let mut state: u64 = 0x9e3779b97f4a7c15;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    (0..n)
+        .map(|i| {
+            let r = next();
+            let text = match r % 4 {
+                0 => format!("S(X,Y,Z) :- E{0}(X,Y), E{0}(X,Z), E{0}(Y,Z)\n", r % 3),
+                1 => "Q(X,Y,Z) :- S(X,Y), T(Y,Z)\n".to_owned(),
+                2 => format!("P(C,A,B) :- F{0}(B,C), F{0}(A,B), F{0}(A,C)\n", r % 2),
+                _ => "R2(X,Y,Z) :- R(X,Y), R(X,Z)\nkey R[1]\n".to_owned(),
+            };
+            let path = dir.join(format!("q{i}.cq"));
+            std::fs::write(&path, &text).unwrap();
+            (path.to_str().unwrap().to_owned(), text)
+        })
+        .collect()
+}
+
+/// The distributed assembly acceptance test: a real 3-worker cluster
+/// run, assembled from the per-worker trace files alone, reconstructs
+/// every request and agrees with the merged metrics histograms.
+#[test]
+fn cluster_trace_files_assemble_completely_and_match_merged_metrics() {
+    let dir = tmp("cluster");
+    let inputs = workload(&dir, 12);
+
+    let trace_files: Vec<PathBuf> = (0..3)
+        .map(|i| dir.join(format!("run.trace.w{i}")))
+        .collect();
+    let workers: Vec<ServeChild> = trace_files
+        .iter()
+        .map(|path| {
+            ServeChild::spawn_with_env(
+                Path::new(env!("CARGO_BIN_EXE_cq-serve")),
+                &[],
+                &[
+                    ("CQ_TRACE", Some(path.to_str().unwrap())),
+                    ("CQ_HYBRID_TRACE", None),
+                ],
+            )
+            .expect("spawn traced worker")
+        })
+        .collect();
+    let addrs: Vec<WorkerAddr> = workers.iter().map(|w| w.addr().clone()).collect();
+
+    // chunk=1: every input is its own batch request, so the merged
+    // histogram count has an exact per-input target.
+    let client = ClusterClient::new(addrs)
+        .with_plan(PlanMode::RoundRobin)
+        .with_chunk(1)
+        .with_trace(true);
+    let run = client.run(&inputs).expect("cluster run");
+    assert_eq!(run.reports.len(), inputs.len());
+    assert_eq!(run.resubmitted, 0, "all workers stayed alive");
+    // Workers are idle now (the run has read every response); killing
+    // them cannot tear a line of the per-line-flushed sink.
+    drop(workers);
+
+    let assembly = cq_trace::assemble(cq_trace::ingest_files(&trace_files).expect("readable"));
+    if let Some(warning) = assembly.warnings.first() {
+        panic!("ingestion warning on a clean run: {}", warning.render());
+    }
+    assert_eq!(assembly.headers.len(), 3, "one header per worker process");
+    assert_eq!(assembly.orphans_total(), 0, "every parent pointer resolves");
+    for trace in &assembly.traces {
+        assert_eq!(
+            trace.duplicates_dropped, 0,
+            "trace {} delivered to more than one worker",
+            trace.trace_id
+        );
+        assert_eq!(trace.duplicate_spans, 0, "trace {}", trace.trace_id);
+        assert_eq!(trace.cycles_broken, 0, "trace {}", trace.trace_id);
+        assert!(!trace.roots.is_empty(), "trace {}", trace.trace_id);
+    }
+
+    // Every client-minted id is reconstructed: the cluster client
+    // stamps ids per *query* (not per request line), so each input's
+    // trace holds that query's session-phase spans on the one worker
+    // that analyzed it; serve.request/serve.execute belong to the
+    // worker-minted per-request traces alongside them.
+    let ids: Vec<&str> = run
+        .trace_ids
+        .iter()
+        .map(|id| id.as_deref().expect("--trace mints an id per input"))
+        .collect();
+    let unique: HashSet<&str> = ids.iter().copied().collect();
+    assert_eq!(unique.len(), ids.len(), "trace ids must be distinct");
+    for id in &ids {
+        let trace = assembly
+            .traces
+            .iter()
+            .find(|t| t.trace_id == *id)
+            .unwrap_or_else(|| panic!("trace {id} missing from assembly"));
+        assert!(!trace.spans.is_empty(), "trace {id} has no spans");
+        assert!(
+            trace.spans.iter().all(|s| s.name.starts_with("session.")),
+            "trace {id}: a query's trace holds its session phases, got {:?}",
+            trace.phase_counts()
+        );
+        assert!(
+            trace
+                .critical_path
+                .first()
+                .is_some_and(|(name, _)| name.starts_with("session.")),
+            "trace {id}: {:?}",
+            trace.critical_path
+        );
+    }
+
+    // The exact agreement with the merged cross-worker histograms:
+    // with chunk=1 the metrics delta counted one execute per input,
+    // and each of those batch requests carried exactly one traced
+    // query — so client-id traces and histogram observations are in
+    // bijection.
+    assert_eq!(run.metrics.execute_count(), inputs.len() as u64);
+    let client_traces = assembly
+        .traces
+        .iter()
+        .filter(|t| unique.contains(t.trace_id.as_str()))
+        .count();
+    assert_eq!(client_traces as u64, run.metrics.execute_count());
+
+    // And the per-phase totals: every request a worker handled — the
+    // batch requests the histogram counted plus the client's 4 probes
+    // per worker (stats, metrics before; metrics, stats after), which
+    // the counter deliberately excludes — emitted exactly one
+    // serve.request and one serve.execute span.
+    let phase_count = |name: &str| -> u64 {
+        assembly
+            .phases
+            .iter()
+            .find(|p| p.name == name)
+            .map_or(0, |p| p.count)
+    };
+    let probes = 4 * trace_files.len() as u64;
+    assert_eq!(
+        phase_count("serve.execute"),
+        run.metrics.execute_count() + probes
+    );
+    assert_eq!(phase_count("serve.request"), phase_count("serve.execute"));
+    let execute_phase = assembly
+        .phases
+        .iter()
+        .find(|p| p.name == "serve.execute")
+        .expect("serve.execute phase present");
+    assert!(execute_phase.quantile(99) >= execute_phase.quantile(50));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `cq-trace flame` output must re-parse through the strict
+/// folded-stack parser (the binary self-checks, but this pins the
+/// contract from the consumer side) and `assemble --json` must emit a
+/// machine-readable report over the same file.
+#[test]
+fn flame_and_assemble_json_round_trip_from_a_traced_run() {
+    let dir = tmp("flame");
+    let inputs = workload(&dir, 6);
+    let paths: Vec<&str> = inputs.iter().map(|(p, _)| p.as_str()).collect();
+    let trace_path = dir.join("analyze.trace.ndjson");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_cq-analyze"))
+        .args(&paths)
+        .arg("--json")
+        .env("CQ_TRACE", &trace_path)
+        .env_remove("CQ_HYBRID_TRACE")
+        .output()
+        .expect("run cq-analyze");
+    assert!(out.status.success());
+
+    let flame = Command::new(env!("CARGO_BIN_EXE_cq-trace"))
+        .arg("flame")
+        .arg(&trace_path)
+        .output()
+        .expect("run cq-trace flame");
+    assert!(
+        flame.status.success(),
+        "{}",
+        String::from_utf8_lossy(&flame.stderr)
+    );
+    let folded = String::from_utf8_lossy(&flame.stdout);
+    let stacks = cq_trace::parse_folded(&folded)
+        .unwrap_or_else(|e| panic!("flame output must re-parse: {e}\n{folded}"));
+    assert!(!stacks.is_empty(), "a traced run must yield stacks");
+    assert!(
+        stacks.iter().any(|(stack, _)| stack.contains("session.")),
+        "{stacks:?}"
+    );
+    let total: u64 = stacks.iter().map(|(_, micros)| *micros).sum();
+    assert!(total > 0, "self time must be conserved into the stacks");
+
+    let assemble = Command::new(env!("CARGO_BIN_EXE_cq-trace"))
+        .args(["assemble", "--json", "--require-complete"])
+        .arg(&trace_path)
+        .output()
+        .expect("run cq-trace assemble");
+    assert!(
+        assemble.status.success(),
+        "a clean single-process trace must be complete: {}",
+        String::from_utf8_lossy(&assemble.stderr)
+    );
+    let report = Json::parse(String::from_utf8_lossy(&assemble.stdout).trim())
+        .expect("assemble --json emits one JSON object");
+    assert_eq!(report.get("orphans").and_then(Json::as_i64), Some(0));
+    assert_eq!(
+        report
+            .get("warnings")
+            .and_then(Json::as_array)
+            .map(<[Json]>::len),
+        Some(0)
+    );
+    assert_eq!(
+        report
+            .get("headers")
+            .and_then(Json::as_array)
+            .map(<[Json]>::len),
+        Some(1),
+        "one process run, one header"
+    );
+    let phases = report.get("phases").expect("per-phase stats");
+    let Json::Obj(entries) = phases else {
+        panic!("phases must be an object: {}", phases.render());
+    };
+    assert!(
+        entries.iter().any(|(name, _)| name.starts_with("session.")),
+        "{}",
+        phases.render()
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The loop-closing test: traced `cq-lab` runs gain `phases` in their
+/// result rows and `BENCH_<date>.json`, the per-task trace files
+/// survive in the out-dir and assemble completely, and the phase gate
+/// passes its self-comparison at 1.01x.
+#[test]
+fn traced_lab_runs_carry_phases_and_pass_the_phase_gate() {
+    let dir = tmp("lab");
+    let tasks_file = dir.join("tasks.jsonl");
+    std::fs::write(
+        &tasks_file,
+        "{\"task_id\":\"traced\",\"family\":\"cycle-fd\",\"k\":4}\n",
+    )
+    .unwrap();
+    let results = dir.join("results");
+    let out = Command::new(env!("CARGO_BIN_EXE_cq-lab"))
+        .args(["run", "--tasks"])
+        .arg(&tasks_file)
+        .arg("--out-dir")
+        .arg(&results)
+        .env("CQ_TRACE", dir.join("lab.ndjson"))
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // The result row carries per-phase attribution...
+    let row = Json::parse(&std::fs::read_to_string(results.join("traced.json")).unwrap()).unwrap();
+    cq_lab::validate_result(&row).unwrap();
+    let phases = row.get("phases").expect("traced rows carry phases");
+    let Json::Obj(entries) = phases else {
+        panic!("phases must be an object: {}", phases.render());
+    };
+    assert!(
+        entries.iter().any(|(name, _)| name.starts_with("session.")),
+        "{}",
+        phases.render()
+    );
+    for (name, stat) in entries {
+        let total = stat.get("total_micros").and_then(Json::as_i64);
+        let own = stat.get("self_micros").and_then(Json::as_i64);
+        assert!(total.is_some() && own.is_some(), "phase {name} incomplete");
+        assert!(own.unwrap() <= total.unwrap(), "phase {name}: self > total");
+    }
+
+    // ...and the trace file survives next to it and assembles cleanly.
+    let trace_file = results.join("traced.trace.ndjson");
+    assert!(trace_file.exists(), "batch mode keeps trace files");
+    let assemble = Command::new(env!("CARGO_BIN_EXE_cq-trace"))
+        .args(["assemble", "--require-complete"])
+        .arg(&trace_file)
+        .output()
+        .unwrap();
+    assert!(
+        assemble.status.success(),
+        "{}",
+        String::from_utf8_lossy(&assemble.stderr)
+    );
+
+    // Report twice: the second run self-compares against the first with
+    // the phase gate on. All ratios are exactly 1.00x, so it passes.
+    let bench1 = dir.join("BENCH_first.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_cq-lab"))
+        .args(["report", "--results"])
+        .arg(&results)
+        .arg("--output")
+        .arg(&bench1)
+        .args(["--date", "2026-08-08"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let bench_text = std::fs::read_to_string(&bench1).unwrap();
+    assert!(
+        bench_text.contains("\"phases\""),
+        "the trajectory row must carry phases: {bench_text}"
+    );
+
+    let out = Command::new(env!("CARGO_BIN_EXE_cq-lab"))
+        .args(["report", "--results"])
+        .arg(&results)
+        .arg("--output")
+        .arg(dir.join("BENCH_second.json"))
+        .args(["--date", "2026-08-08", "--baseline"])
+        .arg(&bench1)
+        .args(["--threshold", "25", "--phase-threshold", "1.01"])
+        .output()
+        .unwrap();
+    let table = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "phase self-comparison must pass: {table}"
+    );
+    assert!(table.contains("phase "), "{table}");
+    assert!(
+        table.contains("regression gate: pass (threshold 25x, phase-threshold 1.01x)"),
+        "{table}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
